@@ -1,0 +1,271 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, plus the in-text measurements, from the simulator. See
+// DESIGN.md's experiment index (E1-E10) for the mapping.
+//
+// Usage:
+//
+//	figures                # everything
+//	figures -only fig2     # one artifact: table1, fig2, fig3, e4...e9
+//	figures -csv out/      # additionally write CSV files
+//	figures -n 300000      # measured window per run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	presim "repro"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9")
+	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
+	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
+	measure := flag.Int64("n", 300_000, "measured µops per run")
+	flag.Parse()
+
+	opt := presim.DefaultOptions()
+	opt.WarmupUops = *warmup
+	opt.MeasureUops = *measure
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		printTable1()
+	}
+
+	var results [][]presim.Result
+	modes := presim.Modes()
+	needMatrix := want("fig2") || want("fig3") || want("e4") || want("e5") ||
+		want("e7") || want("e9")
+	if needMatrix {
+		var err error
+		results, err = presim.RunMatrix(presim.Workloads(), modes, opt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	emit := func(name string, t *presim.Table) {
+		fmt.Println()
+		t.Write(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			t.WriteCSV(f)
+			f.Close()
+		}
+	}
+
+	if want("fig2") {
+		emit("fig2", presim.Fig2Table(results, modes))
+	}
+	if want("fig3") {
+		emit("fig3", presim.Fig3Table(results, modes))
+	}
+	if want("e4") {
+		emit("e4_refill", e4Table(results, modes))
+	}
+	if want("e5") {
+		emit("e5_intervals", e5Table(results, modes))
+	}
+	if want("e6") {
+		t, err := e6Table(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("e6_free_exit", t)
+	}
+	if want("e7") {
+		emit("e7_free_resources", e7Table(results, modes))
+	}
+	if want("e8") {
+		printE8()
+	}
+	if want("e9") {
+		emit("e9_invocations", e9Table(results, modes))
+	}
+	if *only == "" {
+		emit("runahead_detail", presim.RunaheadDetailTable(results, modes))
+	}
+}
+
+// printTable1 dumps the baseline configuration (paper Table 1).
+func printTable1() {
+	cfg := presim.DefaultConfig(presim.ModePRE)
+	m := cfg.Mem
+	fmt.Println("Table 1: baseline configuration")
+	fmt.Printf("  Core            %d MHz out-of-order, ROB %d, IQ/LQ/SQ %d/%d/%d, width %d, front-end depth %d\n",
+		m.DRAM.CoreClockMHz, cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize, cfg.Width, cfg.Fetch.Depth)
+	fmt.Printf("  Register files  %d int, %d fp\n", cfg.Rename.IntPRF, cfg.Rename.FPPRF)
+	fmt.Printf("  SST             %d entries, fully associative, LRU\n", cfg.SSTSize)
+	fmt.Printf("  PRDQ            %d entries\n", cfg.PRDQSize)
+	fmt.Printf("  EMQ             %d entries\n", cfg.EMQSize)
+	fmt.Printf("  L1 I-cache      %d KB, assoc %d, %d cyc\n", m.L1I.SizeBytes>>10, m.L1I.Assoc, m.L1I.HitLatency)
+	fmt.Printf("  L1 D-cache      %d KB, assoc %d, %d cyc\n", m.L1D.SizeBytes>>10, m.L1D.Assoc, m.L1D.HitLatency)
+	fmt.Printf("  L2 cache        %d KB, assoc %d, %d cyc\n", m.L2.SizeBytes>>10, m.L2.Assoc, m.L2.HitLatency)
+	fmt.Printf("  L3 cache        %d MB, assoc %d, %d cyc\n", m.L3.SizeBytes>>20, m.L3.Assoc, m.L3.HitLatency)
+	fmt.Printf("  Memory          DDR3-1600, %d MHz, ranks %d, banks %d, page %d B, bus %d bits, tRP-tCL-tRCD %d-%d-%d\n",
+		m.DRAM.MemClockMHz, m.DRAM.Ranks, m.DRAM.Ranks*m.DRAM.BanksPerRank, m.DRAM.RowBytes,
+		m.DRAM.BusBytes*8, m.DRAM.TRP, m.DRAM.TCL, m.DRAM.TRCD)
+}
+
+// e4Table: measured flush-to-window-refilled penalty for the flushing
+// mechanisms (paper estimate: ~56 cycles).
+func e4Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
+	t := newTable("E4: runahead exit refill penalty (paper estimate: 8 FE + 48 ROB = 56 cycles)",
+		"benchmark", "RA refill", "RA-buffer refill")
+	for _, row := range results {
+		var ra, rab string
+		for mi, m := range modes {
+			switch m {
+			case core.ModeRA:
+				ra = fmt.Sprintf("%.0f", row[mi].RefillPenaltyMean)
+			case core.ModeRABuffer:
+				rab = fmt.Sprintf("%.0f", row[mi].RefillPenaltyMean)
+			}
+		}
+		t.AddRow(row[0].Workload, ra, rab)
+	}
+	return t
+}
+
+// e5Table: fraction of runahead intervals shorter than 20 cycles
+// (paper: 27% for memory-intensive workloads, measured without the
+// short-interval filter — the PRE column is the comparable one).
+func e5Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
+	t := newTable("E5: short runahead intervals (paper: 27% below 20 cycles)",
+		"benchmark", "PRE mean", "PRE <20cyc", "RA mean (filtered)")
+	for _, row := range results {
+		var preMean, preShort, raMean string
+		for mi, m := range modes {
+			switch m {
+			case core.ModePRE:
+				preMean = fmt.Sprintf("%.0f", row[mi].IntervalMean)
+				preShort = fmt.Sprintf("%.0f%%", 100*row[mi].IntervalFracBelow20)
+			case core.ModeRA:
+				raMean = fmt.Sprintf("%.0f", row[mi].IntervalMean)
+			}
+		}
+		t.AddRow(row[0].Workload, preMean, preShort, raMean)
+	}
+	return t
+}
+
+// e6Table: RA with free (snapshot) exit versus plain RA — the paper's
+// "20.6% if the window were not discarded" potential.
+func e6Table(opt presim.Options) (*presim.Table, error) {
+	t := newTable("E6: RA speedup with zero-cost exit (paper: 14.5% -> 20.6% potential)",
+		"benchmark", "OoO IPC", "RA", "RA free-exit")
+	free := opt
+	free.Configure = func(c *core.Config) { c.FreeExit = true }
+	for _, w := range presim.Workloads() {
+		base, err := sim.Run(w, core.ModeOoO, opt)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := sim.Run(w, core.ModeRA, opt)
+		if err != nil {
+			return nil, err
+		}
+		raFree, err := sim.Run(w, core.ModeRA, free)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.Name,
+			fmt.Sprintf("%.3f", base.IPC),
+			fmt.Sprintf("%.3f", ra.Speedup(base)),
+			fmt.Sprintf("%.3f", raFree.Speedup(base)))
+	}
+	return t, nil
+}
+
+// e7Table: free resources at runahead entry (paper Section 3.4: 37% IQ,
+// 51% int regs, 59% fp regs).
+func e7Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
+	t := newTable("E7: free resources at runahead entry (paper: IQ 37%, int 51%, fp 59%)",
+		"benchmark", "IQ free", "int free", "fp free")
+	preIdx := -1
+	for mi, m := range modes {
+		if m == core.ModePRE {
+			preIdx = mi
+		}
+	}
+	for _, row := range results {
+		r := row[preIdx]
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.0f%%", 100*r.FreeIQFrac),
+			fmt.Sprintf("%.0f%%", 100*r.FreeIntFrac),
+			fmt.Sprintf("%.0f%%", 100*r.FreeFPFrac))
+	}
+	return t
+}
+
+// printE8 accounts the hardware budget (paper Section 3.6).
+func printE8() {
+	cfg := presim.DefaultConfig(presim.ModePRE)
+	sst := cfg.SSTSize * 4
+	prdq := cfg.PRDQSize * 4
+	ratExt := 64 * 4 // 64 RAT entries extended by 4 bytes
+	emq := cfg.EMQSize * 4
+	fmt.Println("\nE8: hardware budget (paper Section 3.6)")
+	fmt.Printf("  SST      %4d entries x 4 B = %4d B (paper: 1 KB)\n", cfg.SSTSize, sst)
+	fmt.Printf("  PRDQ     %4d entries x 4 B = %4d B (paper: 768 B)\n", cfg.PRDQSize, prdq)
+	fmt.Printf("  RAT ext    64 entries x 4 B = %4d B (paper: 256 B)\n", ratExt)
+	fmt.Printf("  PRE total                   = %4d B (paper: 2 KB)\n", sst+prdq+ratExt)
+	fmt.Printf("  EMQ      %4d entries x 4 B = %4d B (paper: +3 KB)\n", cfg.EMQSize, emq)
+}
+
+// e9Table: runahead invocation frequency relative to RA (paper: PRE
+// 1.62x, PRE+EMQ 1.95x).
+func e9Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
+	t := newTable("E9: runahead invocations relative to RA (paper: PRE 1.62x, PRE+EMQ 1.95x)",
+		"benchmark", "RA", "PRE", "PRE/RA", "PRE+EMQ", "PRE+EMQ/RA")
+	idx := map[presim.Mode]int{}
+	for mi, m := range modes {
+		idx[m] = mi
+	}
+	var sumPre, sumEmq, n float64
+	for _, row := range results {
+		ra := row[idx[core.ModeRA]].Entries
+		pre := row[idx[core.ModePRE]].Entries
+		emq := row[idx[core.ModePREEMQ]].Entries
+		ratio := func(a, b int64) string {
+			if b == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+		}
+		if ra > 0 {
+			sumPre += float64(pre) / float64(ra)
+			sumEmq += float64(emq) / float64(ra)
+			n++
+		}
+		t.AddRow(row[0].Workload,
+			fmt.Sprintf("%d", ra), fmt.Sprintf("%d", pre), ratio(pre, ra),
+			fmt.Sprintf("%d", emq), ratio(emq, ra))
+	}
+	if n > 0 {
+		t.AddRow("mean", "", "", fmt.Sprintf("%.2fx", sumPre/n), "", fmt.Sprintf("%.2fx", sumEmq/n))
+	}
+	return t
+}
+
+func newTable(title string, header ...string) *presim.Table {
+	t := &presim.Table{Title: title, Header: header}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

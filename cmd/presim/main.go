@@ -1,0 +1,100 @@
+// Command presim runs one benchmark under one (or every) runahead
+// mechanism and prints the detailed statistics for that run.
+//
+// Usage:
+//
+//	presim -bench mcf -mode PRE
+//	presim -bench libquantum -all
+//	presim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	presim "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	mode := flag.String("mode", "PRE", "mechanism: OoO, RA, RA-buffer, PRE, PRE+EMQ")
+	all := flag.Bool("all", false, "run every mechanism and compare")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	warmup := flag.Int64("warmup", 50_000, "warmup µops")
+	measure := flag.Int64("n", 300_000, "measured µops")
+	flag.Parse()
+
+	if *list {
+		for _, w := range presim.Workloads() {
+			fmt.Printf("%-12s %-9s chains=%d\n", w.Name, w.Class, w.Chains)
+		}
+		return
+	}
+
+	w, err := presim.WorkloadByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	opt := presim.DefaultOptions()
+	opt.WarmupUops = *warmup
+	opt.MeasureUops = *measure
+
+	if *all {
+		modes := presim.Modes()
+		results, err := presim.RunMatrix([]presim.Workload{w}, modes, opt)
+		if err != nil {
+			fatal(err)
+		}
+		base := results[0][0]
+		fmt.Printf("%s (%s, %d µops measured)\n\n", w.Name, w.Class, *measure)
+		fmt.Printf("%-10s %8s %9s %9s %10s %8s\n", "mode", "IPC", "speedup", "entries", "interval", "energy")
+		for mi, m := range modes {
+			r := results[0][mi]
+			fmt.Printf("%-10s %8.3f %8.2fx %9d %10.0f %+7.1f%%\n",
+				m, r.IPC, r.Speedup(base), r.Entries, r.IntervalMean,
+				100*r.Energy.SavingsVs(base.Energy))
+		}
+		return
+	}
+
+	m, err := presim.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := presim.Run(w, m, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark       %s (%s)\n", r.Workload, w.Class)
+	fmt.Printf("mechanism       %s\n", r.Mode)
+	fmt.Printf("cycles          %d\n", r.Cycles)
+	fmt.Printf("committed       %d\n", r.Committed)
+	fmt.Printf("IPC             %.3f\n", r.IPC)
+	fmt.Printf("LLC MPKI        %.1f\n", r.L3MPKI)
+	fmt.Printf("DRAM reads      %d  writes %d\n", r.DRAMReads, r.DRAMWrites)
+	fmt.Printf("branch mispred  %d\n", r.BranchMispredicts)
+	fmt.Printf("window stalls   %d cycles\n", r.FullWindowStall)
+	if r.Mode != presim.ModeOoO {
+		fmt.Printf("runahead        %d entries (%d skipped), %d cycles\n",
+			r.Entries, r.EntriesSkipped, r.RunaheadCycles)
+		fmt.Printf("interval mean   %.0f cycles (%.0f%% under 20)\n",
+			r.IntervalMean, 100*r.IntervalFracBelow20)
+		fmt.Printf("prefetches      %d issued, %d fills, %d useful\n",
+			r.Prefetches, r.PrefetchFills, r.PrefetchUseful)
+		if r.RefillPenaltyCount > 0 {
+			fmt.Printf("refill penalty  %.0f cycles mean over %d exits\n",
+				r.RefillPenaltyMean, r.RefillPenaltyCount)
+		}
+		fmt.Printf("free at entry   IQ %.0f%%, int regs %.0f%%, fp regs %.0f%%\n",
+			100*r.FreeIQFrac, 100*r.FreeIntFrac, 100*r.FreeFPFrac)
+	}
+	fmt.Printf("energy          %.3g J (core dyn %.3g, core static %.3g, mem dyn %.3g, DRAM static %.3g)\n",
+		r.Energy.Total(), r.Energy.CoreDynamic, r.Energy.CoreStatic,
+		r.Energy.MemDynamic, r.Energy.DRAMStatic)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "presim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command sweep runs the design-space ablations called out in DESIGN.md:
+//
+//	sweep -sst           # A1: SST size sweep (paper: 256 entries suffice)
+//	sweep -emq           # A2: EMQ size sweep (paper picks 768 = 4x ROB)
+//	sweep -rathreshold   # A3: RA short-interval filter threshold
+//	sweep -mshr          # extra: memory-level-parallelism budget
+//
+// Each sweep reports the geometric-mean speedup over the OoO baseline
+// across the whole suite for each parameter value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	presim "repro"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	doSST := flag.Bool("sst", false, "sweep SST size (PRE)")
+	doEMQ := flag.Bool("emq", false, "sweep EMQ size (PRE+EMQ)")
+	doRAT := flag.Bool("rathreshold", false, "sweep RA short-interval filter")
+	doMSHR := flag.Bool("mshr", false, "sweep L1D MSHR count (PRE)")
+	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
+	measure := flag.Int64("n", 200_000, "measured µops per run")
+	flag.Parse()
+
+	opt := presim.DefaultOptions()
+	opt.WarmupUops = *warmup
+	opt.MeasureUops = *measure
+
+	any := false
+	if *doSST {
+		any = true
+		sweep("A1: SST entries (PRE speedup over OoO)", presim.ModePRE, opt,
+			[]int{16, 32, 64, 128, 256, 512, 1024},
+			func(c *core.Config, v int) { c.SSTSize = v })
+	}
+	if *doEMQ {
+		any = true
+		sweep("A2: EMQ entries (PRE+EMQ speedup over OoO)", presim.ModePREEMQ, opt,
+			[]int{192, 384, 768, 1152, 1536},
+			func(c *core.Config, v int) { c.EMQSize = v })
+	}
+	if *doRAT {
+		any = true
+		sweep("A3: RA minimum-interval filter, cycles (RA speedup over OoO)", presim.ModeRA, opt,
+			[]int{0, 20, 40, 64, 100, 150},
+			func(c *core.Config, v int) { c.MinRunaheadCycles = int64(v) })
+	}
+	if *doMSHR {
+		any = true
+		sweep("MSHR budget: L1D outstanding misses (PRE speedup over OoO)", presim.ModePRE, opt,
+			[]int{8, 16, 32, 64},
+			func(c *core.Config, v int) { c.Mem.L1D.MSHRs = v })
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "sweep: pass at least one of -sst, -emq, -rathreshold, -mshr")
+		os.Exit(2)
+	}
+}
+
+// sweep runs the full suite at each parameter value and prints the
+// geometric-mean speedup over a per-value OoO baseline.
+func sweep(title string, mode presim.Mode, opt presim.Options, values []int,
+	apply func(*core.Config, int)) {
+	fmt.Println(title)
+	ws := presim.Workloads()
+	for _, v := range values {
+		o := opt
+		o.Configure = func(c *core.Config) { apply(c, v) }
+		baseOpt := opt // the baseline ignores runahead-structure knobs
+		baseOpt.Configure = func(c *core.Config) {
+			apply(c, v) // but memory-system knobs must match
+		}
+		var speedups []float64
+		for _, w := range ws {
+			base, err := presim.Run(w, presim.ModeOoO, baseOpt)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := presim.Run(w, mode, o)
+			if err != nil {
+				fatal(err)
+			}
+			speedups = append(speedups, r.Speedup(base))
+		}
+		fmt.Printf("  %6d: %.3fx\n", v, stats.GeoMean(speedups))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

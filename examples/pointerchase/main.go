@@ -1,0 +1,60 @@
+// Pointerchase: build custom workloads from the public archetype API and
+// demonstrate a fundamental boundary of runahead execution.
+//
+// A pure pointer chain (load r <- [r]) cannot be prefetched ahead of its
+// own data: every address is the previous load's result, so a runahead
+// mechanism poisons (INV) the chain at its first miss and learns nothing
+// — and the out-of-order window already overlaps independent chains by
+// itself. Runahead only pays off when the address of a future miss is
+// COMPUTABLE ahead of the data, as in a graph walk over an index array
+// (hashwalk archetype: computable bucket load + dependent node load).
+//
+// The program runs both workload shapes under every mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	presim "repro"
+)
+
+func main() {
+	opt := presim.DefaultOptions()
+	opt.MeasureUops = 150_000
+	modes := presim.Modes()
+
+	pure := presim.CustomWorkload("pure-chains", func() presim.Generator {
+		return presim.NewPtrChase(presim.PtrChaseParams{
+			KernelID: 41, Chains: 4, FootprintLines: 1 << 17, // 8 MB per chain
+			ALUWork: 16, HotLoads: 6,
+		})
+	})
+	computable := presim.CustomWorkload("computable-heads", func() presim.Generator {
+		return presim.NewHashWalk(presim.HashWalkParams{
+			KernelID: 42, Lanes: 2,
+			BucketLines: 1 << 18, NodeLines: 1 << 18, // 16 MB each
+			ALUWork: 30, HotLoads: 12, MispredictPermille: 20,
+		})
+	})
+
+	for _, w := range []presim.Workload{pure, computable} {
+		results, err := presim.RunMatrix([]presim.Workload{w}, modes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := results[0][0]
+		fmt.Printf("%s (baseline IPC %.3f):\n", w.Name, base.IPC)
+		for mi, m := range modes {
+			r := results[0][mi]
+			fmt.Printf("  %-10s speedup %.2fx  (runahead entries %d, useful prefetches %d)\n",
+				m, r.Speedup(base), r.Entries, r.PrefetchUseful)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Pure dependent chains: runahead never even fires — by the time a chain")
+	fmt.Println("load blocks the window its data is almost back (the OoO window already")
+	fmt.Println("overlaps independent chains), and nothing further ahead is computable.")
+	fmt.Println("Computable chain heads: the index-driven bucket loads ARE prefetchable,")
+	fmt.Println("so the mechanisms engage and gain — the paper's preferred territory.")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one memory-bound benchmark under the out-of-order
+// baseline and under Precise Runahead Execution, and print the headline
+// comparison — the sixty-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	presim "repro"
+)
+
+func main() {
+	w, err := presim.WorkloadByName("libquantum")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := presim.DefaultOptions()
+	opt.MeasureUops = 200_000
+
+	base, err := presim.Run(w, presim.ModeOoO, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, err := presim.Run(w, presim.ModePRE, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload            %s\n", w.Name)
+	fmt.Printf("baseline IPC        %.3f (LLC MPKI %.1f)\n", base.IPC, base.L3MPKI)
+	fmt.Printf("PRE IPC             %.3f\n", pre.IPC)
+	fmt.Printf("PRE speedup         %.2fx\n", pre.Speedup(base))
+	fmt.Printf("runahead episodes   %d (mean interval %.0f cycles)\n",
+		pre.Entries, pre.IntervalMean)
+	fmt.Printf("prefetches issued   %d (%d turned into demand hits)\n",
+		pre.Prefetches, pre.PrefetchUseful)
+	fmt.Printf("energy vs baseline  %+.1f%%\n",
+		100*pre.Energy.SavingsVs(base.Energy))
+}

@@ -1,0 +1,331 @@
+// Package cache implements the set-associative cache model used at every
+// level of the simulated memory hierarchy (L1I, L1D, L2, L3).
+//
+// A Cache is a passive tag store with LRU replacement plus a bank of MSHRs
+// (miss-status holding registers) that bound the number of outstanding
+// misses at that level. The multi-level access protocol — walking misses
+// down the hierarchy and filling lines back up — lives in package mem;
+// this package only answers "is this line here, when is its data ready,
+// and is there an MSHR free to go fetch it".
+//
+// Timing model: a line can be inserted before its data has physically
+// arrived (tag-allocated on miss issue). Each line records FillReady, the
+// cycle its data becomes usable; a subsequent hit to an in-flight line
+// completes at max(now + hitLatency, FillReady). This resource-reservation
+// style avoids an event queue while preserving overlap and contention.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/uarch"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in statistics output (e.g. "L1D").
+	Name string
+	// SizeBytes is the total capacity. Must be a power-of-two multiple of
+	// Assoc*LineSize.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the lookup latency in core cycles.
+	HitLatency int
+	// MSHRs is the number of outstanding misses supported.
+	MSHRs int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.MSHRs <= 0 || c.HitLatency < 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	lines := c.SizeBytes / uarch.LineSize
+	if lines*uarch.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache %s: size %d not a multiple of line size", c.Name, c.SizeBytes)
+	}
+	sets := lines / c.Assoc
+	if sets*c.Assoc != lines {
+		return fmt.Errorf("cache %s: %d lines not divisible by assoc %d", c.Name, lines, c.Assoc)
+	}
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// line is one tag-store entry.
+type line struct {
+	tag       uint64 // full line address (addr >> 6)
+	valid     bool
+	dirty     bool
+	lru       uint64 // larger = more recently used
+	fillReady int64  // cycle at which the line's data is usable
+	prefetch  bool   // filled by a runahead prefetch, not yet demanded
+}
+
+// mshr tracks one outstanding miss.
+type mshr struct {
+	tag       uint64
+	fillReady int64
+	valid     bool
+}
+
+// Stats aggregates the per-level counters.
+type Stats struct {
+	Accesses       int64 // demand lookups
+	Hits           int64
+	Misses         int64
+	PrefetchFills  int64 // lines installed by runahead prefetches
+	PrefetchUseful int64 // demand hits on prefetched lines
+	Evictions      int64
+	Writebacks     int64 // dirty evictions
+	MSHRStalls     int64 // allocation attempts rejected for lack of MSHRs
+}
+
+// Cache is one level of the hierarchy. The zero value is not usable; use New.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lruClock uint64
+	mshrs    []mshr
+	stats    Stats
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (configuration
+// errors are programming errors in this simulator, caught by Validate in
+// the public API layer first).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / uarch.LineSize / cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		mshrs:   make([]mshr, cfg.MSHRs),
+	}
+	backing := make([]line, sets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (measurement-window start).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// HitLatency returns the configured lookup latency.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
+
+func (c *Cache) set(tag uint64) []line { return c.sets[tag&c.setMask] }
+
+// Lookup probes for the line containing addr at cycle now.
+//
+// On a hit it updates LRU state and returns (true, ready) where ready is
+// the cycle the data can be consumed (later than now+HitLatency only if
+// the line is still in flight). demand=false marks prefetch lookups, which
+// are excluded from the demand hit/miss statistics.
+func (c *Cache) Lookup(addr uint64, now int64, demand bool) (hit bool, ready int64) {
+	tag := addr >> 6
+	set := c.set(tag)
+	if demand {
+		c.stats.Accesses++
+	}
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			c.lruClock++
+			ln.lru = c.lruClock
+			if demand {
+				c.stats.Hits++
+				if ln.prefetch {
+					c.stats.PrefetchUseful++
+					ln.prefetch = false
+				}
+			}
+			ready = now + int64(c.cfg.HitLatency)
+			if ln.fillReady > ready {
+				ready = ln.fillReady
+			}
+			return true, ready
+		}
+	}
+	if demand {
+		c.stats.Misses++
+	}
+	return false, 0
+}
+
+// Contains reports whether the line holding addr is present, without
+// touching LRU or statistics. Used by tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	tag := addr >> 6
+	for i := range c.set(tag) {
+		ln := &c.set(tag)[i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes the victim displaced by an Insert.
+type Eviction struct {
+	// Valid is true when a line was actually displaced.
+	Valid bool
+	// Addr is the victim's line-aligned byte address.
+	Addr uint64
+	// Dirty is true when the victim must be written back.
+	Dirty bool
+}
+
+// Insert installs the line containing addr, choosing an LRU victim if the
+// set is full. fillReady is the cycle the new line's data arrives.
+// prefetch marks runahead-prefetch fills for coverage statistics.
+func (c *Cache) Insert(addr uint64, fillReady int64, prefetch bool) Eviction {
+	tag := addr >> 6
+	set := c.set(tag)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			// Already present (two fills raced): keep the earlier data time.
+			if fillReady < ln.fillReady {
+				ln.fillReady = fillReady
+			}
+			return Eviction{}
+		}
+	}
+	// Prefer an invalid way, else the true LRU line.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		oldest := ^uint64(0)
+		for i := range set {
+			if set[i].lru < oldest {
+				oldest = set[i].lru
+				victim = i
+			}
+		}
+	}
+	ev := Eviction{}
+	v := &set[victim]
+	if v.valid {
+		ev = Eviction{Valid: true, Addr: v.tag << 6, Dirty: v.dirty}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.lruClock++
+	*v = line{tag: tag, valid: true, lru: c.lruClock, fillReady: fillReady, prefetch: prefetch}
+	if prefetch {
+		c.stats.PrefetchFills++
+	}
+	return ev
+}
+
+// MarkDirty flags the line containing addr as modified (store commit).
+// It is a no-op if the line is absent.
+func (c *Cache) MarkDirty(addr uint64) {
+	tag := addr >> 6
+	for i := range c.set(tag) {
+		ln := &c.set(tag)[i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate drops the line containing addr, returning whether it was
+// present and dirty (the caller owns any required writeback).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	tag := addr >> 6
+	for i := range c.set(tag) {
+		ln := &c.set(tag)[i]
+		if ln.valid && ln.tag == tag {
+			present, dirty = true, ln.dirty
+			ln.valid = false
+			return
+		}
+	}
+	return false, false
+}
+
+// --- MSHR management -------------------------------------------------
+
+// MSHRLookup returns the fill-completion cycle for an outstanding miss on
+// addr's line, if one exists at cycle now. Secondary misses merge into the
+// primary miss via this path.
+func (c *Cache) MSHRLookup(addr uint64, now int64) (fillReady int64, ok bool) {
+	tag := addr >> 6
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.tag == tag {
+			if m.fillReady <= now {
+				m.valid = false // lazily retire completed entries
+				continue
+			}
+			return m.fillReady, true
+		}
+	}
+	return 0, false
+}
+
+// MSHRAlloc reserves an MSHR for a new miss on addr's line, which will
+// complete at fillReady. It returns false when all MSHRs are busy, in
+// which case the access must be retried later (modelled as an MSHR stall).
+func (c *Cache) MSHRAlloc(addr uint64, now, fillReady int64) bool {
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || m.fillReady <= now {
+			*m = mshr{tag: addr >> 6, fillReady: fillReady, valid: true}
+			return true
+		}
+	}
+	c.stats.MSHRStalls++
+	return false
+}
+
+// MSHRFree counts the MSHRs available at cycle now.
+func (c *Cache) MSHRFree(now int64) int {
+	free := 0
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || m.fillReady <= now {
+			free++
+		}
+	}
+	return free
+}
+
+// NumSets returns the number of sets (for tests).
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// OccupiedWays counts valid lines in the set holding addr (for tests and
+// invariant checks).
+func (c *Cache) OccupiedWays(addr uint64) int {
+	n := 0
+	for i := range c.set(addr >> 6) {
+		if c.set(addr >> 6)[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frontend"
+	"repro/internal/mem"
+	"repro/internal/rename"
+	"repro/internal/runahead"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Core is one simulated out-of-order core plus its runahead controller.
+// Build with New; drive with Run or Step. Not safe for concurrent use.
+type Core struct {
+	cfg   Config
+	stats *Stats
+
+	hier   *mem.Hierarchy
+	stream *trace.Stream
+	pred   *frontend.Predictor
+	fetch  *frontend.FetchUnit
+	ren    *rename.Renamer
+
+	rob    *rob
+	iq     *issueQueue
+	sq     *storeQueue
+	pre    *prePool
+	events eventHeap
+	fu     *fuPools
+
+	lqNorm, lqPre int // load-queue occupancy (normal / PRE transient)
+
+	sst  *runahead.SST
+	prdq *runahead.PRDQ
+	emq  *runahead.EMQ
+
+	now int64
+
+	// Runahead episode state.
+	inRunahead   bool
+	pseudoRetire bool // RA / RA-buffer
+	entryCycle   int64
+	exitCycle    int64
+	stallSeq     int64
+	stallPC      uint64
+	stallDstP    rename.PReg
+	cpFull       *rename.Checkpoint // RA / RA-buffer (committed state)
+	cpSpec       *rename.Checkpoint // PRE (speculative RAT + free lists)
+	lastSkipSeq  int64              // interval-filter skip deduplication
+
+	// PRE episode state.
+	preResumeSeq int64 // first µop consumed during runahead (-1 = none)
+	preDiverged  int
+	preScanStop  bool
+	emqDraining  bool
+	emqScan      int // scan cursor into a still-draining EMQ at re-entry
+
+	// RA-buffer replay state.
+	chain         []uarch.Uop
+	replayCursor  int64
+	replayPending []int64
+	replayIdx     int
+	replayDead    bool
+	replayStart   int64 // replay begins after the backward walk finishes
+
+	// raDiverged: an unresolvable (INV-source) mispredicted branch sent
+	// traditional runahead off-path; further prefetches this episode are
+	// suppressed.
+	raDiverged bool
+
+	// E6 (FreeExit) snapshot.
+	snap *pipeSnapshot
+
+	// Refill-penalty measurement (E4): after a flush-exit, count the
+	// cycles until a full window's worth of µops has been re-dispatched —
+	// the paper's "8 cycles front-end + 48 cycles ROB refill" estimate.
+	refillFrom       int64
+	refillDispatched int64
+	measuringRefill  bool
+
+	// Deadlock watchdog.
+	lastProgress int64
+
+	// OnCommit, when set, is invoked with each architecturally committed
+	// µop's sequence number — an instrumentation hook for tests and
+	// tracing tools (pseudo-retirement does not trigger it).
+	OnCommit func(seq int64)
+}
+
+// New builds a core in the given mode over a fresh trace stream.
+func New(cfg Config, gen trace.Generator) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stream := trace.NewStream(gen)
+	hier := mem.New(cfg.Mem)
+	pred := frontend.NewPredictor(cfg.Predictor)
+	c := &Core{
+		cfg:          cfg,
+		stats:        NewStats(),
+		hier:         hier,
+		stream:       stream,
+		pred:         pred,
+		fetch:        frontend.NewFetchUnit(cfg.Fetch, stream, pred, hier),
+		ren:          rename.New(cfg.Rename),
+		rob:          newROB(cfg.ROBSize),
+		iq:           newIQ(cfg.IQSize),
+		sq:           newSQ(cfg.SQSize),
+		pre:          newPrePool(cfg.IQSize + cfg.ROBSize),
+		fu:           newFU(&cfg),
+		sst:          runahead.NewSST(cfg.SSTSize),
+		prdq:         runahead.NewPRDQ(cfg.PRDQSize),
+		emq:          runahead.NewEMQ(cfg.EMQSize),
+		preResumeSeq: -1,
+		lastSkipSeq:  -1,
+	}
+	return c, nil
+}
+
+// Stats returns the live stats block.
+func (c *Core) Stats() *Stats { return c.stats }
+
+// Hierarchy returns the memory system (for reports).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Predictor returns the branch predictor (for reports).
+func (c *Core) Predictor() *frontend.Predictor { return c.pred }
+
+// FetchUnit returns the front end (for reports).
+func (c *Core) FetchUnit() *frontend.FetchUnit { return c.fetch }
+
+// Renamer returns the rename stage (for reports).
+func (c *Core) Renamer() *rename.Renamer { return c.ren }
+
+// SST returns the stalling slice table (for reports).
+func (c *Core) SST() *runahead.SST { return c.sst }
+
+// PRDQ returns the register deallocation queue (for reports).
+func (c *Core) PRDQ() *runahead.PRDQ { return c.prdq }
+
+// EMQ returns the extended micro-op queue (for reports).
+func (c *Core) EMQ() *runahead.EMQ { return c.emq }
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// InRunahead reports whether a runahead episode is active.
+func (c *Core) InRunahead() bool { return c.inRunahead }
+
+// ResetStats opens a measurement window: core, memory, predictor and
+// structure counters all restart; microarchitectural state is preserved.
+func (c *Core) ResetStats() {
+	c.stats.Reset()
+	c.hier.ResetStats()
+	c.pred.ResetStats()
+	c.fetch.ResetStats()
+	c.ren.ResetStats()
+	c.sst.ResetStats()
+	c.prdq.ResetStats()
+	c.emq.ResetStats()
+}
+
+// Run advances the core until n more µops have committed, returning the
+// cycles spent. It panics if the machine stops making progress (a model
+// bug, not a workload property).
+func (c *Core) Run(n int64) int64 {
+	start := c.now
+	target := c.stats.Committed + n
+	for c.stats.Committed < target {
+		c.Step()
+		if c.now-c.lastProgress > watchdogCycles {
+			panic(fmt.Sprintf("core: no commit in %d cycles at cycle %d (mode %v, runahead=%v, rob=%d/%d, iq=%d)",
+				watchdogCycles, c.now, c.cfg.Mode, c.inRunahead, c.rob.len(), c.rob.cap(), c.iq.len()))
+		}
+	}
+	return c.now - start
+}
+
+// watchdogCycles bounds commit-to-commit distance; DRAM worst cases are
+// thousands of cycles, so a million means a wedged pipeline.
+const watchdogCycles = 1_000_000
+
+// Step advances the machine by one cycle.
+func (c *Core) Step() {
+	// Runahead exit has priority: the stalling load returns this cycle.
+	if c.inRunahead && c.now >= c.exitCycle {
+		c.exitRunahead()
+	}
+
+	c.completeStage()
+	c.commitStage()
+	c.issueStage()
+	c.sq.drainHead(func(e *sqEntry) bool {
+		_, ok := c.hier.StoreCommit(e.addr, c.now)
+		return ok
+	})
+	c.dispatchStage()
+	c.fetch.Cycle(c.now)
+
+	if c.inRunahead {
+		c.stats.RunaheadCycles++
+	}
+	c.stats.Cycles++
+	c.now++
+}
+
+// --- completion -----------------------------------------------------------
+
+func (c *Core) resolve(kind recKind, slot int) *uopRec {
+	if kind == kROB {
+		return &c.rob.e[slot]
+	}
+	return &c.pre.e[slot]
+}
+
+func (c *Core) completeStage() {
+	for {
+		ev, ok := c.events.popDue(c.now)
+		if !ok {
+			return
+		}
+		rec := c.resolve(ev.kind, ev.slot)
+		if rec.gen != ev.gen || rec.st != sIssued {
+			continue // squashed
+		}
+		rec.st = sDone
+		c.stats.Completed++
+		if rec.uop.HasDst() {
+			if rec.invResult {
+				c.ren.MarkPoisoned(rec.out.DstP, true)
+			} else {
+				c.ren.MarkReady(rec.out.DstP)
+			}
+		}
+		if rec.uop.IsStore() && rec.sqIdx >= 0 {
+			c.sq.e[rec.sqIdx].dataReady = true
+		}
+		if rec.mispredicted {
+			c.stats.BranchMispredicts++
+			rec.mispredicted = false
+			switch {
+			case c.inRunahead && c.cfg.Mode == ModeRABuffer:
+				// Front-end is power-gated; nothing to redirect.
+			case c.inRunahead && c.pseudoRetire && rec.invResult:
+				// An INV-source branch cannot actually be resolved:
+				// traditional runahead wanders off the correct path. The
+				// front-end stays frozen (no more useful µop supply) and
+				// any still-queued runahead loads stop prefetching.
+				c.raDiverged = true
+				c.stats.DivergenceStops++
+			default:
+				c.fetch.Redirect(c.now + 1)
+			}
+		}
+		if ev.kind == kPRE {
+			if rec.prdq >= 0 {
+				c.prdq.MarkExecuted(rec.prdq)
+			}
+			if rec.lqHeld {
+				c.lqPre--
+				rec.lqHeld = false
+			}
+			c.pre.release(ev.slot)
+		}
+	}
+}
+
+// --- commit ---------------------------------------------------------------
+
+func (c *Core) commitStage() {
+	if c.inRunahead && !c.pseudoRetire {
+		return // PRE: no commits during runahead (Section 3.1)
+	}
+	for n := 0; n < c.cfg.Width && !c.rob.empty(); n++ {
+		rec := &c.rob.e[c.rob.headIdx()]
+		if rec.st != sDone {
+			return
+		}
+		if rec.uop.IsStore() && rec.sqIdx >= 0 {
+			c.sq.e[rec.sqIdx].committed = true
+		}
+		if rec.uop.IsLoad() && rec.lqHeld {
+			c.lqNorm--
+			rec.lqHeld = false
+		}
+		c.ren.Commit(rec.uop.Dst, rec.out.DstP)
+		if c.pseudoRetire {
+			c.stats.PseudoRetired++
+		} else {
+			c.stats.Committed++
+			c.lastProgress = c.now
+			if c.OnCommit != nil {
+				c.OnCommit(rec.seq)
+			}
+			c.stream.Release(rec.seq) // older µops are dead
+		}
+		c.rob.pop()
+	}
+}
+
+// --- issue ------------------------------------------------------------------
+
+func (c *Core) issueStage() {
+	c.fu.newCycle()
+	for i := 0; i < c.iq.len(); {
+		ref := c.iq.refs[i]
+		rec := c.resolve(ref.kind, ref.slot)
+		if rec.gen != ref.gen || rec.st != sWaiting {
+			c.iq.removeAt(i) // squashed or stale
+			continue
+		}
+		if c.tryIssueRec(ref, rec) {
+			c.iq.removeAt(i)
+			continue
+		}
+		i++
+	}
+}
+
+// tryIssueRec attempts to issue one µop; returns true when it left the IQ.
+func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
+	if !c.ren.IsReady(rec.out.Src1P) || !c.ren.IsReady(rec.out.Src2P) {
+		return false
+	}
+	u := &rec.uop
+
+	// INV propagation (traditional runahead semantics): a runahead µop
+	// with a poisoned source completes immediately with a poisoned result
+	// and performs no memory access.
+	inv := rec.inRunahead &&
+		(c.ren.IsPoisoned(rec.out.Src1P) || c.ren.IsPoisoned(rec.out.Src2P))
+
+	if !c.fu.tryIssue(u.Class, c.now) {
+		return false
+	}
+	lat := int64(u.Class.Latency())
+	switch {
+	case inv:
+		rec.invResult = true
+		rec.readyAt = c.now + 1
+		c.stats.RunaheadINV++
+	case u.IsLoad():
+		ready, invLoad, ok := c.issueLoad(rec)
+		if !ok {
+			// Port consumed but the access could not start (forwarding
+			// data pending or MSHRs full): retry next cycle.
+			return false
+		}
+		rec.readyAt = ready
+		rec.invResult = invLoad
+	case u.IsStore():
+		// Address generation + data capture; the memory write happens at
+		// commit via the store queue.
+		rec.readyAt = c.now + lat
+	default:
+		rec.readyAt = c.now + lat
+	}
+	rec.st = sIssued
+	c.events.schedule(completion{cycle: rec.readyAt, kind: ref.kind, slot: ref.slot, gen: rec.gen})
+	c.countIssue(u.Class)
+	if rec.inRunahead {
+		c.stats.RunaheadExecuted++
+	}
+	if ref.kind == kPRE && rec.prdq >= 0 {
+		// The PRDQ "execute" bit guards freeing the µop's PREVIOUS
+		// destination mapping, which only requires that this µop has read
+		// its sources — true once it issues. Waiting for a slice load's
+		// fill instead would head-of-line-block reclamation for the whole
+		// memory latency and strangle runahead's register supply.
+		c.prdq.MarkExecuted(rec.prdq)
+	}
+	return true
+}
+
+// issueLoad starts a load's memory access, returning its data-ready cycle
+// and whether the result is INV (runahead load that would wait on DRAM).
+func (c *Core) issueLoad(rec *uopRec) (ready int64, inv, ok bool) {
+	u := &rec.uop
+	// Traditional runahead never waits (Mutlu): in pseudo-retire mode a
+	// load either gets its data quickly, or it starts a prefetch and
+	// completes immediately with an INV result — including when no MSHR is
+	// even available to start one. PRE instead executes slices with real
+	// data (dependent slice loads need loaded values as addresses), so its
+	// runahead loads wait for actual fills and retry on structural hazards.
+	neverWait := c.pseudoRetire && rec.inRunahead
+
+	// Store-to-load forwarding from older in-flight stores.
+	if found, dataReady := c.sq.forwardFrom(rec.seq, u.Addr, u.Size); found {
+		if !dataReady {
+			if neverWait {
+				return c.now + 1, true, true
+			}
+			return 0, false, false // store data not captured yet; retry
+		}
+		rec.memLevel = mem.LevelL1
+		return c.now + int64(c.hier.L1D().HitLatency()), false, true
+	}
+	var res mem.Result
+	if rec.inRunahead {
+		if c.raDiverged {
+			// Off the correct path after an unresolvable mispredict:
+			// addresses are no longer trustworthy, so stop prefetching.
+			return c.now + 1, true, true
+		}
+		res, ok = c.hier.Prefetch(u.Addr, c.now)
+		if ok {
+			c.stats.Prefetches++
+		}
+	} else {
+		res, ok = c.hier.Load(u.Addr, c.now)
+	}
+	if !ok {
+		if neverWait {
+			return c.now + 1, true, true // prefetch dropped; do not stall
+		}
+		return 0, false, false // MSHRs exhausted; retry
+	}
+	rec.memLevel = res.Level
+	// "Long latency" includes merges onto still-in-flight lines, which
+	// report the level they hit but carry the fill's completion time.
+	if neverWait && res.Ready > c.now+int64(c.cfg.Mem.L3.HitLatency) {
+		return c.now + 1, true, true
+	}
+	return res.Ready, false, true
+}
+
+func (c *Core) countIssue(class uarch.Class) {
+	switch class {
+	case uarch.ClassLoad:
+		c.stats.IssuedLoad++
+	case uarch.ClassStore:
+		c.stats.IssuedStore++
+	case uarch.ClassFPAdd, uarch.ClassFPMul, uarch.ClassFPDiv:
+		c.stats.IssuedFPU++
+	case uarch.ClassBranch, uarch.ClassJump, uarch.ClassCall, uarch.ClassReturn:
+		c.stats.IssuedBranch++
+	default:
+		c.stats.IssuedALU++
+	}
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+func (c *Core) dispatchStage() {
+	if c.inRunahead {
+		switch c.cfg.Mode {
+		case ModeRA:
+			c.dispatchNormal(true)
+		case ModeRABuffer:
+			c.dispatchReplay()
+		case ModePRE, ModePREEMQ:
+			c.dispatchPRE()
+		}
+		// PRE frees runahead registers as the PRDQ drains in order.
+		if c.cfg.Mode == ModePRE || c.cfg.Mode == ModePREEMQ {
+			c.prdq.Drain(c.ren.Free)
+		}
+		return
+	}
+	if c.emqDraining {
+		c.dispatchFromEMQ()
+		return
+	}
+	c.dispatchNormal(false)
+}
+
+// dispatchNormal renames and dispatches from the fetch queue; runahead=true
+// is traditional runahead mode (µops tagged for prefetch semantics and
+// pseudo-retirement).
+func (c *Core) dispatchNormal(inRunahead bool) {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.rob.full() {
+			if !inRunahead {
+				c.onFullWindow()
+			}
+			return
+		}
+		slot, ok := c.fetch.Peek(c.now)
+		if !ok {
+			return
+		}
+		if !c.dispatchOne(slot, inRunahead) {
+			return
+		}
+		c.fetch.Pop(c.now)
+	}
+}
+
+// dispatchOne admits one µop into the back end (ROB path); it returns
+// false if a resource is unavailable (retry next cycle).
+func (c *Core) dispatchOne(slot frontend.Slot, inRunahead bool) bool {
+	u := c.stream.At(slot.Seq)
+	if c.iq.full() || !c.ren.CanRename(u.Dst) {
+		return false
+	}
+	if u.IsLoad() && c.lqNorm+c.lqPre >= c.cfg.LQSize {
+		return false
+	}
+	if u.IsStore() && c.sq.full() {
+		return false
+	}
+
+	out, ok := c.ren.Rename(u, inRunahead)
+	if !ok {
+		return false
+	}
+	idx := c.rob.push()
+	rec := &c.rob.e[idx]
+	gen := rec.gen
+	*rec = uopRec{
+		seq: u.Seq, uop: *u, out: out, st: sWaiting, gen: gen,
+		prdq: -1, sqIdx: -1,
+		mispredicted: slot.Mispredicted,
+		inRunahead:   inRunahead,
+	}
+	if u.IsLoad() {
+		c.lqNorm++
+		rec.lqHeld = true
+	}
+	if u.IsStore() {
+		rec.sqIdx = c.sq.push(u.Seq, u.Addr, u.Size, inRunahead)
+	}
+	c.iq.push(iqRef{kind: kROB, slot: idx, gen: gen})
+	c.stats.Decoded++
+	c.stats.Renamed++
+	c.stats.Dispatched++
+	if c.measuringRefill {
+		c.refillDispatched++
+		if c.refillDispatched >= int64(c.cfg.ROBSize) {
+			c.stats.RefillPenalty.Observe(float64(c.now - c.refillFrom))
+			c.measuringRefill = false
+		}
+	}
+
+	// PRE's SST learns in normal mode too: every decoded µop probes the
+	// SST; hits pull their producers' PCs in (Section 3.2).
+	if c.cfg.Mode == ModePRE || c.cfg.Mode == ModePREEMQ {
+		if c.sst.Lookup(u.PC) {
+			c.learnProducers(u)
+		}
+	}
+	return true
+}
+
+// learnProducers inserts the PCs of u's source producers into the SST,
+// using the RAT's last-producer-PC extension.
+func (c *Core) learnProducers(u *uarch.Uop) {
+	for _, src := range [2]uarch.Reg{u.Src1, u.Src2} {
+		if src == uarch.RegNone {
+			continue
+		}
+		if pc := c.ren.ProducerPC(src); pc != 0 {
+			c.sst.Insert(pc)
+		}
+	}
+}
+
+// onFullWindow runs once per cycle when dispatch is blocked by a full ROB;
+// it accounts the stall and may trigger a runahead entry.
+func (c *Core) onFullWindow() {
+	head := &c.rob.e[c.rob.headIdx()]
+	if head.st == sDone {
+		return // commit-bandwidth limited, not a stall
+	}
+	c.stats.FullWindowStallCycles++
+	c.stats.RobFullEvents++
+	c.maybeEnterRunahead(head)
+}

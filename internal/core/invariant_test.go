@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCommitSequenceContinuity is the strongest end-to-end invariant in
+// the suite: under EVERY mechanism, architectural commits must be exactly
+// the dynamic instruction stream in order — seq 0, 1, 2, ... with no
+// skips, duplicates or reordering — no matter how much speculative
+// runahead work was executed, flushed, replayed or re-dispatched from the
+// EMQ in between.
+func TestCommitSequenceContinuity(t *testing.T) {
+	for _, name := range []string{"libquantum", "mcf", "lbm", "milc"} {
+		for _, mode := range Modes() {
+			w, _ := workload.ByName(name)
+			c := newCore(t, mode, w.New())
+			next := int64(0)
+			broken := false
+			c.OnCommit = func(seq int64) {
+				if seq != next && !broken {
+					t.Errorf("%s/%v: committed seq %d, expected %d", name, mode, seq, next)
+					broken = true
+				}
+				next = seq + 1
+			}
+			c.Run(25_000)
+			if broken {
+				return
+			}
+			if next < 25_000 {
+				t.Errorf("%s/%v: only %d µops committed", name, mode, next)
+			}
+		}
+	}
+}
+
+// TestRunaheadNeverCommits verifies the architectural contract of
+// runahead mode: the commit counter only advances in normal mode.
+func TestRunaheadNeverCommits(t *testing.T) {
+	for _, mode := range []Mode{ModeRA, ModeRABuffer, ModePRE, ModePREEMQ} {
+		w, _ := workload.ByName("milc")
+		c := newCore(t, mode, w.New())
+		c.Run(5_000)
+		prevCommitted := c.Stats().Committed
+		sawRunahead := false
+		wasIn := c.InRunahead()
+		for i := 0; i < 300_000; i++ {
+			c.Step()
+			// Only steps that both began and ended inside runahead are
+			// fully runahead cycles (entry/exit cycles legitimately commit
+			// in their normal-mode portion).
+			if wasIn && c.InRunahead() {
+				sawRunahead = true
+				if c.Stats().Committed != prevCommitted {
+					t.Fatalf("%v: committed %d µops during runahead",
+						mode, c.Stats().Committed-prevCommitted)
+				}
+			}
+			prevCommitted = c.Stats().Committed
+			wasIn = c.InRunahead()
+			if sawRunahead && !wasIn && i > 50_000 {
+				break
+			}
+		}
+		if !sawRunahead {
+			t.Errorf("%v: no runahead observed on milc", mode)
+		}
+	}
+}
+
+// TestExitRestoresFreeLists verifies PRE's episode-neutrality: every
+// runahead episode returns the register free lists to their entry state
+// (the paper's wholesale RAT + free-list restore).
+func TestExitRestoresFreeLists(t *testing.T) {
+	w, _ := workload.ByName("libquantum")
+	c := newCore(t, ModePRE, w.New())
+	c.Run(5_000)
+	checked := 0
+	for i := 0; i < 500_000 && checked < 5; i++ {
+		// Advance to an entry.
+		for j := 0; j < 500_000 && !c.InRunahead(); j++ {
+			c.Step()
+		}
+		if !c.InRunahead() {
+			break
+		}
+		intAtEntry, fpAtEntry := c.ren.FreeCounts()
+		// Runahead allocations may already be in flight when we observe
+		// the entry state, and the entry cycle's commits freed registers
+		// before the checkpoint was taken — so the restored exit state may
+		// exceed the observation by at most one commit-width's worth, and
+		// must never be BELOW it (that would be a leak into the episode).
+		for c.InRunahead() {
+			c.Step()
+		}
+		intAtExit, fpAtExit := c.ren.FreeCounts()
+		if intAtExit < intAtEntry || fpAtExit < fpAtEntry {
+			t.Fatalf("episode %d: registers leaked: (%d,%d) at entry vs (%d,%d) at exit",
+				checked, intAtEntry, fpAtEntry, intAtExit, fpAtExit)
+		}
+		if intAtExit > intAtEntry+c.cfg.Width || fpAtExit > fpAtEntry+c.cfg.Width {
+			t.Fatalf("episode %d: free lists over-restored: (%d,%d) -> (%d,%d)",
+				checked, intAtEntry, fpAtEntry, intAtExit, fpAtExit)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no episodes observed")
+	}
+}
+
+// TestDivergenceStopsPrefetching verifies the INV-branch divergence rule:
+// after an unresolvable mispredict in traditional runahead, no further
+// prefetches are issued in that episode.
+func TestDivergenceStopsPrefetching(t *testing.T) {
+	// omnetpp's data-dependent branches read loaded (INV in runahead)
+	// values and mispredict ~5% of the time.
+	w, _ := workload.ByName("omnetpp")
+	c := newCore(t, ModeRA, w.New())
+	c.Run(40_000)
+	if c.Stats().DivergenceStops == 0 {
+		t.Error("omnetpp RA must hit unresolvable mispredicts")
+	}
+}
+
+// TestWalkDelaysReplay verifies the runahead buffer pays its backward
+// dataflow walk before the first replay µop dispatches.
+func TestWalkDelaysReplay(t *testing.T) {
+	w, _ := workload.ByName("libquantum")
+	c := newCore(t, ModeRABuffer, w.New())
+	c.Run(10_000)
+	for i := 0; i < 500_000 && !c.InRunahead(); i++ {
+		c.Step()
+	}
+	if !c.InRunahead() {
+		t.Skip("no episode observed")
+	}
+	if c.replayStart <= c.entryCycle {
+		t.Errorf("replay starts at %d, entry at %d: walk cost missing",
+			c.replayStart, c.entryCycle)
+	}
+	if c.replayStart-c.entryCycle > int64(c.cfg.ROBSize)+8 {
+		t.Errorf("walk cost %d exceeds one ROB scan", c.replayStart-c.entryCycle)
+	}
+}
+
+// TestEMQDeferredEntry verifies PRE+EMQ does not re-enter runahead while
+// the EMQ is still re-dispatching the previous episode.
+func TestEMQDeferredEntry(t *testing.T) {
+	w, _ := workload.ByName("milc")
+	c := newCore(t, ModePREEMQ, w.New())
+	c.Run(5_000)
+	for i := 0; i < 2_000_000; i++ {
+		c.Step()
+		if c.InRunahead() && c.emqDraining && c.emqScan == 0 && c.emq.Len() > 0 {
+			// Entering while draining is only legal through the scan path;
+			// with deferral active this state must not occur at entry.
+			// (The emqScan cursor is 0 only right at entry.)
+			t.Fatal("entered runahead while the EMQ was draining")
+		}
+		if c.Stats().Entries > 50 {
+			return
+		}
+	}
+}

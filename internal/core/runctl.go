@@ -1,0 +1,421 @@
+package core
+
+import (
+	"repro/internal/frontend"
+	"repro/internal/rename"
+	"repro/internal/runahead"
+	"repro/internal/uarch"
+)
+
+// maybeEnterRunahead decides whether the full-window stall at head starts
+// a runahead episode. head must be the (incomplete) ROB head entry.
+func (c *Core) maybeEnterRunahead(head *uopRec) {
+	if c.cfg.Mode == ModeOoO || c.inRunahead {
+		return
+	}
+	if c.cfg.Mode == ModePREEMQ && c.emqDraining {
+		// The EMQ is still re-dispatching the previous episode's µops;
+		// entering now would interleave new buffered µops with old ones.
+		return
+	}
+	// Only a long-latency load at the head triggers runahead. The
+	// remaining-latency test (rather than the serving level) also covers
+	// demand loads that merged onto a still-in-flight prefetch — they are
+	// outstanding LLC misses in every sense that matters.
+	if head.st != sIssued || !head.uop.IsLoad() {
+		return
+	}
+	remaining := head.readyAt - c.now
+	if remaining <= 2 {
+		return // returning this very moment; nothing to run ahead of
+	}
+	if c.cfg.Mode == ModeRA || c.cfg.Mode == ModeRABuffer {
+		// Mutlu's short-interval filter, using the load's predicted
+		// remaining latency (the simulator's readyAt stands in for the
+		// MSHR-age estimate real hardware uses). PRE deliberately has no
+		// such filter: entering costs it nothing, and short intervals are
+		// extra prefetch opportunities (Section 2.4).
+		if remaining < c.cfg.MinRunaheadCycles {
+			if c.lastSkipSeq != head.seq {
+				c.stats.EntriesSkipped++
+				c.lastSkipSeq = head.seq
+			}
+			return
+		}
+	}
+	c.enterRunahead(head)
+}
+
+// enterRunahead performs the mode-specific entry sequence.
+func (c *Core) enterRunahead(head *uopRec) {
+	c.inRunahead = true
+	c.entryCycle = c.now
+	c.exitCycle = head.readyAt
+	c.stallSeq = head.seq
+	c.stallPC = head.uop.PC
+	c.stallDstP = head.out.DstP
+	c.raDiverged = false
+	c.stats.Entries++
+
+	// E7: free-resource headroom at entry (Section 3.4).
+	intFree, fpFree := c.ren.FreeCounts()
+	c.stats.FreeIQAtEntry.Observe(float64(c.iq.freeSlots()) / float64(c.cfg.IQSize))
+	c.stats.FreeIntRegAtEntry.Observe(float64(intFree) / float64(c.cfg.Rename.IntPRF))
+	c.stats.FreeFPRegAtEntry.Observe(float64(fpFree) / float64(c.cfg.Rename.FPPRF))
+
+	switch c.cfg.Mode {
+	case ModeRA, ModeRABuffer:
+		c.cpFull = c.ren.CheckpointCommitted()
+		c.pseudoRetire = true
+		if c.cfg.FreeExit {
+			c.snap = c.takeSnapshot()
+		}
+		// The stalling load pseudo-completes with an INV result so the
+		// window drains through pseudo-retirement.
+		c.ren.MarkPoisoned(head.out.DstP, true)
+		head.st = sDone
+		head.invResult = true
+		// Everything in flight is now runahead work: its loads prefetch,
+		// and — Mutlu's runahead semantics — every load already waiting on
+		// a long-latency fill (its own miss or a merge onto one) converts
+		// to an immediate INV completion; the fill keeps warming the
+		// caches in the background.
+		longLat := int64(c.cfg.Mem.L3.HitLatency)
+		for i := 0; i < c.rob.size; i++ {
+			rec := &c.rob.e[c.rob.at(i)]
+			rec.inRunahead = true
+			if rec.st == sIssued && rec.uop.IsLoad() && rec.readyAt > c.now+longLat {
+				rec.invResult = true
+				rec.readyAt = c.now + 1
+				c.events.schedule(completion{cycle: rec.readyAt, kind: kROB, slot: c.rob.at(i), gen: rec.gen})
+			}
+		}
+		if c.cfg.Mode == ModeRABuffer {
+			c.initReplay()
+		}
+	case ModePRE, ModePREEMQ:
+		// Section 3.1: checkpoint the RAT; discard nothing. The stalling
+		// load's register is poisoned but NOT published: normal-mode
+		// consumers keep waiting for the real data while runahead slice
+		// µops observe INV at rename.
+		c.cpSpec = c.ren.CheckpointSpec()
+		c.ren.BeginRunahead()
+		c.ren.MarkPoisoned(head.out.DstP, false)
+		c.sst.Insert(c.stallPC)
+		c.prdq.Clear()
+		if !c.emqDraining {
+			c.emq.Clear()
+		}
+		c.emqScan = 0
+		c.preResumeSeq = -1
+		c.preDiverged = 0
+		c.preScanStop = false
+	}
+}
+
+// exitRunahead returns to normal mode: the stalling load's data arrived.
+func (c *Core) exitRunahead() {
+	c.stats.Intervals.Observe(c.now - c.entryCycle)
+	switch c.cfg.Mode {
+	case ModeRA, ModeRABuffer:
+		if c.cfg.FreeExit && c.snap != nil {
+			c.restoreSnapshot(c.snap)
+			c.snap = nil
+		} else {
+			// Flush the entire pipeline and restart at the stalling load
+			// (Section 2.4) — the flush/refill overhead PRE eliminates.
+			c.rob.flush()
+			c.iq.clear()
+			c.pre.flush()
+			c.sq.dropYoungerThan(c.stallSeq)
+			c.lqNorm, c.lqPre = 0, 0
+			c.ren.RestoreFull(c.cpFull)
+			c.fetch.Rewind(c.stallSeq, c.now+1)
+			c.refillFrom = c.now
+			c.refillDispatched = 0
+			c.measuringRefill = true
+		}
+		c.chain = nil
+		c.replayPending = nil
+	case ModePRE, ModePREEMQ:
+		// Section 3.5: restore the RAT, drop runahead transients; the ROB
+		// is intact, so commit restarts immediately once the head's
+		// completion event lands (this cycle).
+		c.iq.filter(func(r iqRef) bool { return r.kind == kROB })
+		c.pre.flush()
+		c.lqPre = 0
+		c.prdq.Clear()
+		c.ren.RestoreSpec(c.cpSpec)
+		c.ren.ClearPoison(c.stallDstP)
+		if c.cfg.Mode == ModePREEMQ {
+			// Re-dispatch buffered µops instead of re-fetching them. The
+			// fetch queue already continues exactly where the EMQ ends
+			// (runahead popped µops into the EMQ in fetch order), so the
+			// front-end needs no redirect at all — the paper's energy
+			// saving.
+			c.emqDraining = c.emq.Len() > 0
+		} else if c.preResumeSeq >= 0 {
+			// Re-fetch everything consumed during runahead.
+			c.fetch.Rewind(c.preResumeSeq, c.now+1)
+		}
+	}
+	c.inRunahead = false
+	c.pseudoRetire = false
+	c.raDiverged = false
+	c.lastProgress = c.now // episode made progress by definition
+}
+
+// --- PRE runahead dispatch --------------------------------------------------
+
+// dispatchPRE filters decoded µops through the SST at RunaheadWidth per
+// cycle, executing hits on free resources. In PRE+EMQ mode every new
+// decode is buffered into the EMQ; if a previous episode's EMQ was still
+// draining at entry, the remaining buffered µops are scanned first (they
+// are the immediate future of the instruction stream).
+func (c *Core) dispatchPRE() {
+	if c.preScanStop {
+		return
+	}
+	useEMQ := c.cfg.Mode == ModePREEMQ
+	for n := 0; n < c.cfg.RunaheadWidth; n++ {
+		var seq int64
+		var misp, fromEMQ bool
+		if c.emqDraining && c.emqScan < c.emq.Len() {
+			seq = c.emq.At(c.emqScan)
+			fromEMQ = true
+		} else {
+			slot, ok := c.fetch.Peek(c.now)
+			if !ok {
+				return
+			}
+			if useEMQ && c.emq.Full() {
+				// Paper: when the EMQ fills, the core stalls until the
+				// stalling load returns.
+				c.preScanStop = true
+				return
+			}
+			seq = slot.Seq
+			misp = slot.Mispredicted
+		}
+		u := c.stream.At(seq)
+		if c.sst.Lookup(u.PC) {
+			c.learnProducers(u)
+			if !c.preExecute(u, misp) {
+				return // resources exhausted: leave the µop queued; retry
+			}
+		} else if misp {
+			// A mispredicted branch that will not execute: charge a
+			// redirect bubble and track divergence (the real front-end
+			// would wander off-path).
+			c.fetch.Bubble(c.now, int64(c.cfg.Fetch.Depth))
+			c.preDiverged++
+			if c.preDiverged > c.cfg.PREMaxDivergence {
+				c.preScanStop = true
+				c.stats.DivergenceStops++
+			}
+		}
+		if fromEMQ {
+			c.emqScan++ // already decoded and buffered; nothing else to do
+		} else {
+			c.fetch.Pop(c.now)
+			c.stats.Decoded++
+			if c.preResumeSeq < 0 {
+				c.preResumeSeq = seq
+			}
+			if useEMQ {
+				c.emq.Push(seq)
+			}
+		}
+		if c.preScanStop {
+			return
+		}
+	}
+}
+
+// preExecute renames and dispatches one SST-hit µop in PRE runahead mode.
+// It returns false when a resource (register, PRDQ, IQ, LQ, pool slot) is
+// unavailable this cycle.
+func (c *Core) preExecute(u *uarch.Uop, mispredicted bool) bool {
+	// All checks precede all side effects.
+	if !c.ren.CanRename(u.Dst) || c.prdq.Full() {
+		return false
+	}
+	poisoned := c.ren.IsPoisoned(c.ren.Lookup(u.Src1)) ||
+		c.ren.IsPoisoned(c.ren.Lookup(u.Src2))
+	executable := !poisoned && !u.IsStore()
+	if executable {
+		if c.iq.full() {
+			return false
+		}
+		if u.IsLoad() && c.lqNorm+c.lqPre >= c.cfg.LQSize {
+			return false
+		}
+	}
+	poolIdx := -1
+	if executable {
+		var ok bool
+		poolIdx, ok = c.pre.alloc()
+		if !ok {
+			return false
+		}
+	}
+
+	out, ok := c.ren.Rename(u, true)
+	if !ok {
+		if poolIdx >= 0 {
+			c.pre.release(poolIdx)
+		}
+		return false
+	}
+	c.stats.Renamed++
+	// PRDQ: record the old mapping; only runahead-epoch registers may be
+	// recycled mid-episode (pre-entry mappings come back with the RAT).
+	old := rename.PRegNone
+	if c.ren.IsRunaheadAlloc(out.OldDstP) {
+		old = out.OldDstP
+	}
+	ticket, ok := c.prdq.Alloc(old)
+	if !ok {
+		// Cannot happen: Full() was checked; defensive.
+		ticket = -1
+	}
+
+	if !executable {
+		// INV slice µop (poisoned source) or runahead store: absorbed at
+		// rename. Poison propagates; the PRDQ entry completes instantly.
+		if u.HasDst() {
+			c.ren.MarkPoisoned(out.DstP, false)
+		}
+		if ticket >= 0 {
+			c.prdq.MarkExecuted(ticket)
+		}
+		c.stats.RunaheadINV++
+		return true
+	}
+
+	rec := &c.pre.e[poolIdx]
+	gen := rec.gen
+	*rec = uopRec{
+		seq: u.Seq, uop: *u, out: out, st: sWaiting, gen: gen,
+		prdq: ticket, sqIdx: -1,
+		mispredicted: mispredicted,
+		inRunahead:   true,
+	}
+	if u.IsLoad() {
+		c.lqPre++
+		rec.lqHeld = true
+	}
+	c.iq.push(iqRef{kind: kPRE, slot: poolIdx, gen: gen})
+	c.stats.Dispatched++
+	return true
+}
+
+// --- EMQ drain ----------------------------------------------------------------
+
+// dispatchFromEMQ re-dispatches buffered µops after a PRE+EMQ exit,
+// skipping fetch and decode.
+func (c *Core) dispatchFromEMQ() {
+	for n := 0; n < c.cfg.Width; n++ {
+		seq, ok := c.emq.Peek()
+		if !ok {
+			c.emqDraining = false
+			return
+		}
+		if c.rob.full() {
+			c.onFullWindow()
+			return
+		}
+		if !c.dispatchOne(frontend.Slot{Seq: seq}, false) {
+			return
+		}
+		c.stats.Decoded-- // dispatchOne counted a decode; EMQ µops skip it
+		c.stats.EMQDispatched++
+		c.emq.Pop()
+	}
+}
+
+// --- RA-buffer replay -----------------------------------------------------------
+
+// initReplay extracts the stalling chain from the ROB (backward dataflow
+// walk) and prepares the replay engine. The front-end is power-gated for
+// the whole episode. The hardware walk scans the ROB at one entry per
+// cycle ("expensive CAM lookups", Section 3.6), so replay dispatch only
+// begins once the walk has finished.
+func (c *Core) initReplay() {
+	window := make([]uarch.Uop, 0, c.rob.len())
+	for i := 0; i < c.rob.len(); i++ {
+		window = append(window, c.rob.e[c.rob.at(i)].uop)
+	}
+	var walkCycles int
+	c.chain, walkCycles = runahead.ExtractChainCost(window, c.stallPC, c.cfg.ChainMaxLen)
+	c.replayStart = c.now + int64(walkCycles)
+	c.fetch.Freeze()
+	c.replayCursor = c.stallSeq + 1
+	c.replayPending = c.replayPending[:0]
+	c.replayIdx = 0
+	c.replayDead = len(c.chain) == 0
+	if c.replayDead {
+		c.stats.ReplayExhausted++
+	}
+}
+
+// prepareReplayIteration locates the next dynamic instance of every chain
+// µop in the instruction stream (one shared forward scan). Returns false
+// when the lookahead budget is exhausted.
+func (c *Core) prepareReplayIteration() bool {
+	c.replayPending = c.replayPending[:0]
+	c.replayIdx = 0
+	q := c.replayCursor
+	limit := c.replayCursor + c.cfg.ReplayLookahead
+	for _, cu := range c.chain {
+		found := int64(-1)
+		for ; q < limit; q++ {
+			u := c.stream.At(q)
+			if u.Class == uarch.ClassJump {
+				// Outer-loop transition: the frozen chain's address
+				// pattern does not survive the phase change; replay would
+				// extrapolate garbage from here on.
+				c.replayDead = true
+				c.stats.ReplayExhausted++
+				return false
+			}
+			if u.PC == cu.PC {
+				found = q
+				q++
+				break
+			}
+		}
+		if found < 0 {
+			c.replayDead = true
+			c.stats.ReplayExhausted++
+			return false
+		}
+		c.replayPending = append(c.replayPending, found)
+	}
+	c.replayCursor = q
+	return true
+}
+
+// dispatchReplay feeds the pipeline from the runahead buffer: the chain's
+// future dynamic instances, renamed and executed through the normal back
+// end with pseudo-retirement.
+func (c *Core) dispatchReplay() {
+	if c.replayDead || c.now < c.replayStart {
+		return
+	}
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.replayIdx >= len(c.replayPending) {
+			if !c.prepareReplayIteration() {
+				return
+			}
+		}
+		if c.rob.full() {
+			return
+		}
+		seq := c.replayPending[c.replayIdx]
+		if !c.dispatchOne(frontend.Slot{Seq: seq}, true) {
+			return
+		}
+		c.replayIdx++
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/frontend"
+	"repro/internal/rename"
+)
+
+// pipeSnapshot captures the whole pipeline at runahead entry for the E6
+// ablation (Section 2.4): "the speedup has the potential to reach up to
+// 20.6 percent if the instructions that occupy the ROB when the core
+// enters runahead mode are not discarded". With Config.FreeExit, ModeRA
+// restores this snapshot at exit instead of flushing, modelling an
+// idealized runahead with zero discard/refill cost. Memory-system state is
+// deliberately NOT restored: the prefetches issued during runahead are the
+// benefit being isolated.
+type pipeSnapshot struct {
+	robE    []uopRec
+	robHead int
+	robSize int
+	iqRefs  []iqRef
+	sqE     []sqEntry
+	sqHead  int
+	sqSize  int
+	lqNorm  int
+	ren     *rename.FullSnapshot
+	fetch   *frontend.FetchSnapshot
+}
+
+// takeSnapshot deep-copies the pipeline (called at RA entry under
+// FreeExit, before the stalling load is poisoned).
+func (c *Core) takeSnapshot() *pipeSnapshot {
+	return &pipeSnapshot{
+		robE:    append([]uopRec(nil), c.rob.e...),
+		robHead: c.rob.head,
+		robSize: c.rob.size,
+		iqRefs:  append([]iqRef(nil), c.iq.refs...),
+		sqE:     append([]sqEntry(nil), c.sq.e...),
+		sqHead:  c.sq.head,
+		sqSize:  c.sq.size,
+		lqNorm:  c.lqNorm,
+		ren:     c.ren.TakeFullSnapshot(),
+		fetch:   c.fetch.TakeSnapshot(),
+	}
+}
+
+// restoreSnapshot reinstates the pipeline exactly as it was at entry, with
+// two adjustments: all pending completion events are invalidated (slot
+// generations advance) and re-scheduled from each issued µop's known
+// completion time, and the runahead episode's in-flight transients are
+// discarded.
+func (c *Core) restoreSnapshot(s *pipeSnapshot) {
+	// Restore ROB contents, advancing every slot generation past both the
+	// snapshot's and the current value so stale events cannot match.
+	for i := range s.robE {
+		cur := c.rob.e[i].gen
+		snap := s.robE[i].gen
+		c.rob.e[i] = s.robE[i]
+		if cur > snap {
+			c.rob.e[i].gen = cur + 1
+		} else {
+			c.rob.e[i].gen = snap + 1
+		}
+	}
+	c.rob.head = s.robHead
+	c.rob.size = s.robSize
+
+	// Rebuild the IQ from the restored ROB: waiting entries in program
+	// order (the snapshot was taken in RA mode, so only kROB µops existed).
+	c.iq.clear()
+	for i := 0; i < c.rob.size; i++ {
+		idx := c.rob.at(i)
+		rec := &c.rob.e[idx]
+		if rec.st == sWaiting {
+			c.iq.push(iqRef{kind: kROB, slot: idx, gen: rec.gen})
+		}
+	}
+
+	c.sq.e = append(c.sq.e[:0], s.sqE...)
+	c.sq.head = s.sqHead
+	c.sq.size = s.sqSize
+	c.lqNorm = s.lqNorm
+	c.lqPre = 0
+	c.pre.flush()
+
+	c.ren.RestoreFullSnapshot(s.ren)
+	c.fetch.RestoreSnapshot(s.fetch, c.now+1)
+
+	// Re-schedule completions for issued-but-unfinished µops. Their memory
+	// completion times were computed at issue and remain valid; anything
+	// already past completes next cycle. The stalling load's data has
+	// arrived (that is why we are exiting), so it completes immediately
+	// and cleanly (never poisoned — the snapshot predates the INV mark).
+	for i := 0; i < c.rob.size; i++ {
+		idx := c.rob.at(i)
+		rec := &c.rob.e[idx]
+		if rec.st != sIssued {
+			continue
+		}
+		at := rec.readyAt
+		if at <= c.now {
+			at = c.now + 1
+		}
+		c.events.schedule(completion{cycle: at, kind: kROB, slot: idx, gen: rec.gen})
+	}
+}

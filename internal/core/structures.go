@@ -1,0 +1,379 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/mem"
+	"repro/internal/rename"
+	"repro/internal/uarch"
+)
+
+// uopState tracks a µop's progress through the back end.
+type uopState uint8
+
+const (
+	// sWaiting: dispatched, sitting in the issue queue.
+	sWaiting uopState = iota
+	// sIssued: executing; a completion event is scheduled.
+	sIssued
+	// sDone: execution complete (commit-eligible for ROB entries).
+	sDone
+)
+
+// recKind distinguishes the two µop spaces.
+type recKind uint8
+
+const (
+	// kROB: a normal-path µop occupying a reorder-buffer slot. RA and
+	// RA-buffer runahead µops are also kROB (they pseudo-retire through
+	// the ROB).
+	kROB recKind = iota
+	// kPRE: a PRE runahead µop — executes without a ROB entry, tracked in
+	// the transient pool and reclaimed via the PRDQ.
+	kPRE
+)
+
+// uopRec is the in-flight record shared by ROB entries and PRE transients.
+type uopRec struct {
+	seq  int64
+	uop  uarch.Uop
+	out  rename.Out
+	st   uopState
+	gen  uint32 // slot generation, guards stale events/IQ refs
+	prdq int64  // PRDQ ticket (kPRE only; -1 = none)
+
+	mispredicted bool      // fetch-time misprediction flag
+	invResult    bool      // completion publishes poison, not data
+	inRunahead   bool      // executed under any runahead episode
+	readyAt      int64     // completion cycle once issued
+	memLevel     mem.Level // loads: level that served the access
+	sqIdx        int       // stores: SQ slot; loads: -1
+	lqHeld       bool      // load-queue entry held
+}
+
+// --- ROB -----------------------------------------------------------------
+
+// rob is a ring buffer of uopRec.
+type rob struct {
+	e          []uopRec
+	head, size int
+}
+
+func newROB(n int) *rob { return &rob{e: make([]uopRec, n)} }
+
+func (r *rob) full() bool  { return r.size == len(r.e) }
+func (r *rob) empty() bool { return r.size == 0 }
+func (r *rob) len() int    { return r.size }
+func (r *rob) cap() int    { return len(r.e) }
+
+// push allocates the tail slot and returns its index.
+func (r *rob) push() int {
+	idx := (r.head + r.size) % len(r.e)
+	r.size++
+	return idx
+}
+
+// headIdx returns the index of the oldest entry.
+func (r *rob) headIdx() int { return r.head }
+
+// pop releases the head slot.
+func (r *rob) pop() {
+	r.e[r.head].gen++ // invalidate stale references
+	r.head = (r.head + 1) % len(r.e)
+	r.size--
+}
+
+// at returns the i-th oldest entry's index.
+func (r *rob) at(i int) int { return (r.head + i) % len(r.e) }
+
+// flush drops everything, invalidating all slots.
+func (r *rob) flush() {
+	for i := 0; i < r.size; i++ {
+		r.e[r.at(i)].gen++
+	}
+	r.head, r.size = 0, 0
+}
+
+// --- PRE transient pool ---------------------------------------------------
+
+// prePool holds PRE runahead µops (no ROB slot). Slots are recycled via a
+// free list; generations invalidate stale references on reuse and flush.
+type prePool struct {
+	e    []uopRec
+	free []int
+	live int
+}
+
+func newPrePool(n int) *prePool {
+	p := &prePool{e: make([]uopRec, n), free: make([]int, 0, n)}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+func (p *prePool) alloc() (int, bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.live++
+	return idx, true
+}
+
+func (p *prePool) release(idx int) {
+	p.e[idx].gen++
+	p.free = append(p.free, idx)
+	p.live--
+}
+
+// flush releases every live slot.
+func (p *prePool) flush() {
+	if p.live == 0 {
+		return
+	}
+	inFree := make([]bool, len(p.e))
+	for _, i := range p.free {
+		inFree[i] = true
+	}
+	for i := range p.e {
+		if !inFree[i] {
+			p.release(i)
+		}
+	}
+}
+
+// --- issue queue -----------------------------------------------------------
+
+// iqRef points an issue-queue slot at an in-flight record.
+type iqRef struct {
+	kind recKind
+	slot int
+	gen  uint32
+}
+
+// issueQueue is a program-ordered list of waiting µops.
+type issueQueue struct {
+	refs []iqRef
+	cap  int
+}
+
+func newIQ(n int) *issueQueue { return &issueQueue{refs: make([]iqRef, 0, n), cap: n} }
+
+func (q *issueQueue) full() bool     { return len(q.refs) >= q.cap }
+func (q *issueQueue) len() int       { return len(q.refs) }
+func (q *issueQueue) freeSlots() int { return q.cap - len(q.refs) }
+
+func (q *issueQueue) push(ref iqRef) { q.refs = append(q.refs, ref) }
+
+// removeAt deletes the i-th entry preserving order.
+func (q *issueQueue) removeAt(i int) {
+	copy(q.refs[i:], q.refs[i+1:])
+	q.refs = q.refs[:len(q.refs)-1]
+}
+
+// filter keeps only entries for which keep returns true.
+func (q *issueQueue) filter(keep func(iqRef) bool) {
+	out := q.refs[:0]
+	for _, r := range q.refs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	q.refs = out
+}
+
+func (q *issueQueue) clear() { q.refs = q.refs[:0] }
+
+// --- store queue ------------------------------------------------------------
+
+// sqEntry is one store-queue slot, also serving as the post-commit write
+// buffer entry until the store drains to the L1D.
+type sqEntry struct {
+	valid     bool
+	seq       int64
+	addr      uint64
+	size      uint8
+	dataReady bool
+	committed bool
+	runahead  bool // pseudo-retired runahead store: never drains
+}
+
+// storeQueue is a program-ordered ring of stores.
+type storeQueue struct {
+	e          []sqEntry
+	head, size int
+}
+
+func newSQ(n int) *storeQueue { return &storeQueue{e: make([]sqEntry, n)} }
+
+func (s *storeQueue) full() bool { return s.size == len(s.e) }
+func (s *storeQueue) len() int   { return s.size }
+
+// push appends a store, returning its slot index.
+func (s *storeQueue) push(seq int64, addr uint64, size uint8, runahead bool) int {
+	idx := (s.head + s.size) % len(s.e)
+	s.e[idx] = sqEntry{valid: true, seq: seq, addr: addr, size: size, runahead: runahead}
+	s.size++
+	return idx
+}
+
+// forwardFrom finds the youngest store older than seq whose range overlaps
+// [addr, addr+size). It returns (found, dataReady).
+func (s *storeQueue) forwardFrom(seq int64, addr uint64, size uint8) (bool, bool) {
+	for i := s.size - 1; i >= 0; i-- {
+		e := &s.e[(s.head+i)%len(s.e)]
+		if !e.valid || e.seq >= seq {
+			continue
+		}
+		if addr < e.addr+uint64(e.size) && e.addr < addr+uint64(size) {
+			return true, e.dataReady
+		}
+	}
+	return false, false
+}
+
+// drainHead pops completed head entries; the caller drains each to memory.
+// stop draining when fn returns false (e.g. MSHR rejection).
+func (s *storeQueue) drainHead(fn func(*sqEntry) bool) {
+	for s.size > 0 {
+		e := &s.e[s.head]
+		if !e.committed {
+			return
+		}
+		if !e.runahead && !fn(e) {
+			return
+		}
+		e.valid = false
+		s.head = (s.head + 1) % len(s.e)
+		s.size--
+	}
+}
+
+// dropYoungerThan removes all stores with seq >= cutoff (flush).
+func (s *storeQueue) dropYoungerThan(cutoff int64) {
+	for s.size > 0 {
+		tail := (s.head + s.size - 1) % len(s.e)
+		if s.e[tail].seq < cutoff {
+			return
+		}
+		s.e[tail].valid = false
+		s.size--
+	}
+}
+
+func (s *storeQueue) clearUncommitted() {
+	s.dropYoungerThan(-1 << 62)
+}
+
+// --- completion events --------------------------------------------------
+
+// completion schedules a µop's execution finish.
+type completion struct {
+	cycle int64
+	kind  recKind
+	slot  int
+	gen   uint32
+}
+
+// eventHeap is a min-heap of completions ordered by cycle.
+type eventHeap []completion
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// schedule pushes a completion event.
+func (h *eventHeap) schedule(c completion) { heap.Push(h, c) }
+
+// nextAt returns the cycle of the earliest pending event, or ok=false.
+func (h eventHeap) nextAt() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].cycle, true
+}
+
+// popDue removes and returns the earliest event if due at now.
+func (h *eventHeap) popDue(now int64) (completion, bool) {
+	if len(*h) == 0 || (*h)[0].cycle > now {
+		return completion{}, false
+	}
+	return heap.Pop(h).(completion), true
+}
+
+// --- functional units -----------------------------------------------------
+
+// fuPools models per-cycle issue capacity per unit pool, plus unpipelined
+// divide units.
+type fuPools struct {
+	aluCap, fpuCap, loadCap, storeCap, branchCap int
+	alu, fpu, load, store, branch                int
+	idivBusyUntil, fdivBusyUntil                 int64
+}
+
+func newFU(cfg *Config) *fuPools {
+	return &fuPools{
+		aluCap: cfg.IntALU, fpuCap: cfg.FPU,
+		loadCap: cfg.LoadPorts, storeCap: cfg.StorePorts,
+		branchCap: cfg.BranchUnits,
+	}
+}
+
+// newCycle resets the per-cycle counters.
+func (f *fuPools) newCycle() { f.alu, f.fpu, f.load, f.store, f.branch = 0, 0, 0, 0, 0 }
+
+// tryIssue consumes capacity for class c at cycle now; reports acceptance.
+func (f *fuPools) tryIssue(c uarch.Class, now int64) bool {
+	switch c {
+	case uarch.ClassIntAlu, uarch.ClassIntMul, uarch.ClassNop:
+		if f.alu >= f.aluCap {
+			return false
+		}
+		f.alu++
+	case uarch.ClassIntDiv:
+		if f.alu >= f.aluCap || f.idivBusyUntil > now {
+			return false
+		}
+		f.alu++
+		f.idivBusyUntil = now + int64(uarch.ClassIntDiv.Latency())
+	case uarch.ClassFPAdd, uarch.ClassFPMul:
+		if f.fpu >= f.fpuCap {
+			return false
+		}
+		f.fpu++
+	case uarch.ClassFPDiv:
+		if f.fpu >= f.fpuCap || f.fdivBusyUntil > now {
+			return false
+		}
+		f.fpu++
+		f.fdivBusyUntil = now + int64(uarch.ClassFPDiv.Latency())
+	case uarch.ClassLoad:
+		if f.load >= f.loadCap {
+			return false
+		}
+		f.load++
+	case uarch.ClassStore:
+		if f.store >= f.storeCap {
+			return false
+		}
+		f.store++
+	case uarch.ClassBranch, uarch.ClassJump, uarch.ClassCall, uarch.ClassReturn:
+		if f.branch >= f.branchCap {
+			return false
+		}
+		f.branch++
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+func TestROBRingLifecycle(t *testing.T) {
+	r := newROB(4)
+	if !r.empty() || r.full() {
+		t.Fatal("fresh ROB state wrong")
+	}
+	idx := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		j := r.push()
+		r.e[j].seq = int64(i)
+		idx = append(idx, j)
+	}
+	if !r.full() || r.len() != 4 {
+		t.Fatal("ROB must be full after 4 pushes")
+	}
+	if r.headIdx() != idx[0] {
+		t.Error("head index wrong")
+	}
+	// at(i) walks oldest -> youngest.
+	for i := 0; i < 4; i++ {
+		if r.e[r.at(i)].seq != int64(i) {
+			t.Errorf("at(%d).seq = %d", i, r.e[r.at(i)].seq)
+		}
+	}
+	gen := r.e[idx[0]].gen
+	r.pop()
+	if r.e[idx[0]].gen != gen+1 {
+		t.Error("pop must invalidate the slot generation")
+	}
+	if r.len() != 3 {
+		t.Error("pop did not shrink")
+	}
+	// Wraparound: push reuses the freed slot.
+	j := r.push()
+	if j != idx[0] {
+		t.Errorf("push reused slot %d, want %d", j, idx[0])
+	}
+}
+
+func TestROBFlushInvalidatesAll(t *testing.T) {
+	r := newROB(8)
+	var gens []uint32
+	for i := 0; i < 5; i++ {
+		j := r.push()
+		gens = append(gens, r.e[j].gen)
+	}
+	r.flush()
+	if !r.empty() {
+		t.Fatal("flush must empty the ROB")
+	}
+	for i := 0; i < 5; i++ {
+		if r.e[i].gen == gens[i] {
+			t.Errorf("slot %d generation not bumped by flush", i)
+		}
+	}
+}
+
+func TestPrePoolAllocReleaseFlush(t *testing.T) {
+	p := newPrePool(3)
+	a, ok1 := p.alloc()
+	b, ok2 := p.alloc()
+	c, ok3 := p.alloc()
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("allocs failed")
+	}
+	if _, ok := p.alloc(); ok {
+		t.Fatal("pool overflow")
+	}
+	genB := p.e[b].gen
+	p.release(b)
+	if p.e[b].gen != genB+1 {
+		t.Error("release must bump generation")
+	}
+	d, ok := p.alloc()
+	if !ok || d != b {
+		t.Errorf("expected freed slot %d reused, got %d", b, d)
+	}
+	p.flush()
+	if p.live != 0 {
+		t.Errorf("flush left %d live", p.live)
+	}
+	// All three slots allocatable again.
+	for i := 0; i < 3; i++ {
+		if _, ok := p.alloc(); !ok {
+			t.Fatalf("post-flush alloc %d failed", i)
+		}
+	}
+	_ = a
+	_ = c
+}
+
+func TestIssueQueueOrderAndFilter(t *testing.T) {
+	q := newIQ(4)
+	for i := 0; i < 4; i++ {
+		q.push(iqRef{kind: kROB, slot: i})
+	}
+	if !q.full() || q.freeSlots() != 0 {
+		t.Fatal("IQ must be full")
+	}
+	q.removeAt(1)
+	if q.len() != 3 || q.refs[1].slot != 2 {
+		t.Error("removeAt must preserve order")
+	}
+	q.filter(func(r iqRef) bool { return r.slot != 3 })
+	if q.len() != 2 {
+		t.Errorf("filter left %d", q.len())
+	}
+	q.clear()
+	if q.len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestStoreQueueForwarding(t *testing.T) {
+	s := newSQ(8)
+	i1 := s.push(10, 0x1000, 8, false)
+	s.push(20, 0x2000, 8, false)
+	// Younger load at 0x1000 sees the store but data not ready.
+	found, ready := s.forwardFrom(30, 0x1000, 8)
+	if !found || ready {
+		t.Fatalf("forward = (%v,%v), want (true,false)", found, ready)
+	}
+	s.e[i1].dataReady = true
+	if _, ready = s.forwardFrom(30, 0x1000, 8); !ready {
+		t.Error("data-ready store must forward")
+	}
+	// An OLDER load (seq 5) must not see the store.
+	if found, _ := s.forwardFrom(5, 0x1000, 8); found {
+		t.Error("older load forwarded from younger store")
+	}
+	// Partial overlap forwards too (byte ranges intersect).
+	if found, _ := s.forwardFrom(30, 0x1004, 8); !found {
+		t.Error("overlapping range must match")
+	}
+	// Disjoint address does not.
+	if found, _ := s.forwardFrom(30, 0x1008, 8); found {
+		t.Error("disjoint range matched")
+	}
+}
+
+func TestStoreQueueYoungestWins(t *testing.T) {
+	s := newSQ(8)
+	a := s.push(10, 0x1000, 8, false)
+	b := s.push(20, 0x1000, 8, false)
+	s.e[a].dataReady = true // older ready, younger not
+	_, ready := s.forwardFrom(30, 0x1000, 8)
+	if ready {
+		t.Error("youngest matching store governs forwarding")
+	}
+	s.e[b].dataReady = true
+	if _, ready = s.forwardFrom(30, 0x1000, 8); !ready {
+		t.Error("ready youngest store must forward")
+	}
+}
+
+func TestStoreQueueDrainAndDrop(t *testing.T) {
+	s := newSQ(4)
+	i1 := s.push(1, 0x100, 8, false)
+	i2 := s.push(2, 0x200, 8, true) // runahead store: never drains to memory
+	i3 := s.push(3, 0x300, 8, false)
+	s.e[i1].committed = true
+	s.e[i2].committed = true
+	var drained []uint64
+	s.drainHead(func(e *sqEntry) bool {
+		drained = append(drained, e.addr)
+		return true
+	})
+	// i1 drains to memory; i2 (runahead) pops silently; i3 uncommitted stops.
+	if len(drained) != 1 || drained[0] != 0x100 {
+		t.Errorf("drained %v, want [0x100]", drained)
+	}
+	if s.len() != 1 {
+		t.Errorf("SQ len %d, want 1", s.len())
+	}
+	// Rejection (MSHR full) stops draining and keeps the entry.
+	s.e[i3].committed = true
+	s.drainHead(func(e *sqEntry) bool { return false })
+	if s.len() != 1 {
+		t.Error("rejected drain must keep the entry")
+	}
+	// Flush semantics: drop younger-than cutoff.
+	s.push(9, 0x900, 8, false)
+	s.dropYoungerThan(5)
+	if s.len() != 1 {
+		t.Errorf("dropYoungerThan left %d, want 1", s.len())
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	h.schedule(completion{cycle: 30, slot: 3})
+	h.schedule(completion{cycle: 10, slot: 1})
+	h.schedule(completion{cycle: 20, slot: 2})
+	if at, ok := h.nextAt(); !ok || at != 10 {
+		t.Fatalf("nextAt = %d,%v", at, ok)
+	}
+	if _, ok := h.popDue(5); ok {
+		t.Fatal("nothing due at 5")
+	}
+	order := []int{}
+	for now := int64(0); now <= 30; now += 10 {
+		for {
+			ev, ok := h.popDue(now)
+			if !ok {
+				break
+			}
+			order = append(order, ev.slot)
+		}
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("pop order %v", order)
+	}
+}
+
+// Property: the event heap pops completions in nondecreasing cycle order.
+func TestEventHeapProperty(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		var h eventHeap
+		for i, c := range cycles {
+			h.schedule(completion{cycle: int64(c), slot: i})
+		}
+		last := int64(-1)
+		for {
+			ev, ok := h.popDue(1 << 20)
+			if !ok {
+				break
+			}
+			if ev.cycle < last {
+				return false
+			}
+			last = ev.cycle
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFUPoolCapacities(t *testing.T) {
+	cfg := Default(ModeOoO)
+	fu := newFU(&cfg)
+	fu.newCycle()
+	// 3 ALU ops fit, the 4th does not.
+	for i := 0; i < 3; i++ {
+		if !fu.tryIssue(uarch.ClassIntAlu, 0) {
+			t.Fatalf("alu %d rejected", i)
+		}
+	}
+	if fu.tryIssue(uarch.ClassIntAlu, 0) {
+		t.Error("4th ALU op must be rejected")
+	}
+	// Loads use a separate pool.
+	if !fu.tryIssue(uarch.ClassLoad, 0) || !fu.tryIssue(uarch.ClassLoad, 0) {
+		t.Error("load ports must be free")
+	}
+	if fu.tryIssue(uarch.ClassLoad, 0) {
+		t.Error("3rd load must be rejected")
+	}
+	fu.newCycle()
+	if !fu.tryIssue(uarch.ClassIntAlu, 1) {
+		t.Error("newCycle must reset per-cycle counters")
+	}
+}
+
+func TestFUPoolUnpipelinedDivide(t *testing.T) {
+	cfg := Default(ModeOoO)
+	fu := newFU(&cfg)
+	fu.newCycle()
+	if !fu.tryIssue(uarch.ClassIntDiv, 0) {
+		t.Fatal("first divide rejected")
+	}
+	fu.newCycle()
+	if fu.tryIssue(uarch.ClassIntDiv, 1) {
+		t.Error("divide unit must be busy for its full latency")
+	}
+	after := int64(uarch.ClassIntDiv.Latency())
+	fu.newCycle()
+	if !fu.tryIssue(uarch.ClassIntDiv, after) {
+		t.Error("divide unit must free after latency")
+	}
+}

@@ -1,0 +1,241 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Ranks*cfg.BanksPerRank != 32 {
+		t.Errorf("banks = %d, want 32", cfg.Ranks*cfg.BanksPerRank)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := Default()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.MemClockMHz = 0 }),
+		mut(func(c *Config) { c.Ranks = 3 }),
+		mut(func(c *Config) { c.RowBytes = 100 }),
+		mut(func(c *Config) { c.BusBytes = 0 }),
+		mut(func(c *Config) { c.TCL = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTimingConversion(t *testing.T) {
+	d := New(Default())
+	// 11 memory cycles at 800 MHz on a 2660 MHz core:
+	// ceil(11*2660/800) = ceil(36.575) = 37 core cycles.
+	if d.tCL != 37 || d.tRP != 37 || d.tRCD != 37 {
+		t.Errorf("tCL/tRP/tRCD = %d/%d/%d, want 37 each", d.tCL, d.tRP, d.tRCD)
+	}
+	// Burst: 64B / 8B bus / 2 transfers-per-cycle = 4 memory cycles
+	// = ceil(4*3.325) = 14 core cycles.
+	if d.tBurst != 14 {
+		t.Errorf("tBurst = %d, want 14", d.tBurst)
+	}
+}
+
+func TestFirstAccessIsClosedRow(t *testing.T) {
+	d := New(Default())
+	done, kind := d.Access(0x100000, 0, false)
+	if kind != RowClosed {
+		t.Errorf("kind = %v, want RowClosed", kind)
+	}
+	want := int64(80) + 37 + 37 + 14 // ctrl + tRCD + tCL + burst
+	if done != want {
+		t.Errorf("done = %d, want %d", done, want)
+	}
+}
+
+func TestRowHitFaster(t *testing.T) {
+	d := New(Default())
+	base := uint64(1 << 22)
+	first, _ := d.Access(base, 0, false)
+	// Same row, next line: must be a row hit and cheaper.
+	done, kind := d.Access(base+64, first, false)
+	if kind != RowHit {
+		t.Errorf("kind = %v, want RowHit", kind)
+	}
+	lat := done - first
+	want := int64(80) + 37 + 14 // ctrl + tCL + burst
+	if lat != want {
+		t.Errorf("row-hit latency = %d, want %d", lat, want)
+	}
+}
+
+func TestRowConflictSlowest(t *testing.T) {
+	d := New(Default())
+	base := uint64(1 << 22)
+	d.Access(base, 0, false)
+	// Find a different row that hashes onto the same bank (the XOR bank
+	// hash breaks the simple row-stride aliasing on purpose).
+	rowStride := uint64(4096 * 32)
+	conflictAddr := uint64(0)
+	for k := uint64(1); k < 1024; k++ {
+		cand := base + k*rowStride
+		if d.BankOf(cand) == d.BankOf(base) && d.RowOf(cand) != d.RowOf(base) {
+			conflictAddr = cand
+			break
+		}
+	}
+	if conflictAddr == 0 {
+		t.Fatal("no same-bank different-row address found")
+	}
+	start := int64(1000) // after the first access fully drains
+	done, kind := d.Access(conflictAddr, start, false)
+	if kind != RowConflictKind {
+		t.Errorf("kind = %v, want RowConflict", kind)
+	}
+	lat := done - start
+	want := int64(80) + 37 + 37 + 37 + 14
+	if lat != want {
+		t.Errorf("conflict latency = %d, want %d", lat, want)
+	}
+}
+
+func TestBankLevelParallelism(t *testing.T) {
+	d := New(Default())
+	// Two simultaneous requests to different banks overlap: the second
+	// finishes only one bus-burst later than the first, not a full access
+	// later.
+	a1 := uint64(0)
+	a2 := a1 + 4096 // next bank (col bits = 6 lines... 4096B = 64 lines = row size boundary)
+	if d.BankOf(a1) == d.BankOf(a2) {
+		t.Fatalf("addresses map to same bank %d", d.BankOf(a1))
+	}
+	d1, _ := d.Access(a1, 0, false)
+	d2, _ := d.Access(a2, 0, false)
+	if d2 != d1+14 {
+		t.Errorf("parallel banks: d1=%d d2=%d, want bus-limited gap of 14", d1, d2)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	d := New(Default())
+	rowStride := uint64(4096 * 32)
+	// Find a same-bank, different-row partner for address 0 under the hash.
+	var second uint64
+	for k := uint64(1); k < 1024; k++ {
+		if d.BankOf(k*rowStride) == d.BankOf(0) && d.RowOf(k*rowStride) != d.RowOf(0) {
+			second = k * rowStride
+			break
+		}
+	}
+	if second == 0 {
+		t.Fatal("no conflicting pair found")
+	}
+	d1, _ := d.Access(0, 0, false)
+	d2, _ := d.Access(second, 0, false) // same bank, different row
+	if d2 <= d1+37 {
+		t.Errorf("same-bank conflict did not serialize: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := New(Default())
+	d.Access(0, 0, false)
+	d.Access(64, 100, false)
+	d.Access(0, 200, true)
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("reads/writes = %d/%d", s.Reads, s.Writes)
+	}
+	if s.RowMisses != 1 || s.RowHits != 2 {
+		t.Errorf("rowhits/misses = %d/%d, want 2/1", s.RowHits, s.RowMisses)
+	}
+	d.ResetStats()
+	if d.Stats().Reads != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestMinAndTypicalLatency(t *testing.T) {
+	d := New(Default())
+	if d.MinReadLatency() != 80+37+14 {
+		t.Errorf("MinReadLatency = %d", d.MinReadLatency())
+	}
+	if d.TypicalReadLatency() != 80+37+37+14 {
+		t.Errorf("TypicalReadLatency = %d", d.TypicalReadLatency())
+	}
+	if d.TypicalReadLatency() <= d.MinReadLatency() {
+		t.Error("typical must exceed min")
+	}
+}
+
+func TestBankDecodeCoverage(t *testing.T) {
+	d := New(Default())
+	seen := map[int]bool{}
+	for i := uint64(0); i < 64; i++ {
+		b := d.BankOf(i * 4096) // stride one row
+		if b < 0 || b >= d.NumBanks() {
+			t.Fatalf("bank %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("row-stride walk touched %d banks, want all 32", len(seen))
+	}
+}
+
+// Property: completion time is strictly after request time, and repeated
+// accesses to one bank never travel backwards in time.
+func TestPropertyMonotonicCompletion(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint8) bool {
+		d := New(Default())
+		now := int64(0)
+		var lastDone int64
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += int64(gaps[i])
+			}
+			done, _ := d.Access(uint64(a)&^63, now, false)
+			if done <= now {
+				return false
+			}
+			if done < lastDone && d.bus >= lastDone {
+				// The bus reservation makes global completion monotone.
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: row-hit accesses are never slower than conflict accesses
+// issued under identical conditions.
+func TestPropertyRowHitNotSlower(t *testing.T) {
+	f := func(lineSel uint8) bool {
+		base := (uint64(lineSel) * 4096 * 32) & (1<<30 - 1)
+		dHit := New(Default())
+		dHit.Access(base, 0, false)
+		doneHit, _ := dHit.Access(base+uarch.LineSize, 1000, false)
+
+		dConf := New(Default())
+		dConf.Access(base, 0, false)
+		doneConf, _ := dConf.Access(base+4096*32, 1000, false)
+		return doneHit <= doneConf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := Default22nm()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := Default22nm()
+	p.CoreClockMHz = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+	p = Default22nm()
+	p.CoreStaticW = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative static power accepted")
+	}
+}
+
+func TestZeroActivityOnlyStatic(t *testing.T) {
+	p := Default22nm()
+	b := Compute(p, Activity{Cycles: 2_660_000}) // 1 ms
+	if b.CoreDynamic != 0 || b.MemDynamic != 0 || b.Structures != 0 {
+		t.Error("no events must mean no dynamic energy")
+	}
+	wantCore := 1.6e-3 // 1.6 W for 1 ms
+	if math.Abs(b.CoreStatic-wantCore) > 1e-9 {
+		t.Errorf("core static = %g J, want %g", b.CoreStatic, wantCore)
+	}
+	if b.Total() <= 0 {
+		t.Error("total must be positive with cycles elapsed")
+	}
+}
+
+func TestDynamicScalesWithEvents(t *testing.T) {
+	p := Default22nm()
+	a := Activity{Cycles: 1000, Fetched: 1000, Decoded: 1000, Renamed: 1000,
+		Dispatched: 1000, IssuedALU: 600, IssuedMem: 300, RegReads: 2000,
+		RegWrites: 900, Committed: 1000, L1Accesses: 300, DRAMAccesses: 10}
+	b1 := Compute(p, a)
+	a2 := a
+	a2.Fetched *= 2
+	a2.Decoded *= 2
+	b2 := Compute(p, a2)
+	if b2.CoreDynamic <= b1.CoreDynamic {
+		t.Error("more front-end events must cost more core dynamic energy")
+	}
+	if b2.MemDynamic != b1.MemDynamic {
+		t.Error("front-end events must not change memory energy")
+	}
+}
+
+func TestDRAMAccessDominatesCacheAccess(t *testing.T) {
+	p := Default22nm()
+	dram := Compute(p, Activity{DRAMAccesses: 1}).MemDynamic
+	l1 := Compute(p, Activity{L1Accesses: 1}).MemDynamic
+	if dram < 100*l1 {
+		t.Errorf("DRAM access (%g) must dwarf an L1 access (%g)", dram, l1)
+	}
+}
+
+func TestSavingsVs(t *testing.T) {
+	base := Breakdown{CoreDynamic: 1.0}
+	better := Breakdown{CoreDynamic: 0.9}
+	if s := better.SavingsVs(base); math.Abs(s-0.1) > 1e-12 {
+		t.Errorf("savings = %v, want 0.1", s)
+	}
+	worse := Breakdown{CoreDynamic: 1.2}
+	if s := worse.SavingsVs(base); s >= 0 {
+		t.Error("higher energy must show negative savings")
+	}
+	if (Breakdown{}).SavingsVs(Breakdown{}) != 0 {
+		t.Error("zero base must yield zero savings")
+	}
+}
+
+func TestStructureEnergySmall(t *testing.T) {
+	// Section 3.6: the PRE structures are tiny; their energy must be a
+	// small fraction of the pipeline energy for equal event counts.
+	p := Default22nm()
+	pipeline := Compute(p, Activity{Fetched: 1000, Decoded: 1000, Renamed: 1000}).CoreDynamic
+	structs := Compute(p, Activity{SSTLookups: 1000, SSTWrites: 100, PRDQOps: 1000, EMQOps: 1000}).Structures
+	if structs > pipeline/2 {
+		t.Errorf("structure energy %g too close to pipeline energy %g", structs, pipeline)
+	}
+}
+
+// Property: energy is additive — computing two activities separately and
+// summing equals computing their sum (all terms are linear).
+func TestPropertyAdditivity(t *testing.T) {
+	p := Default22nm()
+	f := func(fetch1, fetch2 uint16, dram1, dram2 uint8, cyc1, cyc2 uint16) bool {
+		a1 := Activity{Cycles: int64(cyc1), Fetched: int64(fetch1), DRAMAccesses: int64(dram1)}
+		a2 := Activity{Cycles: int64(cyc2), Fetched: int64(fetch2), DRAMAccesses: int64(dram2)}
+		sum := Activity{
+			Cycles:       a1.Cycles + a2.Cycles,
+			Fetched:      a1.Fetched + a2.Fetched,
+			DRAMAccesses: a1.DRAMAccesses + a2.DRAMAccesses,
+		}
+		sep := Compute(p, a1).Total() + Compute(p, a2).Total()
+		joint := Compute(p, sum).Total()
+		return math.Abs(sep-joint) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownTotalSums(t *testing.T) {
+	b := Breakdown{CoreDynamic: 1, CoreStatic: 2, MemDynamic: 3, DRAMStatic: 4, Structures: 5}
+	if b.Total() != 15 {
+		t.Errorf("total = %v, want 15", b.Total())
+	}
+}

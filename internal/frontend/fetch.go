@@ -1,0 +1,240 @@
+package frontend
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// FetchConfig sizes the fetch/decode pipe.
+type FetchConfig struct {
+	// Width is the number of µops the front-end delivers per cycle. The
+	// paper's methodology assumes delivery of up to 8 µops/cycle (the
+	// µop-cache path) — this feeds PRE's 8-wide runahead SST filter, while
+	// normal-mode throughput stays bounded by the core's 4-wide
+	// rename/dispatch/commit (Table 1).
+	Width int
+	// Depth is the number of front-end pipeline stages between fetch and
+	// rename (Table 1: 8); a fetched µop becomes available for decode/
+	// rename Depth cycles later, so every redirect costs a Depth-cycle
+	// refill bubble.
+	Depth int
+	// QueueSize bounds the decoded micro-op queue (backpressure point).
+	QueueSize int
+}
+
+// DefaultFetchConfig returns the Table 1 front end (see Width for the
+// 8-µop delivery assumption).
+func DefaultFetchConfig() FetchConfig {
+	return FetchConfig{Width: 8, Depth: 8, QueueSize: 64}
+}
+
+// Slot is one fetched µop waiting in the decode pipe / µop queue.
+type Slot struct {
+	// Seq is the dynamic sequence number (resolve via the trace Stream).
+	Seq int64
+	// Ready is the cycle the µop reaches the decode/rename boundary.
+	Ready int64
+	// Mispredicted marks a control µop whose prediction was wrong; the
+	// fetch unit froze immediately after fetching it.
+	Mispredicted bool
+}
+
+// neverThaw freezes fetch until an explicit redirect.
+const neverThaw = math.MaxInt64
+
+// Stats counts front-end activity for the energy model and reports.
+type Stats struct {
+	FetchedUops   int64
+	ICacheStallCy int64
+	FreezeCycles  int64 // cycles fetch was frozen on a mispredict or rewind
+}
+
+// FetchUnit models fetch through decode. It follows the true-path trace,
+// freezing on mispredictions until the core calls Redirect, and supports
+// the rewind needed when traditional runahead flushes the pipeline.
+type FetchUnit struct {
+	cfg    FetchConfig
+	stream *trace.Stream
+	pred   *Predictor
+	hier   *mem.Hierarchy
+
+	nextSeq     int64
+	frozenUntil int64
+	queue       []Slot // FIFO of fetched µops (decode pipe + µop queue)
+
+	curLine   uint64 // I-cache line currently being fetched from
+	lineReady int64  // when the current line's fetch completes
+
+	stats Stats
+}
+
+// NewFetchUnit builds a fetch unit reading from stream, predicting with
+// pred and fetching instructions through hier's L1I.
+func NewFetchUnit(cfg FetchConfig, stream *trace.Stream, pred *Predictor, hier *mem.Hierarchy) *FetchUnit {
+	if cfg.Width <= 0 || cfg.Depth <= 0 || cfg.QueueSize <= 0 {
+		panic("frontend: non-positive fetch geometry")
+	}
+	return &FetchUnit{
+		cfg:     cfg,
+		stream:  stream,
+		pred:    pred,
+		hier:    hier,
+		queue:   make([]Slot, 0, cfg.QueueSize),
+		curLine: ^uint64(0),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (f *FetchUnit) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the counters.
+func (f *FetchUnit) ResetStats() { f.stats = Stats{} }
+
+// NextSeq returns the sequence number fetch will read next.
+func (f *FetchUnit) NextSeq() int64 { return f.nextSeq }
+
+// Frozen reports whether fetch is currently stalled on a mispredict or an
+// explicit rewind at the given cycle.
+func (f *FetchUnit) Frozen(now int64) bool { return f.frozenUntil > now }
+
+// QueueLen returns the number of µops in the pipe/queue.
+func (f *FetchUnit) QueueLen() int { return len(f.queue) }
+
+// Cycle fetches up to Width µops at cycle now, pushing them into the pipe.
+func (f *FetchUnit) Cycle(now int64) {
+	if f.frozenUntil > now {
+		f.stats.FreezeCycles++
+		return
+	}
+	if f.lineReady > now {
+		f.stats.ICacheStallCy++
+		return
+	}
+	for budget := f.cfg.Width; budget > 0 && len(f.queue) < f.cfg.QueueSize; budget-- {
+		u := f.stream.At(f.nextSeq)
+		line := uarch.LineAddr(u.PC)
+		if line != f.curLine {
+			res, ok := f.hier.Fetch(line, now)
+			if !ok {
+				// I-cache MSHRs exhausted: retry next cycle.
+				f.stats.ICacheStallCy++
+				return
+			}
+			f.curLine = line
+			if res.Ready > now+int64(f.hier.L1I().HitLatency()) {
+				// Line miss: fetch resumes when the line arrives.
+				f.lineReady = res.Ready
+				return
+			}
+		}
+		correct := true
+		if u.IsBranch() {
+			correct = f.pred.PredictAndTrain(u)
+		}
+		f.queue = append(f.queue, Slot{
+			Seq:          f.nextSeq,
+			Ready:        now + int64(f.cfg.Depth),
+			Mispredicted: !correct,
+		})
+		f.nextSeq++
+		f.stats.FetchedUops++
+		if !correct {
+			// Freeze until the core redirects after the branch resolves.
+			f.frozenUntil = neverThaw
+			return
+		}
+	}
+}
+
+// Pop removes and returns the oldest µop if it has cleared the decode pipe
+// by cycle now.
+func (f *FetchUnit) Pop(now int64) (Slot, bool) {
+	if len(f.queue) == 0 || f.queue[0].Ready > now {
+		return Slot{}, false
+	}
+	s := f.queue[0]
+	copy(f.queue, f.queue[1:])
+	f.queue = f.queue[:len(f.queue)-1]
+	return s, true
+}
+
+// Peek returns the oldest µop without removing it.
+func (f *FetchUnit) Peek(now int64) (Slot, bool) {
+	if len(f.queue) == 0 || f.queue[0].Ready > now {
+		return Slot{}, false
+	}
+	return f.queue[0], true
+}
+
+// Redirect unfreezes fetch at the given cycle (mispredicted branch
+// resolved). Fetch continues from where it stopped — the µop after the
+// mispredicted branch, which is the true path.
+func (f *FetchUnit) Redirect(resume int64) {
+	if f.frozenUntil == neverThaw || f.frozenUntil < resume {
+		f.frozenUntil = resume
+	}
+}
+
+// Bubble freezes fetch for a fixed number of cycles from now (used for
+// runahead-mode mispredictions that are never resolved by execution).
+func (f *FetchUnit) Bubble(now, cycles int64) {
+	if f.frozenUntil == neverThaw {
+		f.frozenUntil = now + cycles
+	} else if now+cycles > f.frozenUntil {
+		f.frozenUntil = now + cycles
+	}
+}
+
+// Rewind discards the entire pipe and restarts fetch at seq, resuming at
+// the given cycle. Traditional runahead and the runahead buffer use this
+// at runahead exit (re-fetch from the stalling load); PRE uses it to
+// re-fetch the µops it consumed during runahead.
+func (f *FetchUnit) Rewind(seq, resume int64) {
+	f.queue = f.queue[:0]
+	f.nextSeq = seq
+	f.frozenUntil = resume
+	f.curLine = ^uint64(0)
+	f.lineReady = 0
+}
+
+// Freeze stops fetch entirely until Redirect/Rewind (runahead-buffer mode
+// power-gates the front-end during runahead).
+func (f *FetchUnit) Freeze() { f.frozenUntil = neverThaw }
+
+// --- full-state snapshot (E6 ablation support) ---------------------------
+
+// FetchSnapshot captures the fetch unit's state for the E6 ablation.
+type FetchSnapshot struct {
+	nextSeq     int64
+	frozenUntil int64
+	queue       []Slot
+	curLine     uint64
+	lineReady   int64
+}
+
+// TakeSnapshot deep-copies the fetch state.
+func (f *FetchUnit) TakeSnapshot() *FetchSnapshot {
+	return &FetchSnapshot{
+		nextSeq:     f.nextSeq,
+		frozenUntil: f.frozenUntil,
+		queue:       append([]Slot(nil), f.queue...),
+		curLine:     f.curLine,
+		lineReady:   f.lineReady,
+	}
+}
+
+// RestoreSnapshot restores a TakeSnapshot copy; fetch resumes no earlier
+// than the given cycle.
+func (f *FetchUnit) RestoreSnapshot(s *FetchSnapshot, resume int64) {
+	f.nextSeq = s.nextSeq
+	f.frozenUntil = s.frozenUntil
+	if f.frozenUntil != neverThaw && f.frozenUntil < resume {
+		f.frozenUntil = resume
+	}
+	f.queue = append(f.queue[:0], s.queue...)
+	f.curLine = s.curLine
+	f.lineReady = s.lineReady
+}

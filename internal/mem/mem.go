@@ -1,0 +1,294 @@
+// Package mem wires the cache levels and the DRAM model into the memory
+// hierarchy of Table 1: split 32 KB L1I / 32 KB L1D, a private 256 KB L2,
+// a 1 MB shared L3, and DDR3-1600 main memory.
+//
+// The hierarchy implements the multi-level access protocol: demand loads
+// and instruction fetches walk down until they hit, allocate MSHRs at each
+// missing level, and fill lines upward with the appropriate arrival times.
+// Runahead prefetches use the same path (so they consume real MSHR, bank
+// and bus resources — the contention that bounds runahead's usable MLP)
+// but are tagged so coverage statistics can distinguish them.
+//
+// Latency convention: a hit at level k costs the sum of the hit latencies
+// of levels 1..k (L1 4, L2 4+8, L3 4+8+30 for data), matching how Sniper
+// composes its load-to-use latencies from Table 1.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// Level identifies where an access was served.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	// LevelL1 is a first-level hit (L1D for loads, L1I for fetches).
+	LevelL1 Level = 1
+	// LevelL2 is a second-level hit.
+	LevelL2 Level = 2
+	// LevelL3 is a last-level-cache hit.
+	LevelL3 Level = 3
+	// LevelMem is a DRAM access.
+	LevelMem Level = 4
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "MEM"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Config collects the per-level configurations.
+type Config struct {
+	L1I, L1D, L2, L3 cache.Config
+	DRAM             dram.Config
+}
+
+// Default returns the paper's Table 1 memory hierarchy. MSHR counts are
+// Haswell-generation (10 L1D line-fill buffers, a 16-entry L2 superqueue);
+// they bound the memory-level parallelism any mechanism — demand window or
+// runahead prefetching — can expose, which is what keeps the runahead
+// buffer's deep single-chain replay from outrunning its fair share.
+func Default() Config {
+	return Config{
+		L1I:  cache.Config{Name: "L1I", SizeBytes: 32 << 10, Assoc: 4, HitLatency: 2, MSHRs: 8},
+		L1D:  cache.Config{Name: "L1D", SizeBytes: 32 << 10, Assoc: 8, HitLatency: 4, MSHRs: 10},
+		L2:   cache.Config{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, HitLatency: 8, MSHRs: 16},
+		L3:   cache.Config{Name: "L3", SizeBytes: 1 << 20, Assoc: 16, HitLatency: 30, MSHRs: 32},
+		DRAM: dram.Default(),
+	}
+}
+
+// Validate checks every level.
+func (c *Config) Validate() error {
+	for _, cc := range []*cache.Config{&c.L1I, &c.L1D, &c.L2, &c.L3} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.DRAM.Validate()
+}
+
+// Result describes a completed (issued) memory access.
+type Result struct {
+	// Ready is the core cycle at which the data is usable.
+	Ready int64
+	// Level is where the access was served from.
+	Level Level
+}
+
+// Hierarchy is the assembled memory system. Not safe for concurrent use.
+type Hierarchy struct {
+	cfg Config
+	l1i *cache.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+	l3  *cache.Cache
+	ram *dram.DRAM
+}
+
+// New assembles a hierarchy, panicking on invalid configuration (the
+// public API validates first).
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: cache.New(cfg.L1I),
+		l1d: cache.New(cfg.L1D),
+		l2:  cache.New(cfg.L2),
+		l3:  cache.New(cfg.L3),
+		ram: dram.New(cfg.DRAM),
+	}
+}
+
+// L1I returns the instruction cache (stats access).
+func (h *Hierarchy) L1I() *cache.Cache { return h.l1i }
+
+// L1D returns the data cache (stats access).
+func (h *Hierarchy) L1D() *cache.Cache { return h.l1d }
+
+// L2 returns the second-level cache (stats access).
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// L3 returns the last-level cache (stats access).
+func (h *Hierarchy) L3() *cache.Cache { return h.l3 }
+
+// DRAM returns the memory model (stats access).
+func (h *Hierarchy) DRAM() *dram.DRAM { return h.ram }
+
+// ResetStats opens a measurement window across all levels.
+func (h *Hierarchy) ResetStats() {
+	h.l1i.ResetStats()
+	h.l1d.ResetStats()
+	h.l2.ResetStats()
+	h.l3.ResetStats()
+	h.ram.ResetStats()
+}
+
+// writeback pushes a dirty victim from level k into level k+1. It costs no
+// pipeline time (write-back buffers are assumed) but marks lines dirty so
+// dirty data eventually reaches DRAM as write traffic.
+func (h *Hierarchy) writeback(from Level, ev cache.Eviction, now int64) {
+	if !ev.Valid || !ev.Dirty {
+		return
+	}
+	switch from {
+	case LevelL1:
+		if h.l2.Contains(ev.Addr) {
+			h.l2.MarkDirty(ev.Addr)
+			return
+		}
+		ev2 := h.l2.Insert(ev.Addr, now, false)
+		h.l2.MarkDirty(ev.Addr)
+		h.writeback(LevelL2, ev2, now)
+	case LevelL2:
+		if h.l3.Contains(ev.Addr) {
+			h.l3.MarkDirty(ev.Addr)
+			return
+		}
+		ev3 := h.l3.Insert(ev.Addr, now, false)
+		h.l3.MarkDirty(ev.Addr)
+		h.writeback(LevelL3, ev3, now)
+	case LevelL3:
+		h.ram.Access(ev.Addr, now, true)
+	}
+}
+
+// access runs the generic L1→L2→L3→DRAM protocol starting from the given
+// L1 cache. demand=false marks runahead prefetches. ok=false means the
+// access could not even start because the first-level MSHRs are exhausted;
+// the caller must retry on a later cycle.
+func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand, prefetch bool) (Result, bool) {
+	// L1.
+	if hit, ready := l1.Lookup(addr, now, demand); hit {
+		return Result{Ready: ready, Level: LevelL1}, true
+	}
+	if fill, ok := l1.MSHRLookup(addr, now); ok {
+		// Secondary miss: merge into the outstanding fill.
+		return Result{Ready: fill, Level: LevelMem}, true
+	}
+	if l1.MSHRFree(now) == 0 {
+		l1.MSHRAlloc(addr, now, 0) // records the stall; allocation fails
+		return Result{}, false
+	}
+	t := now + int64(l1.HitLatency())
+
+	// L2.
+	if hit, ready := h.l2.Lookup(addr, t, demand); hit {
+		h.fill(l1, addr, ready, prefetch, now)
+		return Result{Ready: ready, Level: LevelL2}, true
+	}
+	if fill, ok := h.l2.MSHRLookup(addr, t); ok {
+		h.fill(l1, addr, fill, prefetch, now)
+		return Result{Ready: fill, Level: LevelMem}, true
+	}
+	if h.l2.MSHRFree(t) == 0 {
+		h.l2.MSHRAlloc(addr, t, 0)
+		return Result{}, false
+	}
+	t2 := t + int64(h.l2.HitLatency())
+
+	// L3.
+	if hit, ready := h.l3.Lookup(addr, t2, demand); hit {
+		h.fillL2(addr, ready, prefetch, t)
+		h.fill(l1, addr, ready, prefetch, now)
+		h.l2.MSHRAlloc(addr, t, ready)
+		return Result{Ready: ready, Level: LevelL3}, true
+	}
+	if fill, ok := h.l3.MSHRLookup(addr, t2); ok {
+		h.fillL2(addr, fill, prefetch, t)
+		h.fill(l1, addr, fill, prefetch, now)
+		h.l2.MSHRAlloc(addr, t, fill)
+		return Result{Ready: fill, Level: LevelMem}, true
+	}
+	if h.l3.MSHRFree(t2) == 0 {
+		h.l3.MSHRAlloc(addr, t2, 0)
+		return Result{}, false
+	}
+	t3 := t2 + int64(h.l3.HitLatency())
+
+	// DRAM.
+	done, _ := h.ram.Access(addr, t3, false)
+
+	ev3 := h.l3.Insert(addr, done, prefetch)
+	h.writeback(LevelL3, ev3, done)
+	h.l3.MSHRAlloc(addr, t2, done)
+	h.fillL2(addr, done, prefetch, t)
+	h.l2.MSHRAlloc(addr, t, done)
+	h.fill(l1, addr, done, prefetch, now)
+	return Result{Ready: done, Level: LevelMem}, true
+}
+
+// fill installs a line into an L1, allocating its MSHR for the in-flight
+// window and handling the victim writeback.
+func (h *Hierarchy) fill(l1 *cache.Cache, addr uint64, ready int64, prefetch bool, now int64) {
+	ev := l1.Insert(addr, ready, prefetch)
+	h.writeback(LevelL1, ev, ready)
+	l1.MSHRAlloc(addr, now, ready)
+}
+
+// fillL2 installs a line into the L2 on its way up.
+func (h *Hierarchy) fillL2(addr uint64, ready int64, prefetch bool, now int64) {
+	ev := h.l2.Insert(addr, ready, prefetch)
+	h.writeback(LevelL2, ev, ready)
+	_ = now
+}
+
+// Load issues a demand data load for the line containing addr.
+// ok=false means MSHRs were exhausted and the load must retry later.
+func (h *Hierarchy) Load(addr uint64, now int64) (Result, bool) {
+	return h.access(h.l1d, addr, now, true, false)
+}
+
+// Prefetch issues a runahead prefetch for the line containing addr. It
+// uses the same resources as a demand load but is excluded from demand
+// statistics and its fills are tagged for coverage accounting.
+func (h *Hierarchy) Prefetch(addr uint64, now int64) (Result, bool) {
+	return h.access(h.l1d, addr, now, false, true)
+}
+
+// Fetch issues an instruction fetch for the line containing addr.
+func (h *Hierarchy) Fetch(addr uint64, now int64) (Result, bool) {
+	return h.access(h.l1i, addr, now, true, false)
+}
+
+// StoreCommit retires a store to the line containing addr. A hit marks the
+// L1D line dirty. A miss write-allocates via the normal load path (the
+// store buffer fetches ownership); the returned Ready is when the line
+// arrives — the store-queue entry is held until then, but commit itself
+// does not stall. ok=false means MSHRs were exhausted; retry.
+func (h *Hierarchy) StoreCommit(addr uint64, now int64) (Result, bool) {
+	if hit, ready := h.l1d.Lookup(addr, now, true); hit {
+		h.l1d.MarkDirty(addr)
+		return Result{Ready: ready, Level: LevelL1}, true
+	}
+	res, ok := h.access(h.l1d, addr, now, false, false)
+	if ok {
+		h.l1d.MarkDirty(addr)
+	}
+	return res, ok
+}
+
+// DemandLoadWouldMissLLC reports whether a load of addr would miss every
+// cache level right now, without perturbing state or statistics. The
+// runahead controllers use it to decide whether a runahead load is worth
+// issuing as a prefetch.
+func (h *Hierarchy) DemandLoadWouldMissLLC(addr uint64) bool {
+	return !h.l1d.Contains(addr) && !h.l2.Contains(addr) && !h.l3.Contains(addr)
+}

@@ -1,0 +1,308 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+func newR() *Renamer { return New(DefaultConfig()) }
+
+func TestInitialState(t *testing.T) {
+	r := newR()
+	intFree, fpFree := r.FreeCounts()
+	if intFree != 168-uarch.NumIntRegs {
+		t.Errorf("int free = %d, want %d", intFree, 168-uarch.NumIntRegs)
+	}
+	if fpFree != 168-uarch.NumFPRegs {
+		t.Errorf("fp free = %d, want %d", fpFree, 168-uarch.NumFPRegs)
+	}
+	// Every architectural register maps to a distinct ready preg.
+	seen := map[PReg]bool{}
+	for i := 0; i < uarch.NumIntRegs; i++ {
+		p := r.Lookup(uarch.IntReg(i))
+		if p == PRegNone || seen[p] || !r.IsReady(p) {
+			t.Fatalf("bad initial mapping for r%d: %d", i, p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := Config{IntPRF: 8, FPPRF: 168}
+	if err := c.Validate(); err == nil {
+		t.Error("undersized int PRF accepted")
+	}
+	c = Config{IntPRF: 168, FPPRF: 8}
+	if err := c.Validate(); err == nil {
+		t.Error("undersized fp PRF accepted")
+	}
+}
+
+func TestRenameAllocatesAndMaps(t *testing.T) {
+	r := newR()
+	u := &uarch.Uop{PC: 0x1000, Class: uarch.ClassIntAlu,
+		Dst: uarch.IntReg(1), Src1: uarch.IntReg(2), Src2: uarch.IntReg(3)}
+	before2 := r.Lookup(uarch.IntReg(2))
+	out, ok := r.Rename(u, false)
+	if !ok {
+		t.Fatal("rename failed")
+	}
+	if out.Src1P != before2 {
+		t.Error("source mapping wrong")
+	}
+	if out.DstP == PRegNone || out.DstP == out.OldDstP {
+		t.Error("dst allocation wrong")
+	}
+	if r.Lookup(uarch.IntReg(1)) != out.DstP {
+		t.Error("RAT not updated")
+	}
+	if r.IsReady(out.DstP) {
+		t.Error("fresh dst must not be ready")
+	}
+	if r.ProducerPC(uarch.IntReg(1)) != 0x1000 {
+		t.Error("RAT PC extension not recorded")
+	}
+}
+
+func TestRenameSerialDependence(t *testing.T) {
+	r := newR()
+	u1 := &uarch.Uop{PC: 4, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+	o1, _ := r.Rename(u1, false)
+	u2 := &uarch.Uop{PC: 8, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(2), Src1: uarch.IntReg(1)}
+	o2, _ := r.Rename(u2, false)
+	if o2.Src1P != o1.DstP {
+		t.Error("consumer must read producer's new preg")
+	}
+}
+
+func TestRenameExhaustion(t *testing.T) {
+	r := newR()
+	free, _ := r.FreeCounts()
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+	for i := 0; i < free; i++ {
+		if _, ok := r.Rename(u, false); !ok {
+			t.Fatalf("rename %d failed early", i)
+		}
+	}
+	if _, ok := r.Rename(u, false); ok {
+		t.Fatal("rename past exhaustion succeeded")
+	}
+	if r.Stats().RenameStall != 1 {
+		t.Errorf("stalls = %d, want 1", r.Stats().RenameStall)
+	}
+	if !r.CanRename(uarch.FPReg(0)) {
+		t.Error("fp file must be unaffected")
+	}
+	if r.CanRename(uarch.IntReg(0)) {
+		t.Error("int file must report exhaustion")
+	}
+}
+
+func TestCommitFreesOldMapping(t *testing.T) {
+	r := newR()
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+	o, _ := r.Rename(u, false)
+	intFree, _ := r.FreeCounts()
+	r.Commit(u.Dst, o.DstP)
+	intFree2, _ := r.FreeCounts()
+	if intFree2 != intFree+1 {
+		t.Errorf("commit freed %d regs, want 1", intFree2-intFree)
+	}
+}
+
+func TestReadyPoisonLifecycle(t *testing.T) {
+	r := newR()
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassLoad, Dst: uarch.IntReg(1), Src1: uarch.IntReg(2)}
+	o, _ := r.Rename(u, false)
+	if r.IsReady(o.DstP) || r.IsPoisoned(o.DstP) {
+		t.Fatal("fresh preg state wrong")
+	}
+	r.MarkPoisoned(o.DstP, true)
+	if !r.IsPoisoned(o.DstP) || !r.IsReady(o.DstP) {
+		t.Error("poison+ready (RA semantics) not set")
+	}
+	r.ClearPoison(o.DstP)
+	if r.IsPoisoned(o.DstP) {
+		t.Error("poison not cleared")
+	}
+
+	o2, _ := r.Rename(u, false)
+	r.MarkPoisoned(o2.DstP, false)
+	if r.IsReady(o2.DstP) {
+		t.Error("PRE-style poison must not publish readiness")
+	}
+	if !r.IsPoisoned(o2.DstP) {
+		t.Error("PRE-style poison missing")
+	}
+}
+
+func TestPRegNoneAlwaysReadyNeverPoisoned(t *testing.T) {
+	r := newR()
+	if !r.IsReady(PRegNone) {
+		t.Error("PRegNone must be trivially ready")
+	}
+	r.MarkPoisoned(PRegNone, true) // must be a no-op
+	if r.IsPoisoned(PRegNone) {
+		t.Error("PRegNone cannot be poisoned")
+	}
+}
+
+func TestRunaheadGeneration(t *testing.T) {
+	r := newR()
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+	oNormal, _ := r.Rename(u, false)
+	if r.IsRunaheadAlloc(oNormal.DstP) {
+		t.Error("normal alloc tagged as runahead")
+	}
+	r.BeginRunahead()
+	oRun, _ := r.Rename(u, true)
+	if !r.IsRunaheadAlloc(oRun.DstP) {
+		t.Error("runahead alloc not tagged")
+	}
+	if r.IsRunaheadAlloc(oNormal.DstP) {
+		t.Error("pre-runahead alloc tagged as runahead")
+	}
+	// A new episode invalidates the old generation.
+	r.BeginRunahead()
+	if r.IsRunaheadAlloc(oRun.DstP) {
+		t.Error("stale generation still considered runahead")
+	}
+}
+
+func TestCheckpointSpecRestore(t *testing.T) {
+	r := newR()
+	// Advance some state first.
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+	r.Rename(u, false)
+	cp := r.CheckpointSpec()
+	mapAt := r.Lookup(uarch.IntReg(1))
+	intFree, fpFree := r.FreeCounts()
+
+	// Runahead: burn through registers.
+	r.BeginRunahead()
+	for i := 0; i < 40; i++ {
+		ur := &uarch.Uop{PC: uint64(100 + i), Class: uarch.ClassIntAlu, Dst: uarch.IntReg(i % 8)}
+		if _, ok := r.Rename(ur, true); !ok {
+			t.Fatal("runahead rename failed")
+		}
+	}
+	uf := &uarch.Uop{PC: 999, Class: uarch.ClassFPAdd, Dst: uarch.FPReg(3)}
+	r.Rename(uf, true)
+
+	r.RestoreSpec(cp)
+	if r.Lookup(uarch.IntReg(1)) != mapAt {
+		t.Error("RAT not restored")
+	}
+	if r.ProducerPC(uarch.IntReg(1)) != 4 {
+		t.Error("RAT PC extension not restored")
+	}
+	i2, f2 := r.FreeCounts()
+	if i2 != intFree || f2 != fpFree {
+		t.Errorf("free lists not restored: (%d,%d) vs (%d,%d)", i2, f2, intFree, fpFree)
+	}
+}
+
+func TestRestoreFullRebuildsEverything(t *testing.T) {
+	r := newR()
+	// Commit a few µops so committed state diverges from initial.
+	for i := 0; i < 5; i++ {
+		u := &uarch.Uop{PC: uint64(4 * (i + 1)), Class: uarch.ClassIntAlu, Dst: uarch.IntReg(1)}
+		o, _ := r.Rename(u, false)
+		r.MarkReady(o.DstP)
+		r.Commit(u.Dst, o.DstP)
+	}
+	cp := r.CheckpointCommitted()
+	committedMap := r.Lookup(uarch.IntReg(1)) // spec == committed here
+
+	// Wreck the speculative state (runahead with pseudo-commits).
+	for i := 0; i < 100; i++ {
+		u := &uarch.Uop{PC: uint64(1000 + i), Class: uarch.ClassIntAlu, Dst: uarch.IntReg(i % 16)}
+		o, ok := r.Rename(u, false)
+		if !ok {
+			break
+		}
+		r.Commit(u.Dst, o.DstP) // pseudo-commit corrupts committed RAT
+	}
+
+	r.RestoreFull(cp)
+	if r.Lookup(uarch.IntReg(1)) != committedMap {
+		t.Error("RAT not restored to committed checkpoint")
+	}
+	if !r.IsReady(r.Lookup(uarch.IntReg(1))) {
+		t.Error("restored mappings must be ready")
+	}
+	intFree, fpFree := r.FreeCounts()
+	if intFree != 168-uarch.NumIntRegs || fpFree != 168-uarch.NumFPRegs {
+		t.Errorf("free lists after rebuild: (%d,%d)", intFree, fpFree)
+	}
+}
+
+// Property: register conservation — in any interleaving of rename and
+// commit, (free + live) int registers is constant, and no register is
+// ever both free and mapped.
+func TestPropertyRegisterConservation(t *testing.T) {
+	f := func(seed int64, steps []uint8) bool {
+		r := newR()
+		rng := rand.New(rand.NewSource(seed))
+		type live struct {
+			dst  uarch.Reg
+			dstP PReg
+		}
+		var pending []live
+		for range steps {
+			if rng.Intn(2) == 0 || len(pending) == 0 {
+				dst := uarch.IntReg(rng.Intn(uarch.NumIntRegs))
+				u := &uarch.Uop{PC: uint64(rng.Intn(1000)), Class: uarch.ClassIntAlu, Dst: dst}
+				if o, ok := r.Rename(u, false); ok {
+					pending = append(pending, live{dst, o.DstP})
+				}
+			} else {
+				// Commit the oldest pending µop.
+				l := pending[0]
+				pending = pending[1:]
+				r.Commit(l.dst, l.dstP)
+			}
+			// Conservation: free + (arch mappings) + (pending in-flight) +
+			// (old mappings awaiting commit-free) == total. Verify no
+			// double-free instead: every free-list entry distinct.
+			intFree, _ := r.FreeCounts()
+			if intFree > 168-1 {
+				return false
+			}
+			seen := map[PReg]bool{}
+			for _, p := range r.intFree {
+				if seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+			// A mapped register must never be on the free list.
+			for a := 0; a < uarch.NumIntRegs; a++ {
+				if seen[r.Lookup(uarch.IntReg(a))] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	r := newR()
+	u := &uarch.Uop{PC: 4, Class: uarch.ClassFPAdd, Dst: uarch.FPReg(0)}
+	r.Rename(u, false)
+	s := r.Stats()
+	if s.Renamed != 1 || s.FPAllocs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	r.ResetStats()
+	if r.Stats().Renamed != 0 {
+		t.Error("ResetStats failed")
+	}
+}

@@ -1,0 +1,215 @@
+// Package report renders the harness results as the paper's figures and
+// tables: aligned text tables for terminal output and CSV for plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row (stringified cells).
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, esc(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// baselineIndex finds ModeOoO's column.
+func baselineIndex(modes []core.Mode) int {
+	for i, m := range modes {
+		if m == core.ModeOoO {
+			return i
+		}
+	}
+	return 0
+}
+
+// Fig2 builds the paper's Figure 2: per-benchmark performance of each
+// runahead mechanism normalized to the out-of-order baseline, with a
+// geometric-mean summary row. results is indexed [workload][mode].
+func Fig2(results [][]sim.Result, modes []core.Mode) *Table {
+	base := baselineIndex(modes)
+	header := []string{"benchmark"}
+	for _, m := range modes {
+		header = append(header, m.String())
+	}
+	t := NewTable("Figure 2: performance normalized to OoO", header...)
+	gmean := make([][]float64, len(modes))
+	for _, row := range results {
+		cells := []string{row[0].Workload}
+		for mi := range modes {
+			s := row[mi].Speedup(row[base])
+			gmean[mi] = append(gmean[mi], s)
+			cells = append(cells, fmt.Sprintf("%.3f", s))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"gmean"}
+	for mi := range modes {
+		cells = append(cells, fmt.Sprintf("%.3f", stats.GeoMean(gmean[mi])))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// Fig3 builds the paper's Figure 3: energy savings (core + DRAM) of each
+// mechanism relative to the out-of-order baseline, positive = saves
+// energy. results is indexed [workload][mode].
+func Fig3(results [][]sim.Result, modes []core.Mode) *Table {
+	base := baselineIndex(modes)
+	header := []string{"benchmark"}
+	for _, m := range modes {
+		header = append(header, m.String())
+	}
+	t := NewTable("Figure 3: energy savings relative to OoO (positive = less energy)", header...)
+	mean := make([][]float64, len(modes))
+	for _, row := range results {
+		cells := []string{row[0].Workload}
+		for mi := range modes {
+			s := row[mi].Energy.SavingsVs(row[base].Energy)
+			mean[mi] = append(mean[mi], s)
+			cells = append(cells, fmt.Sprintf("%+.1f%%", 100*s))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"mean"}
+	for mi := range modes {
+		cells = append(cells, fmt.Sprintf("%+.1f%%", 100*stats.Mean(mean[mi])))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// AverageSpeedups returns the geometric-mean speedup of each mode over the
+// baseline (the Figure 2 summary values).
+func AverageSpeedups(results [][]sim.Result, modes []core.Mode) []float64 {
+	base := baselineIndex(modes)
+	out := make([]float64, len(modes))
+	for mi := range modes {
+		var xs []float64
+		for _, row := range results {
+			xs = append(xs, row[mi].Speedup(row[base]))
+		}
+		out[mi] = stats.GeoMean(xs)
+	}
+	return out
+}
+
+// AverageEnergySavings returns the mean energy saving of each mode over
+// the baseline (the Figure 3 summary values).
+func AverageEnergySavings(results [][]sim.Result, modes []core.Mode) []float64 {
+	base := baselineIndex(modes)
+	out := make([]float64, len(modes))
+	for mi := range modes {
+		var sum float64
+		for _, row := range results {
+			sum += row[mi].Energy.SavingsVs(row[base].Energy)
+		}
+		out[mi] = sum / float64(len(results))
+	}
+	return out
+}
+
+// RunaheadDetail builds the per-mechanism diagnostic table used by the
+// in-text experiments (entries, intervals, prefetch coverage, refill
+// penalties).
+func RunaheadDetail(results [][]sim.Result, modes []core.Mode) *Table {
+	t := NewTable("Runahead behaviour",
+		"benchmark", "mode", "entries", "interval", "<20cyc", "prefetches", "pf-useful", "refill", "IPC")
+	for _, row := range results {
+		for mi, m := range modes {
+			if m == core.ModeOoO {
+				continue
+			}
+			r := row[mi]
+			t.AddRow(r.Workload, m.String(),
+				fmt.Sprintf("%d", r.Entries),
+				fmt.Sprintf("%.0f", r.IntervalMean),
+				fmt.Sprintf("%.0f%%", 100*r.IntervalFracBelow20),
+				fmt.Sprintf("%d", r.Prefetches),
+				fmt.Sprintf("%d", r.PrefetchUseful),
+				fmt.Sprintf("%.0f", r.RefillPenaltyMean),
+				fmt.Sprintf("%.3f", r.IPC))
+		}
+	}
+	return t
+}

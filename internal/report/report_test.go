@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+func fakeResults() ([][]sim.Result, []core.Mode) {
+	modes := []core.Mode{core.ModeOoO, core.ModePRE}
+	mk := func(name string, mode core.Mode, ipc, joules float64) sim.Result {
+		return sim.Result{
+			Workload: name, Mode: mode, IPC: ipc,
+			Energy: energy.Breakdown{CoreDynamic: joules},
+		}
+	}
+	return [][]sim.Result{
+		{mk("alpha", core.ModeOoO, 1.0, 1.0), mk("alpha", core.ModePRE, 1.5, 0.9)},
+		{mk("beta", core.ModeOoO, 0.5, 2.0), mk("beta", core.ModePRE, 0.6, 2.2)},
+	}, modes
+}
+
+func TestTableAlignmentAndContent(t *testing.T) {
+	tab := NewTable("T", "a", "bb")
+	tab.AddRow("xxx", "y")
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "xxx") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, row
+		t.Errorf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`va"l`, "w,x")
+	var buf bytes.Buffer
+	tab.WriteCSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"w,x"`) {
+		t.Errorf("CSV escaping broken: %s", out)
+	}
+}
+
+func TestFig2Normalization(t *testing.T) {
+	results, modes := fakeResults()
+	tab := Fig2(results, modes)
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1.500") {
+		t.Errorf("alpha PRE speedup 1.5 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "gmean") {
+		t.Error("gmean row missing")
+	}
+	// Baseline column is all 1.000.
+	if strings.Count(out, "1.000") < 3 {
+		t.Errorf("baseline column not normalized:\n%s", out)
+	}
+}
+
+func TestFig3Savings(t *testing.T) {
+	results, modes := fakeResults()
+	tab := Fig3(results, modes)
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "+10.0%") {
+		t.Errorf("alpha PRE saving +10%% missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-10.0%") {
+		t.Errorf("beta PRE saving -10%% missing:\n%s", out)
+	}
+}
+
+func TestAverageHelpers(t *testing.T) {
+	results, modes := fakeResults()
+	sp := AverageSpeedups(results, modes)
+	if sp[0] != 1.0 {
+		t.Errorf("baseline speedup %v, want 1", sp[0])
+	}
+	// gmean(1.5, 1.2) ≈ 1.342
+	if sp[1] < 1.3 || sp[1] > 1.4 {
+		t.Errorf("PRE gmean speedup %v out of range", sp[1])
+	}
+	es := AverageEnergySavings(results, modes)
+	if es[0] != 0 {
+		t.Errorf("baseline saving %v, want 0", es[0])
+	}
+	// mean(+0.1, -0.1) = 0
+	if es[1] < -0.001 || es[1] > 0.001 {
+		t.Errorf("PRE mean saving %v, want ~0", es[1])
+	}
+}
+
+func TestRunaheadDetailSkipsBaseline(t *testing.T) {
+	results, modes := fakeResults()
+	tab := RunaheadDetail(results, modes)
+	for _, row := range tab.Rows {
+		if row[1] == "OoO" {
+			t.Error("baseline must not appear in runahead detail")
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("expected 2 rows, got %d", len(tab.Rows))
+	}
+}

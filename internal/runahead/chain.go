@@ -1,0 +1,143 @@
+package runahead
+
+import "repro/internal/uarch"
+
+// ExtractChain performs the runahead buffer's backward dataflow walk
+// (Hashemi et al., reproduced here as the RA-buffer baseline): starting
+// from the youngest µop in window whose PC equals stallPC, it walks older
+// µops collecting the producers of every needed source register; loads in
+// the chain additionally check the store queue (a one-cycle CAM match on
+// the address) and pull a forwarding store — and its producers — into the
+// chain.
+//
+// window must be in program order (oldest first). The returned chain is in
+// program order and has at most maxLen µops; it is empty if stallPC does
+// not appear in the window. Loads in the returned chain terminate register
+// backtracking (their data comes from memory).
+func ExtractChain(window []uarch.Uop, stallPC uint64, maxLen int) []uarch.Uop {
+	chain, _ := ExtractChainCost(window, stallPC, maxLen)
+	return chain
+}
+
+// ExtractChainCost is ExtractChain plus the hardware cost of the walk: the
+// number of ROB entries the scan visits. The walk proceeds at one entry
+// per cycle (the "expensive CAM lookups in the ROB" of Section 3.6), so
+// the cost is the cycle count before replay can start. The walk stops as
+// soon as every register dependence is resolved — either by finding the
+// producer or by recognizing a looped instance of a µop already in the
+// chain.
+func ExtractChainCost(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.Uop, int) {
+	// Find the youngest instance of the stalling load, scanning from the
+	// tail as the hardware does.
+	start := -1
+	visited := 0
+	for i := len(window) - 1; i >= 0; i-- {
+		visited++
+		if window[i].PC == stallPC {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, visited
+	}
+
+	// Store-queue CAM: for a chain load, the youngest older store with a
+	// byte-overlapping range forwards to it; include such stores (and
+	// their producers) in the chain. The lookup itself is a parallel CAM
+	// match, not part of the linear walk cost.
+	forwardingStore := func(loadIdx int) int {
+		l := &window[loadIdx]
+		for j := loadIdx - 1; j >= 0; j-- {
+			s := &window[j]
+			if s.IsStore() && l.Addr < s.Addr+uint64(s.Size) && s.Addr < l.Addr+uint64(l.Size) {
+				return j
+			}
+		}
+		return -1
+	}
+
+	needReg := map[uarch.Reg]bool{}
+	forced := map[int]bool{} // store indices that must join the chain
+	pendingStores := 0
+	add := func(u *uarch.Uop) {
+		if u.Src1 != uarch.RegNone {
+			needReg[u.Src1] = true
+		}
+		if u.Src2 != uarch.RegNone {
+			needReg[u.Src2] = true
+		}
+	}
+	onLoadPicked := func(idx int) {
+		if j := forwardingStore(idx); j >= 0 && !forced[j] {
+			forced[j] = true
+			pendingStores++
+		}
+	}
+
+	picked := []int{start}
+	pickedPC := map[uint64]bool{stallPC: true}
+	add(&window[start])
+	onLoadPicked(start)
+
+	for i := start - 1; i >= 0 && len(picked) < maxLen; i-- {
+		if len(needReg) == 0 && pendingStores == 0 {
+			break // every dependence resolved; the hardware walk stops here
+		}
+		visited++
+		u := &window[i]
+		take := false
+		if u.HasDst() && needReg[u.Dst] {
+			take = true
+			delete(needReg, u.Dst)
+		}
+		if forced[i] {
+			take = true
+			pendingStores--
+		}
+		if !take {
+			continue
+		}
+		if pickedPC[u.PC] {
+			// An older dynamic instance of a µop already in the chain
+			// (e.g. the i += 1 recurrence): the buffered chain holds one
+			// static copy and replays it in a loop, so the dependence is
+			// satisfied without storing the instance again.
+			continue
+		}
+		pickedPC[u.PC] = true
+		picked = append(picked, i)
+		add(u)
+		if u.IsLoad() {
+			// Register backtracking stops at loads; memory dependences
+			// continue through the store queue.
+			onLoadPicked(i)
+		}
+	}
+
+	// Reverse into program order and copy out.
+	chain := make([]uarch.Uop, 0, len(picked))
+	for i := len(picked) - 1; i >= 0; i-- {
+		chain = append(chain, window[picked[i]])
+	}
+	return chain, visited
+}
+
+// ChainHasLeadingDependence reports whether any non-terminal load in the
+// chain feeds a later chain µop through a register — i.e. the chain
+// serializes on memory (pointer chasing) rather than being recomputable
+// from register state (streaming). Reports and tests use this to classify
+// extracted chains.
+func ChainHasLeadingDependence(chain []uarch.Uop) bool {
+	for i, u := range chain {
+		if !u.IsLoad() || i == len(chain)-1 {
+			continue
+		}
+		for j := i + 1; j < len(chain); j++ {
+			if chain[j].Src1 == u.Dst || chain[j].Src2 == u.Dst {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+// Package runahead provides the hardware structures proposed by the paper
+// and its baselines: the Stalling Slice Table (SST) and Precise Register
+// Deallocation Queue (PRDQ) of PRE, the Extended Micro-op Queue (EMQ) of
+// PRE+EMQ, and the backward dataflow walker used by the runahead buffer
+// to extract a dependence chain from the ROB.
+//
+// These are plain data structures with no pipeline knowledge; the
+// controllers in internal/core drive them.
+package runahead
+
+import "fmt"
+
+// SSTStats counts SST activity for the energy model and Section 3.6
+// accounting.
+type SSTStats struct {
+	Lookups int64
+	Hits    int64
+	Inserts int64
+	Evicts  int64
+}
+
+// SST is the Stalling Slice Table: a fully-associative, LRU-replaced cache
+// of instruction addresses (PCs) known to belong to a stalling slice
+// (Section 3.2). A hit means "this µop feeds a long-latency load; execute
+// it in runahead mode".
+type SST struct {
+	capacity int
+	// LRU bookkeeping: map PC -> node index in a doubly-linked list
+	// threaded through nodes, most-recent at head.
+	nodes map[uint64]*sstNode
+	head  *sstNode // most recently used
+	tail  *sstNode // least recently used
+	stats SSTStats
+}
+
+type sstNode struct {
+	pc         uint64
+	prev, next *sstNode
+}
+
+// NewSST builds an SST with the given entry capacity (Table 1: 256).
+func NewSST(capacity int) *SST {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("runahead: SST capacity %d must be positive", capacity))
+	}
+	return &SST{capacity: capacity, nodes: make(map[uint64]*sstNode, capacity)}
+}
+
+// Capacity returns the configured entry count.
+func (s *SST) Capacity() int { return s.capacity }
+
+// Len returns the number of live entries.
+func (s *SST) Len() int { return len(s.nodes) }
+
+// Stats returns a copy of the counters.
+func (s *SST) Stats() SSTStats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *SST) ResetStats() { s.stats = SSTStats{} }
+
+// StorageBytes returns the SST's hardware cost with 4-byte tags
+// (Section 3.6: 256 entries -> 1 KB).
+func (s *SST) StorageBytes() int { return s.capacity * 4 }
+
+func (s *SST) unlink(n *sstNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *SST) pushFront(n *sstNode) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+// Lookup probes for pc, refreshing its LRU position on a hit.
+func (s *SST) Lookup(pc uint64) bool {
+	s.stats.Lookups++
+	n, ok := s.nodes[pc]
+	if !ok {
+		return false
+	}
+	s.stats.Hits++
+	if s.head != n {
+		s.unlink(n)
+		s.pushFront(n)
+	}
+	return true
+}
+
+// Contains probes without touching LRU or statistics (tests, reports).
+func (s *SST) Contains(pc uint64) bool {
+	_, ok := s.nodes[pc]
+	return ok
+}
+
+// Insert adds pc (refreshing it if already present), evicting the LRU
+// entry when full.
+func (s *SST) Insert(pc uint64) {
+	if n, ok := s.nodes[pc]; ok {
+		if s.head != n {
+			s.unlink(n)
+			s.pushFront(n)
+		}
+		return
+	}
+	if len(s.nodes) >= s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.nodes, victim.pc)
+		s.stats.Evicts++
+	}
+	n := &sstNode{pc: pc}
+	s.nodes[pc] = n
+	s.pushFront(n)
+	s.stats.Inserts++
+}

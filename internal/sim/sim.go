@@ -1,0 +1,208 @@
+// Package sim assembles a full machine (core + memory + workload), runs
+// warmup and measurement windows, and gathers the statistics every report
+// and benchmark consumes. It is the programmatic equivalent of the
+// paper's "simulate 1-billion-instruction SimPoints" methodology, scaled
+// to windows that run in seconds.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options controls a simulation run.
+type Options struct {
+	// WarmupUops executes before the measurement window opens (caches,
+	// predictors and the SST learn during warmup).
+	WarmupUops int64
+	// MeasureUops is the measured window length.
+	MeasureUops int64
+	// Configure, if non-nil, adjusts the core configuration (built from
+	// core.Default for the requested mode) before the machine is built —
+	// the hook every ablation sweep uses.
+	Configure func(*core.Config)
+	// Energy overrides the energy parameters (Default22nm otherwise).
+	Energy *energy.Params
+}
+
+// DefaultOptions returns the standard harness window.
+func DefaultOptions() Options {
+	return Options{WarmupUops: 50_000, MeasureUops: 300_000}
+}
+
+// Result is the flattened outcome of one run.
+type Result struct {
+	Workload string
+	Mode     core.Mode
+
+	Cycles    int64
+	Committed int64
+	IPC       float64
+
+	// Memory behaviour.
+	L3MPKI     float64 // demand LLC misses per kilo committed µop
+	DRAMReads  int64
+	DRAMWrites int64
+
+	// Runahead behaviour.
+	Entries             int64
+	EntriesSkipped      int64
+	RunaheadCycles      int64
+	Prefetches          int64
+	PrefetchFills       int64
+	PrefetchUseful      int64
+	IntervalMean        float64
+	IntervalFracBelow20 float64
+	RefillPenaltyMean   float64
+	RefillPenaltyCount  int64
+	FullWindowStall     int64
+	DivergenceStops     int64
+
+	// Section 3.4 free-resource fractions at runahead entry.
+	FreeIQFrac, FreeIntFrac, FreeFPFrac float64
+
+	BranchMispredicts int64
+
+	Energy energy.Breakdown
+}
+
+// Speedup returns r's IPC normalized to base's.
+func (r Result) Speedup(base Result) float64 {
+	return stats.Ratio(r.IPC, base.IPC)
+}
+
+// Run simulates one workload under one mode.
+func Run(w workload.Workload, mode core.Mode, opt Options) (Result, error) {
+	if opt.MeasureUops <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive measurement window")
+	}
+	cfg := core.Default(mode)
+	if opt.Configure != nil {
+		opt.Configure(&cfg)
+	}
+	c, err := core.New(cfg, w.New())
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.WarmupUops > 0 {
+		c.Run(opt.WarmupUops)
+	}
+	c.ResetStats()
+	c.Run(opt.MeasureUops)
+	return gather(w.Name, mode, c, opt), nil
+}
+
+// gather flattens the machine's statistics into a Result.
+func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
+	cs := c.Stats()
+	l1d := c.Hierarchy().L1D().Stats()
+	l1i := c.Hierarchy().L1I().Stats()
+	l2 := c.Hierarchy().L2().Stats()
+	l3 := c.Hierarchy().L3().Stats()
+	dr := c.Hierarchy().DRAM().Stats()
+	fe := c.FetchUnit().Stats()
+	sst := c.SST().Stats()
+	prdq := c.PRDQ().Stats()
+	emq := c.EMQ().Stats()
+
+	params := energy.Default22nm()
+	if opt.Energy != nil {
+		params = *opt.Energy
+	}
+	act := energy.Activity{
+		Cycles:       cs.Cycles,
+		Fetched:      fe.FetchedUops,
+		Decoded:      cs.Decoded,
+		Renamed:      cs.Renamed,
+		Dispatched:   cs.Dispatched,
+		IssuedALU:    cs.IssuedALU,
+		IssuedFPU:    cs.IssuedFPU,
+		IssuedBranch: cs.IssuedBranch,
+		IssuedMem:    cs.IssuedLoad + cs.IssuedStore,
+		RegReads:     2 * (cs.IssuedALU + cs.IssuedFPU + cs.IssuedBranch + cs.IssuedLoad + cs.IssuedStore),
+		RegWrites:    cs.Completed,
+		Committed:    cs.Committed + cs.PseudoRetired,
+		L1Accesses:   l1i.Accesses + cs.IssuedLoad + cs.IssuedStore,
+		L2Accesses:   l2.Accesses + l2.PrefetchFills + l2.Writebacks,
+		L3Accesses:   l3.Accesses + l3.PrefetchFills + l3.Writebacks,
+		DRAMAccesses: dr.Reads + dr.Writes,
+		SSTLookups:   sst.Lookups,
+		SSTWrites:    sst.Inserts,
+		PRDQOps:      prdq.Allocs + prdq.Deallocs,
+		EMQOps:       emq.Pushes + emq.Pops,
+	}
+
+	return Result{
+		Workload:            name,
+		Mode:                mode,
+		Cycles:              cs.Cycles,
+		Committed:           cs.Committed,
+		IPC:                 cs.IPC(),
+		L3MPKI:              stats.PerKilo(l3.Misses, cs.Committed),
+		DRAMReads:           dr.Reads,
+		DRAMWrites:          dr.Writes,
+		Entries:             cs.Entries,
+		EntriesSkipped:      cs.EntriesSkipped,
+		RunaheadCycles:      cs.RunaheadCycles,
+		Prefetches:          cs.Prefetches,
+		PrefetchFills:       l1d.PrefetchFills,
+		PrefetchUseful:      l1d.PrefetchUseful,
+		IntervalMean:        cs.Intervals.Mean(),
+		IntervalFracBelow20: cs.Intervals.FractionBelow(20),
+		RefillPenaltyMean:   cs.RefillPenalty.Mean(),
+		RefillPenaltyCount:  cs.RefillPenalty.Count(),
+		FullWindowStall:     cs.FullWindowStallCycles,
+		DivergenceStops:     cs.DivergenceStops,
+		FreeIQFrac:          cs.FreeIQAtEntry.Mean(),
+		FreeIntFrac:         cs.FreeIntRegAtEntry.Mean(),
+		FreeFPFrac:          cs.FreeFPRegAtEntry.Mean(),
+		BranchMispredicts:   cs.BranchMispredicts,
+		Energy:              energy.Compute(params, act),
+	}
+}
+
+// RunMatrix simulates every (workload, mode) pair, in parallel across the
+// machine's cores, returning results indexed [workload][mode] in the
+// given orders.
+func RunMatrix(ws []workload.Workload, modes []core.Mode, opt Options) ([][]Result, error) {
+	results := make([][]Result, len(ws))
+	for i := range results {
+		results[i] = make([]Result, len(modes))
+	}
+	type job struct{ wi, mi int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := runtime.GOMAXPROCS(0)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := Run(ws[j.wi], modes[j.mi], opt)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[j.wi][j.mi] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for wi := range ws {
+		for mi := range modes {
+			jobs <- job{wi, mi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results, firstErr
+}

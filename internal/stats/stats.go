@@ -1,0 +1,240 @@
+// Package stats provides the light-weight counters, histograms and derived
+// metrics used by the simulator to record pipeline activity. The simulator
+// is single-threaded per machine instance, so none of the types here are
+// synchronized.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	n    int64
+}
+
+// NewCounter returns a named counter starting at zero.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which may not be negative) to the counter.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("stats: negative delta %d on counter %s", delta, c.name))
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Reset zeroes the counter. Used when a measurement window opens after
+// warmup.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram is a fixed-bucket histogram of non-negative integer samples.
+// Bucket i covers [bounds[i-1], bounds[i]) with bucket 0 covering
+// [0, bounds[0]) and a final overflow bucket covering [bounds[last], inf).
+type Histogram struct {
+	name    string
+	bounds  []int64
+	buckets []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket bounds.
+func NewHistogram(name string, bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:    name,
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]int64, len(bounds)+1),
+		min:     math.MaxInt64,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// FractionBelow returns the fraction of samples strictly below v, computed
+// from bucket boundaries. v must be one of the construction bounds; this
+// keeps the result exact rather than interpolated.
+func (h *Histogram) FractionBelow(v int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var below int64
+	for i, b := range h.bounds {
+		if b > v {
+			break
+		}
+		below += h.buckets[i]
+		if b == v {
+			return float64(below) / float64(h.count)
+		}
+	}
+	// v was not an exact bound: fall back to counting full buckets below v.
+	below = 0
+	for i, b := range h.bounds {
+		if b <= v {
+			below += h.buckets[i]
+		}
+	}
+	return float64(below) / float64(h.count)
+}
+
+// Bucket returns the count in bucket i (0 <= i <= len(bounds)).
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of buckets including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// String renders the histogram compactly for debug output.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: n=%d mean=%.1f", h.name, h.count, h.Mean())
+	lo := int64(0)
+	for i, b := range h.bounds {
+		if h.buckets[i] > 0 {
+			fmt.Fprintf(&sb, " [%d,%d)=%d", lo, b, h.buckets[i])
+		}
+		lo = b
+	}
+	if h.buckets[len(h.bounds)] > 0 {
+		fmt.Fprintf(&sb, " [%d,inf)=%d", lo, h.buckets[len(h.bounds)])
+	}
+	return sb.String()
+}
+
+// Running tracks a running mean without storing samples.
+type Running struct {
+	count int64
+	sum   float64
+}
+
+// Observe adds one sample.
+func (r *Running) Observe(v float64) {
+	r.count++
+	r.sum += v
+}
+
+// Mean returns the running mean, or 0 with no samples.
+func (r *Running) Mean() float64 {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / float64(r.count)
+}
+
+// Count returns the number of samples.
+func (r *Running) Count() int64 { return r.count }
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { r.count, r.sum = 0, 0 }
+
+// Ratio returns a/b, or 0 when b is zero. It is the standard helper for
+// rates like MPKI and IPC where an empty denominator means "no activity".
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PerKilo returns events per thousand units, e.g. misses per kilo
+// instruction (MPKI).
+func PerKilo(events, units int64) float64 {
+	return Ratio(float64(events)*1000, float64(units))
+}
+
+// GeoMean returns the geometric mean of xs; values must be positive.
+// It returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

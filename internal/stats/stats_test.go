@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter("x")
+	if c.Value() != 0 || c.Name() != "x" {
+		t.Fatal("fresh counter wrong")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("got %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) must panic")
+		}
+	}()
+	NewCounter("x").Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("lat", 10, 20, 50)
+	for _, v := range []int64{0, 5, 9, 10, 19, 20, 49, 50, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{3, 2, 2, 2} // [0,10) [10,20) [20,50) [50,inf)
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("count = %d, want 9", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram("iv", 20, 100)
+	for i := int64(0); i < 27; i++ {
+		h.Observe(5) // below 20
+	}
+	for i := int64(0); i < 73; i++ {
+		h.Observe(150) // above 100
+	}
+	if got := h.FractionBelow(20); math.Abs(got-0.27) > 1e-12 {
+		t.Errorf("FractionBelow(20) = %v, want 0.27", got)
+	}
+	if got := h.FractionBelow(100); math.Abs(got-0.27) > 1e-12 {
+		t.Errorf("FractionBelow(100) = %v, want 0.27", got)
+	}
+}
+
+func TestHistogramMeanAndReset(t *testing.T) {
+	h := NewHistogram("x", 10)
+	h.Observe(4)
+	h.Observe(6)
+	if h.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", h.Mean())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Error("reset did not clear histogram")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram("x", 10)
+	h.Observe(-5)
+	if h.Bucket(0) != 1 || h.Min() != 0 {
+		t.Error("negative samples must clamp to 0")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds must panic")
+		}
+	}()
+	NewHistogram("bad", 10, 10)
+}
+
+func TestHistogramStringNonEmpty(t *testing.T) {
+	h := NewHistogram("x", 10, 20)
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(25)
+	if h.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestHistogramPropertyCountConservation(t *testing.T) {
+	f := func(samples []uint16) bool {
+		h := NewHistogram("p", 16, 64, 256, 1024, 16384)
+		var sum int64
+		for _, s := range samples {
+			h.Observe(int64(s))
+			sum += int64(s)
+		}
+		var total int64
+		for i := 0; i < h.NumBuckets(); i++ {
+			total += h.Bucket(i)
+		}
+		return total == int64(len(samples)) && h.Sum() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 {
+		t.Error("empty running mean must be 0")
+	}
+	r.Observe(1)
+	r.Observe(3)
+	if r.Mean() != 2 || r.Count() != 2 {
+		t.Errorf("mean=%v count=%d", r.Mean(), r.Count())
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRatioAndPerKilo(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator must be 0")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if PerKilo(5, 1000) != 5 {
+		t.Errorf("PerKilo(5,1000) = %v", PerKilo(5, 1000))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean must be 0")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean(0) must panic")
+		}
+	}()
+	GeoMean([]float64{0})
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty Mean must be 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean(2,4,6) != 4")
+	}
+}

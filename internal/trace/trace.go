@@ -1,0 +1,116 @@
+// Package trace supplies the dynamic micro-op stream to the core.
+//
+// Workloads implement Generator, a deterministic producer of the "true
+// path" µop sequence. The core never consumes a Generator directly;
+// it reads through a Stream, which buffers a sliding window of generated
+// µops so that the pipeline can
+//
+//   - fetch ahead of commit (normal operation),
+//   - run ahead of the stalled window (runahead modes read far past the
+//     newest fetched µop), and
+//   - rewind to the stalling load after a runahead flush (traditional
+//     runahead and runahead buffer re-fetch the discarded window).
+//
+// µops older than the release point (typically the commit head) are
+// discarded, keeping memory bounded regardless of run length.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/uarch"
+)
+
+// Generator produces an infinite deterministic µop stream. Implementations
+// fill in every Uop field except Seq, which the Stream assigns.
+type Generator interface {
+	// Name identifies the workload (for reports).
+	Name() string
+	// Next writes the next µop of the stream into u.
+	Next(u *uarch.Uop)
+}
+
+// Stream adapts a Generator into a random-access sliding window.
+type Stream struct {
+	gen   Generator
+	buf   []uarch.Uop // ring buffer
+	mask  int64       // len(buf)-1 (len is a power of two)
+	start int64       // seq of the oldest retained µop
+	next  int64       // seq of the next µop to be generated
+}
+
+const initialWindow = 1 << 12
+
+// NewStream wraps gen in a fresh window starting at sequence 0.
+func NewStream(gen Generator) *Stream {
+	return &Stream{gen: gen, buf: make([]uarch.Uop, initialWindow), mask: initialWindow - 1}
+}
+
+// Name returns the underlying generator's name.
+func (s *Stream) Name() string { return s.gen.Name() }
+
+// At returns the µop with the given sequence number, generating forward as
+// needed. seq must be at or after the current window start; asking for a
+// released µop is a programming error and panics.
+func (s *Stream) At(seq int64) *uarch.Uop {
+	if seq < s.start {
+		panic(fmt.Sprintf("trace: seq %d already released (window starts at %d)", seq, s.start))
+	}
+	for s.next <= seq {
+		if s.next-s.start >= int64(len(s.buf)) {
+			s.grow()
+		}
+		u := &s.buf[s.next&s.mask]
+		*u = uarch.Uop{}
+		s.gen.Next(u)
+		u.Seq = s.next
+		s.next++
+	}
+	return &s.buf[seq&s.mask]
+}
+
+// grow doubles the ring, preserving the retained window.
+func (s *Stream) grow() {
+	nbuf := make([]uarch.Uop, len(s.buf)*2)
+	nmask := int64(len(nbuf) - 1)
+	for seq := s.start; seq < s.next; seq++ {
+		nbuf[seq&nmask] = s.buf[seq&s.mask]
+	}
+	s.buf = nbuf
+	s.mask = nmask
+}
+
+// Release discards all µops with sequence numbers below seq. Pointers
+// previously returned by At for released µops become invalid.
+func (s *Stream) Release(seq int64) {
+	if seq > s.next {
+		seq = s.next
+	}
+	if seq > s.start {
+		s.start = seq
+	}
+}
+
+// WindowStart returns the oldest retained sequence number.
+func (s *Stream) WindowStart() int64 { return s.start }
+
+// Generated returns the number of µops generated so far (the exclusive
+// upper bound of valid history).
+func (s *Stream) Generated() int64 { return s.next }
+
+// WindowLen returns the current number of retained µops.
+func (s *Stream) WindowLen() int64 { return s.next - s.start }
+
+// FindNextPC scans forward from seq (inclusive) for the next µop whose PC
+// matches pc, generating as needed, up to limit µops ahead. It returns the
+// matching sequence number or -1. The runahead-buffer replay engine uses
+// this to locate future dynamic instances of slice instructions.
+func (s *Stream) FindNextPC(pc uint64, seq, limit int64) int64 {
+	end := seq + limit
+	for q := seq; q < end; q++ {
+		if s.At(q).PC == pc {
+			return q
+		}
+	}
+	return -1
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+// countGen emits ialu µops whose Addr field records their creation order,
+// letting tests verify identity and replay stability.
+type countGen struct{ n uint64 }
+
+func (g *countGen) Name() string { return "count" }
+func (g *countGen) Next(u *uarch.Uop) {
+	u.Class = uarch.ClassIntAlu
+	u.PC = 0x400000 + (g.n%7)*4 // 7 static PCs cycling
+	u.Addr = g.n
+	g.n++
+}
+
+func TestAtAssignsSequentialSeq(t *testing.T) {
+	s := NewStream(&countGen{})
+	for i := int64(0); i < 100; i++ {
+		u := s.At(i)
+		if u.Seq != i || u.Addr != uint64(i) {
+			t.Fatalf("At(%d) = seq %d addr %d", i, u.Seq, u.Addr)
+		}
+	}
+}
+
+func TestAtRandomAccessWithinWindow(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.At(50)
+	// Going back within the window returns the identical µop.
+	if u := s.At(10); u.Addr != 10 {
+		t.Fatalf("At(10).Addr = %d", u.Addr)
+	}
+	if s.Generated() != 51 {
+		t.Errorf("Generated = %d, want 51", s.Generated())
+	}
+}
+
+func TestReleaseAdvancesWindow(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.At(100)
+	s.Release(40)
+	if s.WindowStart() != 40 {
+		t.Errorf("WindowStart = %d, want 40", s.WindowStart())
+	}
+	if s.WindowLen() != 61 {
+		t.Errorf("WindowLen = %d, want 61", s.WindowLen())
+	}
+	// Window contents unchanged.
+	if u := s.At(40); u.Addr != 40 {
+		t.Errorf("At(40).Addr = %d", u.Addr)
+	}
+}
+
+func TestReleaseBeyondGeneratedClamps(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.At(5)
+	s.Release(1000)
+	if s.WindowStart() != s.Generated() {
+		t.Errorf("start %d != generated %d", s.WindowStart(), s.Generated())
+	}
+	// Generation continues normally afterwards.
+	if u := s.At(s.Generated()); u.Seq != u.Seq {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestReleaseBackwardsIgnored(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.At(100)
+	s.Release(50)
+	s.Release(10) // must not move the window backwards
+	if s.WindowStart() != 50 {
+		t.Errorf("WindowStart = %d, want 50", s.WindowStart())
+	}
+}
+
+func TestAtReleasedPanics(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.At(100)
+	s.Release(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(49) after Release(50) must panic")
+		}
+	}()
+	s.At(49)
+}
+
+func TestWindowGrowthPreservesContents(t *testing.T) {
+	s := NewStream(&countGen{})
+	// Generate far beyond the initial window without releasing.
+	last := int64(initialWindow*4 + 17)
+	s.At(last)
+	for _, q := range []int64{0, 1, initialWindow - 1, initialWindow, last / 2, last} {
+		if u := s.At(q); u.Addr != uint64(q) || u.Seq != q {
+			t.Fatalf("after growth At(%d) = seq %d addr %d", q, u.Seq, u.Addr)
+		}
+	}
+}
+
+func TestFindNextPC(t *testing.T) {
+	s := NewStream(&countGen{})
+	// PCs cycle with period 7: pc of seq q is 0x400000 + (q%7)*4.
+	got := s.FindNextPC(0x400000+3*4, 0, 100)
+	if got != 3 {
+		t.Errorf("FindNextPC = %d, want 3", got)
+	}
+	got = s.FindNextPC(0x400000+3*4, 4, 100)
+	if got != 10 {
+		t.Errorf("FindNextPC from 4 = %d, want 10", got)
+	}
+	if got := s.FindNextPC(0xdead, 0, 50); got != -1 {
+		t.Errorf("missing PC must return -1, got %d", got)
+	}
+}
+
+func TestFindNextPCLimitExclusive(t *testing.T) {
+	s := NewStream(&countGen{})
+	// Target at seq 10; searching [4, 4+6) must miss it, [4, 4+7) finds it.
+	if got := s.FindNextPC(0x400000+3*4, 4, 6); got != -1 {
+		t.Errorf("limit must be exclusive, got %d", got)
+	}
+	if got := s.FindNextPC(0x400000+3*4, 4, 7); got != 10 {
+		t.Errorf("want 10, got %d", got)
+	}
+}
+
+func TestNamePassthrough(t *testing.T) {
+	if NewStream(&countGen{}).Name() != "count" {
+		t.Error("Name passthrough failed")
+	}
+}
+
+// Property: a rewind (re-reading an old seq still in the window) always
+// yields the identical µop, across arbitrary access/release interleavings.
+func TestPropertyReplayIdentity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewStream(&countGen{})
+		maxSeen := int64(-1)
+		for _, op := range ops {
+			seq := int64(op % 2048)
+			if seq < s.WindowStart() {
+				seq = s.WindowStart()
+			}
+			u := s.At(seq)
+			if u.Seq != seq || u.Addr != uint64(seq) {
+				return false
+			}
+			if seq > maxSeen {
+				maxSeen = seq
+			}
+			if op%5 == 0 && maxSeen > 64 {
+				s.Release(maxSeen - 64)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package uarch defines the shared micro-architectural vocabulary used by
+// every other package in the simulator: micro-ops (µops), architectural
+// register identifiers, operation classes, and execution latencies.
+//
+// The simulator is trace-driven: workload generators emit a deterministic
+// dynamic stream of Uop values (the "true path"), and the core model times
+// their flow through the pipeline. Register values are opaque — data
+// dependencies are expressed through architectural register numbers and
+// memory addresses are carried directly on the µop.
+package uarch
+
+import "fmt"
+
+// Reg identifies an architectural register. The zero value means "no
+// register" (an absent source or destination operand).
+//
+// The architectural register file is split into an integer half and a
+// floating-point half, mirroring the paper's 64-entry RAT (Table 1 uses
+// 168 int + 168 fp physical registers behind a 64-entry architectural
+// map). Integer registers occupy [IntRegBase, IntRegBase+NumIntRegs) and
+// floating-point registers occupy [FPRegBase, FPRegBase+NumFPRegs).
+type Reg uint8
+
+// Architectural register-file geometry.
+const (
+	// RegNone marks an absent operand.
+	RegNone Reg = 0
+	// NumIntRegs is the number of integer architectural registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of floating-point architectural registers.
+	NumFPRegs = 32
+	// NumArchRegs is the total architectural register count (the RAT size).
+	NumArchRegs = NumIntRegs + NumFPRegs
+	// IntRegBase is the first integer register identifier.
+	IntRegBase Reg = 1
+	// FPRegBase is the first floating-point register identifier.
+	FPRegBase Reg = IntRegBase + NumIntRegs
+	// RegLimit is one past the largest valid register identifier.
+	RegLimit Reg = FPRegBase + NumFPRegs
+)
+
+// IntReg returns the i-th integer architectural register.
+// It panics if i is out of range; workload generators are expected to
+// stay within [0, NumIntRegs).
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("uarch: integer register index %d out of range", i))
+	}
+	return IntRegBase + Reg(i)
+}
+
+// FPReg returns the i-th floating-point architectural register.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("uarch: fp register index %d out of range", i))
+	}
+	return FPRegBase + Reg(i)
+}
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r >= IntRegBase && r < RegLimit }
+
+// IsInt reports whether r is an integer architectural register.
+func (r Reg) IsInt() bool { return r >= IntRegBase && r < FPRegBase }
+
+// IsFP reports whether r is a floating-point architectural register.
+func (r Reg) IsFP() bool { return r >= FPRegBase && r < RegLimit }
+
+// String renders the register in assembly-like notation (r3, f7, -).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r-IntRegBase))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r-FPRegBase))
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// Class categorizes a µop by the functional unit it needs and, for memory
+// and control operations, by its pipeline-visible side effects.
+type Class uint8
+
+// Operation classes.
+const (
+	// ClassNop does nothing but occupy pipeline slots.
+	ClassNop Class = iota
+	// ClassIntAlu is a single-cycle integer operation (add, shift, logic).
+	ClassIntAlu
+	// ClassIntMul is a pipelined integer multiply.
+	ClassIntMul
+	// ClassIntDiv is an unpipelined integer divide.
+	ClassIntDiv
+	// ClassFPAdd is a pipelined floating-point add/sub/convert.
+	ClassFPAdd
+	// ClassFPMul is a pipelined floating-point multiply.
+	ClassFPMul
+	// ClassFPDiv is an unpipelined floating-point divide/sqrt.
+	ClassFPDiv
+	// ClassLoad reads memory at Uop.Addr.
+	ClassLoad
+	// ClassStore writes memory at Uop.Addr when it commits.
+	ClassStore
+	// ClassBranch is a conditional branch with a predictor-visible outcome.
+	ClassBranch
+	// ClassJump is an unconditional direct jump (always taken).
+	ClassJump
+	// ClassCall is a call: pushes a return address on the RAS.
+	ClassCall
+	// ClassReturn pops the RAS.
+	ClassReturn
+	// NumClasses counts the operation classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"nop", "ialu", "imul", "idiv", "fadd", "fmul", "fdiv",
+	"load", "store", "branch", "jump", "call", "ret",
+}
+
+// String returns the short mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsCtl reports whether the class redirects control flow.
+func (c Class) IsCtl() bool {
+	return c == ClassBranch || c == ClassJump || c == ClassCall || c == ClassReturn
+}
+
+// Latency returns the execution latency in cycles for non-memory classes.
+// Memory latency is determined by the cache hierarchy, so ClassLoad
+// returns only its address-generation component. The values follow the
+// Haswell-era latencies used by Sniper's core model.
+func (c Class) Latency() int {
+	switch c {
+	case ClassNop:
+		return 1
+	case ClassIntAlu:
+		return 1
+	case ClassIntMul:
+		return 3
+	case ClassIntDiv:
+		return 18
+	case ClassFPAdd:
+		return 3
+	case ClassFPMul:
+		return 5
+	case ClassFPDiv:
+		return 18
+	case ClassLoad, ClassStore:
+		return 1 // address generation; memory time is added by the hierarchy
+	case ClassBranch, ClassJump, ClassCall, ClassReturn:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether the functional unit for this class accepts a
+// new µop every cycle (true) or is busy for the full latency (false).
+func (c Class) Pipelined() bool {
+	return c != ClassIntDiv && c != ClassFPDiv
+}
+
+// Uop is one dynamic micro-operation in the instruction stream.
+//
+// Seq is the dynamic instruction index (position in the true path) and is
+// assigned by the trace machinery, not by workload generators. PC is the
+// static program counter, used by the branch predictor, the SST, and the
+// runahead-buffer slice walker to recognize repeated instances of the
+// same static operation.
+type Uop struct {
+	// Seq is the dynamic sequence number (0-based position in the stream).
+	Seq int64
+	// PC is the static program counter of the instruction this µop
+	// belongs to. Distinct static operations must use distinct PCs.
+	PC uint64
+	// Class selects the functional unit and side-effect semantics.
+	Class Class
+	// Src1 and Src2 are architectural source registers (RegNone if unused).
+	Src1, Src2 Reg
+	// Dst is the architectural destination register (RegNone if none).
+	Dst Reg
+	// Addr is the effective byte address for loads and stores.
+	Addr uint64
+	// Size is the access size in bytes for loads and stores.
+	Size uint8
+	// Taken is the true outcome for conditional branches; jumps, calls and
+	// returns are always taken.
+	Taken bool
+	// Target is the taken-path target PC for control µops.
+	Target uint64
+}
+
+// HasDst reports whether the µop writes an architectural register.
+func (u *Uop) HasDst() bool { return u.Dst != RegNone }
+
+// IsLoad reports whether the µop is a load.
+func (u *Uop) IsLoad() bool { return u.Class == ClassLoad }
+
+// IsStore reports whether the µop is a store.
+func (u *Uop) IsStore() bool { return u.Class == ClassStore }
+
+// IsBranch reports whether the µop is any control-flow operation.
+func (u *Uop) IsBranch() bool { return u.Class.IsCtl() }
+
+// CacheLine returns the 64-byte line address of the µop's memory access.
+func (u *Uop) CacheLine() uint64 { return u.Addr &^ 63 }
+
+// String renders a compact single-line disassembly, useful in tests and
+// debug traces.
+func (u *Uop) String() string {
+	switch {
+	case u.Class == ClassLoad:
+		return fmt.Sprintf("#%d pc=%#x load %s <- [%#x](%s,%s)", u.Seq, u.PC, u.Dst, u.Addr, u.Src1, u.Src2)
+	case u.Class == ClassStore:
+		return fmt.Sprintf("#%d pc=%#x store [%#x] <- %s,%s", u.Seq, u.PC, u.Addr, u.Src1, u.Src2)
+	case u.Class.IsCtl():
+		return fmt.Sprintf("#%d pc=%#x %s taken=%v -> %#x (%s,%s)", u.Seq, u.PC, u.Class, u.Taken, u.Target, u.Src1, u.Src2)
+	default:
+		return fmt.Sprintf("#%d pc=%#x %s %s <- %s,%s", u.Seq, u.PC, u.Class, u.Dst, u.Src1, u.Src2)
+	}
+}
+
+// LineSize is the cache line size in bytes used throughout the simulator.
+const LineSize = 64
+
+// LineAddr returns addr rounded down to a cache-line boundary.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }

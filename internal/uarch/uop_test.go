@@ -1,0 +1,166 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegPartition(t *testing.T) {
+	if RegNone.Valid() {
+		t.Error("RegNone must not be valid")
+	}
+	for i := 0; i < NumIntRegs; i++ {
+		r := IntReg(i)
+		if !r.Valid() || !r.IsInt() || r.IsFP() {
+			t.Errorf("IntReg(%d)=%v misclassified", i, r)
+		}
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		r := FPReg(i)
+		if !r.Valid() || !r.IsFP() || r.IsInt() {
+			t.Errorf("FPReg(%d)=%v misclassified", i, r)
+		}
+	}
+}
+
+func TestRegPartitionDisjoint(t *testing.T) {
+	seen := map[Reg]bool{}
+	for i := 0; i < NumIntRegs; i++ {
+		r := IntReg(i)
+		if seen[r] {
+			t.Fatalf("duplicate register id %v", r)
+		}
+		seen[r] = true
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		r := FPReg(i)
+		if seen[r] {
+			t.Fatalf("fp register id %v collides with int space", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != NumArchRegs {
+		t.Fatalf("expected %d distinct registers, got %d", NumArchRegs, len(seen))
+	}
+}
+
+func TestRegOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntReg(NumIntRegs) must panic")
+		}
+	}()
+	IntReg(NumIntRegs)
+}
+
+func TestFPRegOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FPReg(-1) must panic")
+		}
+	}()
+	FPReg(-1)
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{RegNone, "-"},
+		{IntReg(0), "r0"},
+		{IntReg(5), "r5"},
+		{FPReg(0), "f0"},
+		{FPReg(7), "f7"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(c.r), got, c.want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() {
+		t.Error("load/store must be memory classes")
+	}
+	if ClassIntAlu.IsMem() {
+		t.Error("ialu is not memory")
+	}
+	for _, c := range []Class{ClassBranch, ClassJump, ClassCall, ClassReturn} {
+		if !c.IsCtl() {
+			t.Errorf("%v must be a control class", c)
+		}
+	}
+	if ClassLoad.IsCtl() {
+		t.Error("load is not control")
+	}
+}
+
+func TestClassLatencyPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Latency() <= 0 {
+			t.Errorf("class %v latency %d must be positive", c, c.Latency())
+		}
+	}
+}
+
+func TestUnpipelinedClasses(t *testing.T) {
+	if ClassIntDiv.Pipelined() || ClassFPDiv.Pipelined() {
+		t.Error("divides must be unpipelined")
+	}
+	if !ClassIntAlu.Pipelined() || !ClassLoad.Pipelined() {
+		t.Error("alu and load must be pipelined")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", uint8(c))
+		}
+	}
+}
+
+func TestUopPredicates(t *testing.T) {
+	ld := Uop{Class: ClassLoad, Dst: IntReg(1), Addr: 0x1043}
+	if !ld.IsLoad() || ld.IsStore() || ld.IsBranch() || !ld.HasDst() {
+		t.Error("load predicates wrong")
+	}
+	if ld.CacheLine() != 0x1040 {
+		t.Errorf("CacheLine = %#x, want 0x1040", ld.CacheLine())
+	}
+	st := Uop{Class: ClassStore, Addr: 64}
+	if !st.IsStore() || st.HasDst() {
+		t.Error("store predicates wrong")
+	}
+	br := Uop{Class: ClassBranch, Taken: true}
+	if !br.IsBranch() {
+		t.Error("branch predicate wrong")
+	}
+}
+
+func TestLineAddrProperty(t *testing.T) {
+	f := func(addr uint64) bool {
+		l := LineAddr(addr)
+		return l%LineSize == 0 && l <= addr && addr-l < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUopStringCoverage(t *testing.T) {
+	uops := []Uop{
+		{Class: ClassLoad, Dst: IntReg(1), Src1: IntReg(2), Addr: 0x100},
+		{Class: ClassStore, Src1: IntReg(1), Src2: IntReg(2), Addr: 0x200},
+		{Class: ClassBranch, Taken: true, Target: 0x300, Src1: IntReg(3)},
+		{Class: ClassIntAlu, Dst: IntReg(4), Src1: IntReg(5), Src2: IntReg(6)},
+	}
+	for _, u := range uops {
+		if u.String() == "" {
+			t.Errorf("empty String() for %v class", u.Class)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package workload
+
+import (
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// --- shared emission helpers ------------------------------------------------
+//
+// Register plan shared by all archetypes:
+//   r0..r5   kernel state (indices, pointers)
+//   r3..r8   secondary kernel state where needed
+//   r9       hash/address temporaries
+//   r10..r13 integer filler scratch
+//   r14      hot-block index
+//   r15      hot-block integer destination
+//   f0..f5   loaded values
+//   f6..f7   FP accumulators / hot-block FP destination
+//
+// Destination density matters: the 168-entry physical register files back
+// a 192-entry ROB only because real code writes a register on roughly half
+// its µops (compares, tests, stores, branches do not). The filler helpers
+// interleave flag-setting compares so the ROB — not the PRF — is the first
+// structure to fill on a long-latency miss, as in the paper's baseline.
+
+// aluFiller emits n integer scratch ops; odd slots are no-destination
+// compares.
+func (e *emitQ) aluFiller(pc uint64, n int) uint64 {
+	for i := 0; i < n; i++ {
+		d := uarch.IntReg(10 + i%4)
+		s := uarch.IntReg(10 + (i+1)%4)
+		if i%2 == 1 {
+			e.cmp(pc, d, s)
+		} else {
+			e.alu(pc, d, d, s)
+		}
+		pc += 4
+	}
+	return pc
+}
+
+// fpFiller emits n FP ops. One third are consumers folding loaded values
+// (src(i)) into the f6/f7 reduction chains — these genuinely wait on
+// memory. The rest compute on the independent f8..f11 accumulators
+// (loop-invariant coefficients, address arithmetic in FP form), matching
+// real FP kernels where only part of the arithmetic sits on the load's
+// critical path. Without that split every FP op transitively waits on
+// DRAM and the 92-entry issue queue fills long before the 192-entry ROB —
+// and the full-window stalls the paper's mechanisms key on never happen.
+func (e *emitQ) fpFiller(pc uint64, n int, src func(i int) uarch.Reg) uint64 {
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0: // consumer: fold a loaded value into a reduction chain
+			d := uarch.FPReg(6 + (i/3)%2)
+			e.fadd(pc, d, d, src(i))
+		case 1: // independent multiply chain
+			d := uarch.FPReg(8 + i%4)
+			e.fmul(pc, d, d, uarch.FPReg(8+(i+1)%4))
+		default: // no-destination compare on independent accumulators
+			e.push(uarch.Uop{PC: pc, Class: uarch.ClassFPAdd,
+				Src1: uarch.FPReg(8 + i%4), Src2: uarch.FPReg(8 + (i+2)%4)})
+		}
+		pc += 4
+	}
+	return pc
+}
+
+// hotBlock emits one index advance plus n L1-resident loads, alternating
+// integer and FP destinations to spread register-file pressure.
+func (e *emitQ) hotBlock(pc uint64, n int, base, salt uint64) uint64 {
+	if n == 0 {
+		return pc
+	}
+	idx := uarch.IntReg(14)
+	e.alu(pc, idx, idx, uarch.RegNone)
+	pc += 4
+	for i := 0; i < n; i++ {
+		dst := uarch.IntReg(15)
+		if i%2 == 1 {
+			dst = uarch.FPReg(15)
+		}
+		e.load(pc, dst, idx, base+(salt+uint64(i)*8)%8192)
+		pc += 4
+	}
+	return pc
+}
+
+// --- stream -------------------------------------------------------------------
+
+// StreamParams configures the streaming archetype: one or more strided
+// walks over large arrays. Each stream's stalling slice is the pair
+// {index += stride; load A[index]}, which is independent across
+// iterations — exactly the structure the runahead buffer replays deeply.
+type StreamParams struct {
+	KernelID int
+	// Streams is the number of independent strided walks (1 models
+	// libquantum's single dominant slice).
+	Streams int
+	// StrideBytes is the per-iteration advance of each stream; 64 touches
+	// a new cache line every iteration.
+	StrideBytes uint64
+	// ALUWork and FPWork are filler operations per iteration consuming the
+	// loaded values.
+	ALUWork, FPWork int
+	// HotLoads per iteration hit a small L1-resident array.
+	HotLoads int
+	// StorePeriod stores back to stream 0's current line every N
+	// iterations (0 = never) — an update-in-place pattern, so stores hit
+	// the line the load just filled rather than adding a write stream.
+	StorePeriod int
+	// PhaseIters, when non-zero, ends an inner loop every N iterations:
+	// the kernel emits an outer-loop jump and every stream re-bases to a
+	// fresh region — real kernels sweep finite rows/planes, and a frozen
+	// replayed chain extrapolates garbage past such a boundary while
+	// mechanisms that fetch real instructions follow it.
+	PhaseIters int
+}
+
+// NewStream builds a streaming generator.
+func NewStream(p StreamParams) trace.Generator {
+	if p.Streams < 1 || p.Streams > 6 {
+		panic("workload: Streams must be in [1,6]")
+	}
+	base := pcBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	streamBase := make([]uint64, p.Streams)
+	for s := range streamBase {
+		streamBase[s] = dataBase(p.KernelID, 2+s)
+	}
+	var iter uint64
+	pos := make([]uint64, p.Streams)
+
+	return &kernelGen{name: "stream", emit: func(e *emitQ) {
+		pc := base
+		for s := 0; s < p.Streams; s++ {
+			idx := uarch.IntReg(s)
+			val := uarch.FPReg(s)
+			pos[s] += p.StrideBytes
+			e.alu(pc, idx, idx, uarch.RegNone) // index += stride
+			pc += 4
+			e.load(pc, val, idx, streamBase[s]+pos[s])
+			pc += 4
+		}
+		pc = e.fpFiller(pc, p.FPWork, func(i int) uarch.Reg { return uarch.FPReg(i % p.Streams) })
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, iter*64)
+		if p.StorePeriod > 0 && iter%uint64(p.StorePeriod) == 0 {
+			// Update in place: hits the line stream 0 just loaded.
+			e.store(pc, uarch.FPReg(0), uarch.IntReg(0), streamBase[0]+pos[0])
+		}
+		pc += 4
+		iter++
+		if p.PhaseIters > 0 && iter%uint64(p.PhaseIters) == 0 {
+			// Inner loop done: fall through the loop branch (not taken)
+			// and jump from the outer loop back in, re-basing every
+			// stream onto the next region.
+			e.branch(pc, uarch.IntReg(0), false, base)
+			e.jump(pc+4, base)
+			for s := range pos {
+				pos[s] += 1 << 22
+			}
+			return
+		}
+		e.branch(pc, uarch.IntReg(0), true, base) // loop back, predictable
+	}}
+}
+
+// --- pointer chase ---------------------------------------------------------------
+
+// PtrChaseParams configures the pointer-chasing archetype: several
+// interleaved random permutation walks where each load's address is the
+// previous load's data (load r <- [r]). A single chain is unprefetchable
+// ahead of its own data; MLP exists only ACROSS chains, so mechanisms that
+// execute all slices (PRE, traditional RA) find it and the single-slice
+// runahead buffer does not.
+type PtrChaseParams struct {
+	KernelID int
+	// Chains is the number of independent pointer chains.
+	Chains int
+	// FootprintLines is the per-chain walk footprint in cache lines
+	// (power of two).
+	FootprintLines uint64
+	// ALUWork and HotLoads are per-iteration filler.
+	ALUWork, HotLoads int
+	// BranchNoise adds a data-dependent branch with ~6% mispredicts.
+	BranchNoise bool
+}
+
+// NewPtrChase builds a pointer-chasing generator.
+func NewPtrChase(p PtrChaseParams) trace.Generator {
+	if p.Chains < 1 || p.Chains > 6 {
+		panic("workload: Chains must be in [1,6]")
+	}
+	if p.FootprintLines&(p.FootprintLines-1) != 0 {
+		panic("workload: FootprintLines must be a power of two")
+	}
+	base := pcBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	chainBase := make([]uint64, p.Chains)
+	state := make([]uint64, p.Chains)
+	for c := range chainBase {
+		chainBase[c] = dataBase(p.KernelID, 1+c)
+		state[c] = uint64(c)*977 + 13
+	}
+	r := &rng{s: uint64(p.KernelID)*2654435761 + 1}
+	var iter uint64
+
+	return &kernelGen{name: "ptrchase", emit: func(e *emitQ) {
+		pc := base
+		for c := 0; c < p.Chains; c++ {
+			ptr := uarch.IntReg(c)
+			state[c] = lcgStep(state[c], p.FootprintLines)
+			// load ptr <- [ptr]: the slice is the load itself.
+			e.load(pc, ptr, ptr, chainBase[c]+state[c]*uarch.LineSize)
+			pc += 4
+		}
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, iter*32)
+		if p.BranchNoise {
+			// Data-dependent branch: taken ~94% of the time.
+			e.branch(pc, uarch.IntReg(0), !r.below(6, 100), base+0x100)
+		}
+		pc += 4
+		e.branch(pc, uarch.IntReg(10), true, base)
+		iter++
+	}}
+}
+
+// --- indirect ---------------------------------------------------------------------
+
+// IndirectParams configures the two-level indirection archetype:
+// A[col[i]] sparse access. The column stream is sequential (mostly cache
+// resident) while the data stream scatters over a large footprint. The
+// slice {i += 1; load col; load A[col]} contains an intermediate load that
+// usually hits, so replay mechanisms can still run ahead. Models soplex,
+// milc, sphinx3.
+type IndirectParams struct {
+	KernelID int
+	// Lanes is the number of independent indirection streams.
+	Lanes int
+	// TargetLines is the scattered footprint in lines (power of two).
+	TargetLines uint64
+	// FPWork, ALUWork, HotLoads are per-iteration filler.
+	FPWork, ALUWork, HotLoads int
+	// StorePeriod stores a result every N iterations (0 = never).
+	StorePeriod int
+}
+
+// NewIndirect builds a two-level indirection generator.
+func NewIndirect(p IndirectParams) trace.Generator {
+	if p.Lanes < 1 || p.Lanes > 3 {
+		panic("workload: Lanes must be in [1,3]")
+	}
+	if p.TargetLines&(p.TargetLines-1) != 0 {
+		panic("workload: TargetLines must be a power of two")
+	}
+	base := pcBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	outBase := dataBase(p.KernelID, 1)
+	colBase := make([]uint64, p.Lanes)
+	tgtBase := make([]uint64, p.Lanes)
+	state := make([]uint64, p.Lanes)
+	for l := range colBase {
+		colBase[l] = dataBase(p.KernelID, 2+2*l)
+		tgtBase[l] = dataBase(p.KernelID, 3+2*l)
+		state[l] = uint64(l)*7919 + 3
+	}
+	var iter uint64
+
+	return &kernelGen{name: "indirect", emit: func(e *emitQ) {
+		pc := base
+		for l := 0; l < p.Lanes; l++ {
+			idx := uarch.IntReg(l)
+			col := uarch.IntReg(3 + l)
+			val := uarch.FPReg(l)
+			e.alu(pc, idx, idx, uarch.RegNone) // i += 1
+			pc += 4
+			// Sequential column stream: 8 B per iteration, one new line
+			// every 8 iterations.
+			e.load(pc, col, idx, colBase[l]+iter*8)
+			pc += 4
+			state[l] = lcgStep(state[l], p.TargetLines)
+			// Scattered data load; address depends on the column value.
+			e.load(pc, val, col, tgtBase[l]+state[l]*uarch.LineSize)
+			pc += 4
+		}
+		pc = e.fpFiller(pc, p.FPWork, func(i int) uarch.Reg { return uarch.FPReg(i % p.Lanes) })
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, iter*48)
+		if p.StorePeriod > 0 && iter%uint64(p.StorePeriod) == 0 {
+			e.store(pc, uarch.FPReg(0), uarch.IntReg(0), outBase+iter*8)
+		}
+		pc += 4
+		e.branch(pc, uarch.IntReg(0), true, base)
+		iter++
+	}}
+}
+
+// --- stencil -----------------------------------------------------------------------
+
+// StencilParams configures the stencil archetype: several read streams at
+// fixed offsets from a single advancing index, plus a write stream —
+// one slice (the index add) feeding many load PCs. The runahead buffer's
+// backward walk from one stalling load only reconstructs {add, that load},
+// covering a single stream, while the SST accumulates every load PC.
+// Models lbm, cactusADM, GemsFDTD, leslie3d, zeusmp.
+type StencilParams struct {
+	KernelID int
+	// ReadStreams is the number of read planes (offsets off the index).
+	ReadStreams int
+	// PlaneStrideLines separates the planes; large values land planes in
+	// distinct DRAM rows (row-buffer conflicts).
+	PlaneStrideLines uint64
+	// StrideBytes is the per-iteration index advance.
+	StrideBytes uint64
+	// FPWork, ALUWork, HotLoads are per-iteration filler.
+	FPWork, ALUWork, HotLoads int
+	// WriteStream adds a store stream when true.
+	WriteStream bool
+	// PhaseIters, when non-zero, ends the inner row sweep every N
+	// iterations (outer-loop jump + grid re-base); see StreamParams.
+	PhaseIters int
+}
+
+// NewStencil builds a stencil generator.
+func NewStencil(p StencilParams) trace.Generator {
+	if p.ReadStreams < 1 || p.ReadStreams > 6 {
+		panic("workload: ReadStreams must be in [1,6]")
+	}
+	base := pcBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	gridBase := dataBase(p.KernelID, 1)
+	outBase := dataBase(p.KernelID, 2)
+	var iter, pos uint64
+
+	return &kernelGen{name: "stencil", emit: func(e *emitQ) {
+		pc := base
+		idx := uarch.IntReg(0)
+		pos += p.StrideBytes
+		e.alu(pc, idx, idx, uarch.RegNone) // index advance: the shared slice root
+		pc += 4
+		for s := 0; s < p.ReadStreams; s++ {
+			val := uarch.FPReg(s)
+			off := uint64(s) * p.PlaneStrideLines * uarch.LineSize
+			e.load(pc, val, idx, gridBase+off+pos)
+			pc += 4
+		}
+		pc = e.fpFiller(pc, p.FPWork, func(i int) uarch.Reg { return uarch.FPReg(i % p.ReadStreams) })
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, iter*24)
+		if p.WriteStream {
+			e.store(pc, uarch.FPReg(6), idx, outBase+pos)
+		}
+		pc += 4
+		iter++
+		if p.PhaseIters > 0 && iter%uint64(p.PhaseIters) == 0 {
+			// Row sweep done: fall through the loop branch and jump from
+			// the outer loop back in, moving to the next grid region.
+			e.branch(pc, idx, false, base)
+			e.jump(pc+4, base)
+			pos += 1 << 22
+			return
+		}
+		e.branch(pc, idx, true, base)
+	}}
+}
+
+// --- hash walk ----------------------------------------------------------------------
+
+// HashWalkParams configures the hash/graph-walk archetype: a computed
+// index selects a bucket (first scattered load, address computable ahead
+// of data) whose contents point at a node (dependent second load),
+// followed by a data-dependent branch. The slice is long and contains a
+// load-load dependence; branches inject runahead divergence. With several
+// lanes it models mcf's arc-array walk with node dereferences; with one
+// lane it models omnetpp's event-queue lookups.
+type HashWalkParams struct {
+	KernelID int
+	// Lanes is the number of independent walk lanes (1-3).
+	Lanes int
+	// BucketLines is the hash-table footprint in lines (power of two).
+	BucketLines uint64
+	// NodeLines is the node-pool footprint in lines (power of two).
+	NodeLines uint64
+	// ALUWork, HotLoads are per-iteration filler.
+	ALUWork, HotLoads int
+	// MispredictPermille is the data-dependent branch misprediction rate
+	// in 1/1000 units (e.g. 60 = 6%).
+	MispredictPermille uint64
+	// StorePeriod stores a node update every N iterations (0 = never).
+	StorePeriod int
+}
+
+// NewHashWalk builds a hash/graph-walk generator.
+func NewHashWalk(p HashWalkParams) trace.Generator {
+	if p.Lanes < 1 || p.Lanes > 3 {
+		panic("workload: Lanes must be in [1,3]")
+	}
+	if p.BucketLines&(p.BucketLines-1) != 0 || p.NodeLines&(p.NodeLines-1) != 0 {
+		panic("workload: footprints must be powers of two")
+	}
+	base := pcBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	bktBase := make([]uint64, p.Lanes)
+	nodeBase := make([]uint64, p.Lanes)
+	bktState := make([]uint64, p.Lanes)
+	nodeState := make([]uint64, p.Lanes)
+	for l := 0; l < p.Lanes; l++ {
+		bktBase[l] = dataBase(p.KernelID, 1+2*l)
+		nodeBase[l] = dataBase(p.KernelID, 2+2*l)
+		bktState[l] = uint64(l)*131 + 11
+		nodeState[l] = uint64(l)*151 + 29
+	}
+	r := &rng{s: uint64(p.KernelID)*1099511628211 + 7}
+	var iter uint64
+
+	return &kernelGen{name: "hashwalk", emit: func(e *emitQ) {
+		pc := base
+		for l := 0; l < p.Lanes; l++ {
+			i := uarch.IntReg(l)
+			h := uarch.IntReg(9)
+			bkt := uarch.IntReg(3 + l)
+			node := uarch.IntReg(6 + l)
+			e.alu(pc, i, i, uarch.RegNone) // i++
+			pc += 4
+			e.alu(pc, h, i, uarch.RegNone) // h = scale(i)
+			pc += 4
+			bktState[l] = lcgStep(bktState[l], p.BucketLines)
+			e.load(pc, bkt, h, bktBase[l]+bktState[l]*uarch.LineSize) // bucket lookup
+			pc += 4
+			nodeState[l] = lcgStep(nodeState[l], p.NodeLines)
+			e.load(pc, node, bkt, nodeBase[l]+nodeState[l]*uarch.LineSize) // dependent deref
+			pc += 4
+			// Data-dependent branch on the node contents: not-taken with
+			// probability MispredictPermille/1000. The predictor converges
+			// on "taken", so the not-taken rate is the misprediction rate.
+			taken := !r.below(p.MispredictPermille, 1000)
+			e.branch(pc, node, taken, base+0x200+uint64(l)*0x10)
+			pc += 4
+		}
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, iter*40)
+		if p.StorePeriod > 0 && iter%uint64(p.StorePeriod) == 0 {
+			e.store(pc, uarch.IntReg(6), uarch.IntReg(3), nodeBase[0]+nodeState[0]*uarch.LineSize)
+		}
+		pc += 4
+		e.branch(pc, uarch.IntReg(0), true, base)
+		iter++
+	}}
+}

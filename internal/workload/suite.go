@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Suite returns the 13 proxy workloads standing in for the memory-
+// intensive SPEC CPU2006 set used by the paper (the same selection as the
+// runahead-buffer paper it compares against). The parameters encode each
+// benchmark's published structural character:
+//
+//   - chain count (how many independent slices stall the ROB),
+//   - chain kind (streaming / indirect / pointer-chasing / hash walk),
+//   - instruction mix (integer vs FP, store intensity), and
+//   - branch behaviour (predictable loops vs data-dependent noise).
+//
+// Footprints are sized far beyond the 1 MB L3 so scattered and streaming
+// accesses miss the LLC, reproducing the memory-bound baselines the paper
+// targets (roughly 30-70 LLC misses per kilo-instruction).
+func Suite() []Workload {
+	return []Workload{
+		{
+			// mcf: walks an arc array (computable addresses) and
+			// dereferences node pointers held in each arc — two lanes of
+			// {index, arc load, dependent node load} plus noisy branches.
+			Name: "mcf", Class: "hashwalk", Chains: 2,
+			New: func() trace.Generator {
+				return NewHashWalk(HashWalkParams{
+					KernelID: 1, Lanes: 2,
+					BucketLines: 1 << 18, NodeLines: 1 << 18, // 16 MB each
+					ALUWork: 30, HotLoads: 12, MispredictPermille: 40,
+					StorePeriod: 4,
+				})
+			},
+		},
+		{
+			// lbm: lattice-Boltzmann stencil — several read planes off one
+			// index plus a write stream, FP heavy.
+			Name: "lbm", Class: "stencil", Chains: 1,
+			New: func() trace.Generator {
+				return NewStencil(StencilParams{
+					KernelID: 2, ReadStreams: 4, PlaneStrideLines: 1 << 14, // 1 MB planes
+					StrideBytes: 16, FPWork: 24, ALUWork: 8, HotLoads: 4,
+					WriteStream: true, PhaseIters: 128,
+				})
+			},
+		},
+		{
+			// libquantum: a single streaming slice updating the quantum
+			// register in place — the runahead buffer's best case.
+			Name: "libquantum", Class: "stream", Chains: 1,
+			New: func() trace.Generator {
+				return NewStream(StreamParams{
+					KernelID: 3, Streams: 1, StrideBytes: 32,
+					ALUWork: 12, FPWork: 0, HotLoads: 4, StorePeriod: 2,
+				})
+			},
+		},
+		{
+			// milc: su3 matrix-vector products gathering sites through an
+			// index stream.
+			Name: "milc", Class: "indirect", Chains: 1,
+			New: func() trace.Generator {
+				return NewIndirect(IndirectParams{
+					KernelID: 4, Lanes: 1, TargetLines: 1 << 19, // 32 MB
+					FPWork: 18, ALUWork: 8, HotLoads: 4, StorePeriod: 4,
+				})
+			},
+		},
+		{
+			// omnetpp: event-queue lookups — hash bucket plus dependent
+			// node deref with data-dependent branches.
+			Name: "omnetpp", Class: "hashwalk", Chains: 1,
+			New: func() trace.Generator {
+				return NewHashWalk(HashWalkParams{
+					KernelID: 5, Lanes: 1,
+					BucketLines: 1 << 18, NodeLines: 1 << 18,
+					ALUWork: 24, HotLoads: 8, MispredictPermille: 50,
+					StorePeriod: 4,
+				})
+			},
+		},
+		{
+			// soplex: sparse matrix-vector — two independent indirection
+			// lanes A[col[i]].
+			Name: "soplex", Class: "indirect", Chains: 2,
+			New: func() trace.Generator {
+				return NewIndirect(IndirectParams{
+					KernelID: 6, Lanes: 2, TargetLines: 1 << 19,
+					FPWork: 20, ALUWork: 12, HotLoads: 6, StorePeriod: 6,
+				})
+			},
+		},
+		{
+			// sphinx3: gaussian scoring — one indirection lane over 8 MB
+			// acoustic tables with heavy FP.
+			Name: "sphinx3", Class: "indirect", Chains: 1,
+			New: func() trace.Generator {
+				return NewIndirect(IndirectParams{
+					KernelID: 7, Lanes: 1, TargetLines: 1 << 17, // 8 MB
+					FPWork: 16, ALUWork: 4, HotLoads: 5, StorePeriod: 0,
+				})
+			},
+		},
+		{
+			// bwaves: block-tridiagonal solver — several parallel FP
+			// streams.
+			Name: "bwaves", Class: "stream", Chains: 4,
+			New: func() trace.Generator {
+				return NewStream(StreamParams{
+					KernelID: 8, Streams: 4, StrideBytes: 16,
+					ALUWork: 8, FPWork: 20, HotLoads: 4, StorePeriod: 4,
+					PhaseIters: 64,
+				})
+			},
+		},
+		{
+			// cactusADM: Einstein-equation stencil with big plane strides
+			// (DRAM row conflicts).
+			Name: "cactusADM", Class: "stencil", Chains: 1,
+			New: func() trace.Generator {
+				return NewStencil(StencilParams{
+					KernelID: 9, ReadStreams: 3, PlaneStrideLines: 1 << 15, // 2 MB planes
+					StrideBytes: 16, FPWork: 18, ALUWork: 6, HotLoads: 4,
+					WriteStream: true, PhaseIters: 96,
+				})
+			},
+		},
+		{
+			// GemsFDTD: E/H field updates — six read streams.
+			Name: "GemsFDTD", Class: "stencil", Chains: 1,
+			New: func() trace.Generator {
+				return NewStencil(StencilParams{
+					KernelID: 10, ReadStreams: 6, PlaneStrideLines: 1 << 14,
+					StrideBytes: 8, FPWork: 18, ALUWork: 6, HotLoads: 3,
+					WriteStream: true, PhaseIters: 128,
+				})
+			},
+		},
+		{
+			// leslie3d: fluid-dynamics stencil, moderate strides.
+			Name: "leslie3d", Class: "stencil", Chains: 1,
+			New: func() trace.Generator {
+				return NewStencil(StencilParams{
+					KernelID: 11, ReadStreams: 4, PlaneStrideLines: 1 << 13,
+					StrideBytes: 16, FPWork: 14, ALUWork: 8, HotLoads: 4,
+					WriteStream: true, PhaseIters: 64,
+				})
+			},
+		},
+		{
+			// wrf: weather model — mixed streams with moderate FP.
+			Name: "wrf", Class: "stream", Chains: 3,
+			New: func() trace.Generator {
+				return NewStream(StreamParams{
+					KernelID: 12, Streams: 3, StrideBytes: 16,
+					ALUWork: 10, FPWork: 12, HotLoads: 5, StorePeriod: 3,
+					PhaseIters: 64,
+				})
+			},
+		},
+		{
+			// zeusmp: astrophysics stencil with 4 MB plane strides.
+			Name: "zeusmp", Class: "stencil", Chains: 1,
+			New: func() trace.Generator {
+				return NewStencil(StencilParams{
+					KernelID: 13, ReadStreams: 4, PlaneStrideLines: 1 << 16, // 4 MB planes
+					StrideBytes: 16, FPWork: 16, ALUWork: 8, HotLoads: 3,
+					WriteStream: true, PhaseIters: 96,
+				})
+			},
+		},
+	}
+}
+
+// ByName returns the suite workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names lists the suite's workload names in report order.
+func Names() []string {
+	ws := Suite()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}

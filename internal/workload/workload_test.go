@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// drain pulls n µops from a generator.
+func drain(g trace.Generator, n int) []uarch.Uop {
+	out := make([]uarch.Uop, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestSuiteShape(t *testing.T) {
+	ws := Suite()
+	if len(ws) != 13 {
+		t.Fatalf("suite has %d workloads, want 13", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if w.Name == "" || w.Class == "" || w.New == nil || w.Chains < 1 {
+			t.Errorf("workload %+v incompletely defined", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mcf")
+	if err != nil || w.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if len(Names()) != 13 {
+		t.Error("Names() length mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range Suite() {
+		a := drain(w.New(), 5000)
+		b := drain(w.New(), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: µop %d differs between fresh generators:\n%v\n%v",
+					w.Name, i, &a[i], &b[i])
+			}
+		}
+	}
+}
+
+func TestAllUopsWellFormed(t *testing.T) {
+	for _, w := range Suite() {
+		uops := drain(w.New(), 20000)
+		for i := range uops {
+			u := &uops[i]
+			if u.PC == 0 {
+				t.Fatalf("%s: µop %d has zero PC", w.Name, i)
+			}
+			if u.Class >= uarch.NumClasses {
+				t.Fatalf("%s: µop %d bad class", w.Name, i)
+			}
+			if u.Class.IsMem() && u.Addr == 0 {
+				t.Fatalf("%s: memory µop %d has zero address", w.Name, i)
+			}
+			if u.Class == uarch.ClassLoad && !u.Dst.Valid() {
+				t.Fatalf("%s: load %d without destination", w.Name, i)
+			}
+			if u.Class == uarch.ClassStore && u.Dst != uarch.RegNone {
+				t.Fatalf("%s: store %d with destination", w.Name, i)
+			}
+			for _, r := range []uarch.Reg{u.Src1, u.Src2, u.Dst} {
+				if r != uarch.RegNone && !r.Valid() {
+					t.Fatalf("%s: µop %d has invalid register %d", w.Name, i, r)
+				}
+			}
+		}
+	}
+}
+
+func TestStablePCsAcrossIterations(t *testing.T) {
+	// Each static PC must always carry the same class and register shape;
+	// the SST and the branch predictor rely on PC identity.
+	for _, w := range Suite() {
+		type shape struct {
+			class     uarch.Class
+			s1, s2, d uarch.Reg
+		}
+		shapes := map[uint64]shape{}
+		uops := drain(w.New(), 30000)
+		for i := range uops {
+			u := &uops[i]
+			sh := shape{u.Class, u.Src1, u.Src2, u.Dst}
+			if prev, ok := shapes[u.PC]; ok {
+				if prev != sh {
+					t.Fatalf("%s: PC %#x changes shape: %+v vs %+v", w.Name, u.PC, prev, sh)
+				}
+			} else {
+				shapes[u.PC] = sh
+			}
+		}
+	}
+}
+
+func TestInstructionMixSane(t *testing.T) {
+	for _, w := range Suite() {
+		uops := drain(w.New(), 50000)
+		var loads, stores, branches int
+		for i := range uops {
+			switch uops[i].Class {
+			case uarch.ClassLoad:
+				loads++
+			case uarch.ClassStore:
+				stores++
+			case uarch.ClassBranch, uarch.ClassJump:
+				branches++
+			}
+		}
+		n := len(uops)
+		loadFrac := float64(loads) / float64(n)
+		if loadFrac < 0.08 || loadFrac > 0.50 {
+			t.Errorf("%s: load fraction %.2f outside [0.08,0.50]", w.Name, loadFrac)
+		}
+		brFrac := float64(branches) / float64(n)
+		if brFrac < 0.01 || brFrac > 0.25 {
+			t.Errorf("%s: branch fraction %.2f outside [0.01,0.25]", w.Name, brFrac)
+		}
+		_ = stores // some proxies legitimately never store
+	}
+}
+
+func TestColdMissRatePlausible(t *testing.T) {
+	// Count distinct new cache lines touched per kilo-µop: the upper bound
+	// on LLC MPKI. Memory-intensive proxies should sit roughly in the
+	// published 10-60 range.
+	for _, w := range Suite() {
+		uops := drain(w.New(), 100000)
+		seen := map[uint64]bool{}
+		var newLines int
+		for i := range uops {
+			if !uops[i].Class.IsMem() {
+				continue
+			}
+			l := uops[i].CacheLine()
+			if !seen[l] {
+				seen[l] = true
+				newLines++
+			}
+		}
+		mpki := float64(newLines) / float64(len(uops)) * 1000
+		if mpki < 8 || mpki > 120 {
+			t.Errorf("%s: cold-line rate %.1f per kilo-µop outside [8,120]", w.Name, mpki)
+		}
+	}
+}
+
+func TestPtrChaseChainsAreSelfDependent(t *testing.T) {
+	g := NewPtrChase(PtrChaseParams{KernelID: 99, Chains: 2, FootprintLines: 1 << 10, ALUWork: 0, HotLoads: 0})
+	uops := drain(g, 100)
+	var chainLoads []uarch.Uop
+	for _, u := range uops {
+		if u.Class == uarch.ClassLoad {
+			chainLoads = append(chainLoads, u)
+		}
+	}
+	if len(chainLoads) < 4 {
+		t.Fatal("expected chain loads")
+	}
+	for _, u := range chainLoads {
+		if u.Dst != u.Src1 {
+			t.Fatalf("chain load must be r <- [r], got %v", &u)
+		}
+	}
+}
+
+func TestStencilLoadsShareIndexRegister(t *testing.T) {
+	g := NewStencil(StencilParams{KernelID: 98, ReadStreams: 3, PlaneStrideLines: 64,
+		StrideBytes: 64, FPWork: 0, ALUWork: 0, HotLoads: 0})
+	uops := drain(g, 40)
+	idx := uarch.IntReg(0)
+	loads := 0
+	for _, u := range uops {
+		if u.Class == uarch.ClassLoad {
+			loads++
+			if u.Src1 != idx {
+				t.Fatalf("stencil load src %v, want shared index %v", u.Src1, idx)
+			}
+		}
+	}
+	if loads < 3 {
+		t.Fatal("expected at least one full stencil iteration of loads")
+	}
+}
+
+func TestHashWalkDependentPair(t *testing.T) {
+	g := NewHashWalk(HashWalkParams{KernelID: 97, Lanes: 1, BucketLines: 1 << 10, NodeLines: 1 << 10,
+		ALUWork: 0, HotLoads: 0, MispredictPermille: 100})
+	uops := drain(g, 50)
+	var bktDst uarch.Reg
+	sawPair := false
+	for _, u := range uops {
+		if u.Class == uarch.ClassLoad {
+			if bktDst == uarch.RegNone {
+				bktDst = u.Dst
+			} else if u.Src1 == bktDst {
+				sawPair = true
+				break
+			} else {
+				bktDst = u.Dst
+			}
+		}
+	}
+	if !sawPair {
+		t.Fatal("hash walk must contain a load feeding the next load's address")
+	}
+}
+
+func TestArchetypeParameterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("stream streams=0", func() { NewStream(StreamParams{Streams: 0}) })
+	mustPanic("ptrchase chains=9", func() {
+		NewPtrChase(PtrChaseParams{Chains: 9, FootprintLines: 8})
+	})
+	mustPanic("ptrchase footprint", func() {
+		NewPtrChase(PtrChaseParams{Chains: 1, FootprintLines: 100})
+	})
+	mustPanic("indirect lanes", func() {
+		NewIndirect(IndirectParams{Lanes: 5, TargetLines: 8})
+	})
+	mustPanic("stencil streams", func() { NewStencil(StencilParams{ReadStreams: 0}) })
+	mustPanic("hashwalk footprint", func() {
+		NewHashWalk(HashWalkParams{Lanes: 1, BucketLines: 100, NodeLines: 8})
+	})
+	mustPanic("hashwalk lanes", func() {
+		NewHashWalk(HashWalkParams{Lanes: 0, BucketLines: 8, NodeLines: 8})
+	})
+}
+
+func TestDisjointAddressSpaces(t *testing.T) {
+	// Kernel data regions must not collide across suite entries (distinct
+	// kernel IDs) so the hierarchy state of one benchmark cannot alias
+	// another in combined runs.
+	lines := map[uint64]string{}
+	for _, w := range Suite() {
+		uops := drain(w.New(), 20000)
+		for i := range uops {
+			if !uops[i].Class.IsMem() {
+				continue
+			}
+			l := uops[i].CacheLine()
+			if owner, ok := lines[l]; ok && owner != w.Name {
+				t.Fatalf("line %#x shared by %s and %s", l, owner, w.Name)
+			}
+			lines[l] = w.Name
+		}
+	}
+}

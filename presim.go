@@ -1,0 +1,160 @@
+// Package presim is a cycle-level reproduction of "Precise Runahead
+// Execution" (Naithani, Feliu, Adileh, Eeckhout — IEEE CAL 2019 /
+// HPCA 2020) as a reusable Go library.
+//
+// It provides:
+//
+//   - a cycle-stepped out-of-order core model with the paper's Table 1
+//     configuration (192-entry ROB, 92-entry IQ, Haswell-style register
+//     files, gshare front-end, three-level cache hierarchy, DDR3-1600
+//     bank/row timing);
+//   - four runahead mechanisms on top of that core: traditional runahead
+//     (RA), the runahead buffer (RA-buffer), precise runahead execution
+//     (PRE) with its Stalling Slice Table and Precise Register
+//     Deallocation Queue, and PRE with the Extended Micro-op Queue
+//     (PRE+EMQ);
+//   - a synthetic proxy for the paper's memory-intensive SPEC CPU2006
+//     workloads, plus archetype constructors for building custom
+//     workloads;
+//   - an activity-based energy model (the McPAT/CACTI stand-in); and
+//   - a harness that regenerates the paper's figures and in-text
+//     measurements.
+//
+// Quick start:
+//
+//	w, _ := presim.WorkloadByName("libquantum")
+//	base, _ := presim.Run(w, presim.ModeOoO, presim.DefaultOptions())
+//	pre, _ := presim.Run(w, presim.ModePRE, presim.DefaultOptions())
+//	fmt.Printf("PRE speedup: %.2fx\n", pre.Speedup(base))
+package presim
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Mode selects the runahead mechanism.
+type Mode = core.Mode
+
+// The evaluated mechanisms (paper Section 5).
+const (
+	// ModeOoO is the out-of-order baseline.
+	ModeOoO = core.ModeOoO
+	// ModeRA is traditional runahead execution.
+	ModeRA = core.ModeRA
+	// ModeRABuffer is filtered runahead with a runahead buffer.
+	ModeRABuffer = core.ModeRABuffer
+	// ModePRE is precise runahead execution.
+	ModePRE = core.ModePRE
+	// ModePREEMQ is PRE with the extended micro-op queue.
+	ModePREEMQ = core.ModePREEMQ
+)
+
+// Modes lists all mechanisms in evaluation order.
+func Modes() []Mode { return core.Modes() }
+
+// ParseMode resolves a mechanism name ("OoO", "RA", "RA-buffer", "PRE",
+// "PRE+EMQ").
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// Config is the full core configuration (see core.Config for every knob).
+type Config = core.Config
+
+// DefaultConfig returns the paper's Table 1 configuration for a mode.
+func DefaultConfig(mode Mode) Config { return core.Default(mode) }
+
+// Options controls warmup/measurement windows and configuration hooks.
+type Options = sim.Options
+
+// DefaultOptions returns the standard harness window.
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// Result is the flattened outcome of one simulation run.
+type Result = sim.Result
+
+// Workload names a benchmark proxy and builds fresh generators for it.
+type Workload = workload.Workload
+
+// Workloads returns the 13 memory-intensive SPEC CPU2006 proxies.
+func Workloads() []Workload { return workload.Suite() }
+
+// WorkloadByName looks up a suite workload ("mcf", "libquantum", ...).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the suite in report order.
+func WorkloadNames() []string { return workload.Names() }
+
+// Generator produces a deterministic µop stream (for custom workloads).
+type Generator = trace.Generator
+
+// Archetype parameters for building custom workloads with the same
+// machinery as the suite proxies.
+type (
+	// StreamParams configures strided streaming walks.
+	StreamParams = workload.StreamParams
+	// PtrChaseParams configures dependent pointer chains.
+	PtrChaseParams = workload.PtrChaseParams
+	// IndirectParams configures A[col[i]] indirection.
+	IndirectParams = workload.IndirectParams
+	// StencilParams configures multi-plane stencils.
+	StencilParams = workload.StencilParams
+	// HashWalkParams configures hash/graph walks with dependent loads.
+	HashWalkParams = workload.HashWalkParams
+)
+
+// Archetype constructors.
+var (
+	// NewStream builds a streaming generator.
+	NewStream = workload.NewStream
+	// NewPtrChase builds a pointer-chasing generator.
+	NewPtrChase = workload.NewPtrChase
+	// NewIndirect builds an indirection generator.
+	NewIndirect = workload.NewIndirect
+	// NewStencil builds a stencil generator.
+	NewStencil = workload.NewStencil
+	// NewHashWalk builds a hash-walk generator.
+	NewHashWalk = workload.NewHashWalk
+)
+
+// CustomWorkload wraps a generator constructor as a runnable workload.
+func CustomWorkload(name string, newGen func() Generator) Workload {
+	return Workload{Name: name, Class: "custom", Chains: 1, New: newGen}
+}
+
+// Run simulates one workload under one mechanism.
+func Run(w Workload, mode Mode, opt Options) (Result, error) {
+	return sim.Run(w, mode, opt)
+}
+
+// RunMatrix simulates every (workload, mode) pair in parallel, returning
+// results indexed [workload][mode].
+func RunMatrix(ws []Workload, modes []Mode, opt Options) ([][]Result, error) {
+	return sim.RunMatrix(ws, modes, opt)
+}
+
+// Table is an aligned text/CSV table.
+type Table = report.Table
+
+// Fig2Table renders Figure 2 (performance normalized to OoO).
+func Fig2Table(results [][]Result, modes []Mode) *Table { return report.Fig2(results, modes) }
+
+// Fig3Table renders Figure 3 (energy savings relative to OoO).
+func Fig3Table(results [][]Result, modes []Mode) *Table { return report.Fig3(results, modes) }
+
+// RunaheadDetailTable renders the per-mechanism diagnostics table.
+func RunaheadDetailTable(results [][]Result, modes []Mode) *Table {
+	return report.RunaheadDetail(results, modes)
+}
+
+// AverageSpeedups returns per-mode geometric-mean speedups over OoO.
+func AverageSpeedups(results [][]Result, modes []Mode) []float64 {
+	return report.AverageSpeedups(results, modes)
+}
+
+// AverageEnergySavings returns per-mode mean energy savings over OoO.
+func AverageEnergySavings(results [][]Result, modes []Mode) []float64 {
+	return report.AverageEnergySavings(results, modes)
+}
