@@ -7,9 +7,11 @@
 //	go test -bench=E4                    # refill penalty (§2.4, ~56 cycles)
 //	go test -bench=. -benchmem           # everything
 //
-// Metrics are emitted per sub-benchmark: "speedup_<mode>" for Figure 2,
-// "saving_pct_<mode>" for Figure 3, and experiment-specific units for the
-// in-text measurements (E4-E9).
+// Metrics are emitted per sub-benchmark ("speedup_<mode>" for Figure 2,
+// "saving_pct_<mode>" for Figure 3, experiment-specific units for the
+// in-text measurements E4-E9), except the A1/A2 ablations, which run as a
+// single exp-orchestrated sweep per benchmark and emit one suffixed
+// metric per size ("speedup_PRE_<entries>").
 package presim_test
 
 import (
@@ -66,6 +68,26 @@ func BenchmarkTable1Config(b *testing.B) {
 	b.ReportMetric(float64(runahead.NewEMQ(768).StorageBytes()), "EMQ_bytes")
 }
 
+// runCellMatrix expands and runs a one-workload experiment over the given
+// modes — the exp-orchestrated core of the figure benchmarks.
+func runCellMatrix(b *testing.B, w presim.Workload, modes []presim.Mode) *presim.ExperimentSet {
+	b.Helper()
+	m := presim.Experiment{
+		Workloads: []presim.Workload{w},
+		Modes:     modes,
+		Options:   benchOpt(),
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
 // BenchmarkFig2 reproduces Figure 2: per-benchmark speedups of every
 // runahead mechanism over the out-of-order baseline.
 func BenchmarkFig2(b *testing.B) {
@@ -73,21 +95,17 @@ func BenchmarkFig2(b *testing.B) {
 	for _, w := range presim.Workloads() {
 		w := w
 		b.Run(w.Name, func(b *testing.B) {
-			var last [][]presim.Result
+			var set *presim.ExperimentSet
 			for i := 0; i < b.N; i++ {
-				res, err := presim.RunMatrix([]presim.Workload{w}, modes, benchOpt())
-				if err != nil {
-					b.Fatal(err)
-				}
-				last = res
+				set = runCellMatrix(b, w, modes)
 			}
-			base := last[0][0]
 			for mi, m := range modes {
 				if m == presim.ModeOoO {
 					continue
 				}
-				b.ReportMetric(last[0][mi].Speedup(base), metricName("speedup", m))
+				b.ReportMetric(set.Speedup(0, 0, mi), metricName("speedup", m))
 			}
+			base, _ := set.Baseline(0, 0)
 			b.ReportMetric(base.IPC, "baseline_IPC")
 		})
 	}
@@ -100,20 +118,16 @@ func BenchmarkFig3(b *testing.B) {
 	for _, w := range presim.Workloads() {
 		w := w
 		b.Run(w.Name, func(b *testing.B) {
-			var last [][]presim.Result
+			var set *presim.ExperimentSet
 			for i := 0; i < b.N; i++ {
-				res, err := presim.RunMatrix([]presim.Workload{w}, modes, benchOpt())
-				if err != nil {
-					b.Fatal(err)
-				}
-				last = res
+				set = runCellMatrix(b, w, modes)
 			}
-			base := last[0][0]
+			base, _ := set.Baseline(0, 0)
 			for mi, m := range modes {
 				if m == presim.ModeOoO {
 					continue
 				}
-				b.ReportMetric(100*last[0][mi].Energy.SavingsVs(base.Energy),
+				b.ReportMetric(100*set.Result(0, 0, mi).Energy.SavingsVs(base.Energy),
 					metricName("saving_pct", m))
 			}
 		})
@@ -248,54 +262,64 @@ func BenchmarkE9InvocationRate(b *testing.B) {
 	b.ReportMetric(emqRatio, "PREEMQ_vs_RA_entries")
 }
 
+// runAblation sweeps one structure-size knob as an exp matrix: the OoO
+// baseline is simulated once and shared across every size point.
+func runAblation(b *testing.B, name string, w presim.Workload, mode presim.Mode,
+	sizes []int, apply func(*core.Config, int)) *presim.ExperimentSet {
+	b.Helper()
+	points := make([]presim.ExperimentPoint, len(sizes))
+	for i, size := range sizes {
+		size := size
+		points[i] = presim.ExperimentPoint{
+			Name:  fmt.Sprintf("entries_%d", size),
+			Apply: func(c *core.Config) { apply(c, size) },
+		}
+	}
+	m := presim.Experiment{
+		Name:        name,
+		Workloads:   []presim.Workload{w},
+		Modes:       []presim.Mode{mode},
+		Points:      points,
+		Options:     benchOpt(),
+		AddBaseline: true,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
 // BenchmarkAblationSSTSize sweeps the SST capacity (A1; paper: 256 entries
 // hold the slices with almost no misses).
 func BenchmarkAblationSSTSize(b *testing.B) {
 	w, _ := presim.WorkloadByName("milc")
-	for _, size := range []int{16, 64, 256, 1024} {
-		size := size
-		b.Run(fmt.Sprintf("entries_%d", size), func(b *testing.B) {
-			opt := benchOpt()
-			opt.Configure = func(c *core.Config) { c.SSTSize = size }
-			var r, base presim.Result
-			for i := 0; i < b.N; i++ {
-				var err error
-				base, err = presim.Run(w, presim.ModeOoO, benchOpt())
-				if err != nil {
-					b.Fatal(err)
-				}
-				r, err = presim.Run(w, presim.ModePRE, opt)
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(r.Speedup(base), "speedup_PRE")
-		})
+	sizes := []int{16, 64, 256, 1024}
+	var set *presim.ExperimentSet
+	for i := 0; i < b.N; i++ {
+		set = runAblation(b, "a1_sst", w, presim.ModePRE, sizes,
+			func(c *core.Config, v int) { c.SSTSize = v })
+	}
+	for pi, size := range sizes {
+		b.ReportMetric(set.Speedup(pi, 0, 0), fmt.Sprintf("speedup_PRE_%d", size))
 	}
 }
 
 // BenchmarkAblationEMQSize sweeps the EMQ capacity (A2; paper: 768 = 4x ROB).
 func BenchmarkAblationEMQSize(b *testing.B) {
 	w, _ := presim.WorkloadByName("milc")
-	for _, size := range []int{192, 768, 1536} {
-		size := size
-		b.Run(fmt.Sprintf("entries_%d", size), func(b *testing.B) {
-			opt := benchOpt()
-			opt.Configure = func(c *core.Config) { c.EMQSize = size }
-			var r, base presim.Result
-			for i := 0; i < b.N; i++ {
-				var err error
-				base, err = presim.Run(w, presim.ModeOoO, benchOpt())
-				if err != nil {
-					b.Fatal(err)
-				}
-				r, err = presim.Run(w, presim.ModePREEMQ, opt)
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(r.Speedup(base), "speedup_PREEMQ")
-		})
+	sizes := []int{192, 768, 1536}
+	var set *presim.ExperimentSet
+	for i := 0; i < b.N; i++ {
+		set = runAblation(b, "a2_emq", w, presim.ModePREEMQ, sizes,
+			func(c *core.Config, v int) { c.EMQSize = v })
+	}
+	for pi, size := range sizes {
+		b.ReportMetric(set.Speedup(pi, 0, 0), fmt.Sprintf("speedup_PREEMQ_%d", size))
 	}
 }
 

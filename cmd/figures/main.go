@@ -18,14 +18,16 @@ import (
 
 	presim "repro"
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/exp"
 )
 
 func main() {
 	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
+	jsonDir := flag.String("json", "", "directory to also write the full results JSON into")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 300_000, "measured µops per run")
+	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
 	flag.Parse()
 
 	opt := presim.DefaultOptions()
@@ -43,10 +45,25 @@ func main() {
 	needMatrix := want("fig2") || want("fig3") || want("e4") || want("e5") ||
 		want("e7") || want("e9")
 	if needMatrix {
-		var err error
-		results, err = presim.RunMatrix(presim.Workloads(), modes, opt)
+		m := exp.Matrix{
+			Name:      "figures",
+			Workloads: presim.Workloads(),
+			Modes:     modes,
+			Options:   opt,
+		}
+		plan, err := m.Expand()
 		if err != nil {
 			fatal(err)
+		}
+		set, err := plan.Run(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		results = set.Grid(0)
+		if *jsonDir != "" {
+			if err := set.WriteFile(*jsonDir, "figures"); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -79,7 +96,7 @@ func main() {
 		emit("e5_intervals", e5Table(results, modes))
 	}
 	if want("e6") {
-		t, err := e6Table(opt)
+		t, err := e6Table(opt, *workers, *jsonDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -162,29 +179,45 @@ func e5Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
 }
 
 // e6Table: RA with free (snapshot) exit versus plain RA — the paper's
-// "20.6% if the window were not discarded" potential.
-func e6Table(opt presim.Options) (*presim.Table, error) {
+// "20.6% if the window were not discarded" potential. Expressed as a
+// two-point matrix; the orchestrator shares one OoO baseline between the
+// points (FreeExit is an RA-only knob) and runs the rest in parallel.
+func e6Table(opt presim.Options, workers int, jsonDir string) (*presim.Table, error) {
+	m := exp.Matrix{
+		Name:      "e6_free_exit",
+		Workloads: presim.Workloads(),
+		Modes:     []presim.Mode{core.ModeOoO, core.ModeRA},
+		Points: []exp.Point{
+			{Name: "flush-exit"},
+			{Name: "free-exit", Apply: func(c *core.Config) {
+				if c.Mode == core.ModeRA {
+					c.FreeExit = true
+				}
+			}},
+		},
+		Options: opt,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	set, err := plan.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		if err := set.WriteFile(jsonDir, "e6_free_exit"); err != nil {
+			return nil, err
+		}
+	}
 	t := newTable("E6: RA speedup with zero-cost exit (paper: 14.5% -> 20.6% potential)",
 		"benchmark", "OoO IPC", "RA", "RA free-exit")
-	free := opt
-	free.Configure = func(c *core.Config) { c.FreeExit = true }
-	for _, w := range presim.Workloads() {
-		base, err := sim.Run(w, core.ModeOoO, opt)
-		if err != nil {
-			return nil, err
-		}
-		ra, err := sim.Run(w, core.ModeRA, opt)
-		if err != nil {
-			return nil, err
-		}
-		raFree, err := sim.Run(w, core.ModeRA, free)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range presim.Workloads() {
+		base, _ := set.Baseline(0, wi)
 		t.AddRow(w.Name,
 			fmt.Sprintf("%.3f", base.IPC),
-			fmt.Sprintf("%.3f", ra.Speedup(base)),
-			fmt.Sprintf("%.3f", raFree.Speedup(base)))
+			fmt.Sprintf("%.3f", set.Speedup(0, wi, 1)),
+			fmt.Sprintf("%.3f", set.Speedup(1, wi, 1)))
 	}
 	return t, nil
 }

@@ -7,15 +7,25 @@
 //
 // Each sweep reports the geometric-mean speedup over the OoO baseline
 // across the whole suite for each parameter value.
+//
+// The command is a thin frontend over the parallel experiment
+// orchestrator (internal/exp): each sweep becomes one exp.Matrix whose
+// points are the parameter values, the orchestrator dedupes the shared
+// OoO baselines and shards the unique runs across -workers cores, and
+// -json captures the full schema-versioned results document. -serial
+// keeps the original one-run-at-a-time loop for apples-to-apples
+// verification; both paths print identical numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	presim "repro"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/stats"
 )
 
@@ -26,34 +36,45 @@ func main() {
 	doMSHR := flag.Bool("mshr", false, "sweep L1D MSHR count (PRE)")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 200_000, "measured µops per run")
+	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
+	serial := flag.Bool("serial", false, "run the legacy serial loop instead of the orchestrator")
+	jsonDir := flag.String("json", "", "directory to write schema-versioned results JSON into")
+	timing := flag.Bool("time", false, "report wall-clock time per sweep")
 	flag.Parse()
+
+	if *serial && (*jsonDir != "" || *workers != 0) {
+		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports neither -json nor -workers")
+		os.Exit(2)
+	}
 
 	opt := presim.DefaultOptions()
 	opt.WarmupUops = *warmup
 	opt.MeasureUops = *measure
 
+	s := sweeper{opt: opt, workers: *workers, serial: *serial, jsonDir: *jsonDir, timing: *timing}
+
 	any := false
 	if *doSST {
 		any = true
-		sweep("A1: SST entries (PRE speedup over OoO)", presim.ModePRE, opt,
+		s.sweep("a1_sst", "A1: SST entries (PRE speedup over OoO)", presim.ModePRE,
 			[]int{16, 32, 64, 128, 256, 512, 1024},
 			func(c *core.Config, v int) { c.SSTSize = v })
 	}
 	if *doEMQ {
 		any = true
-		sweep("A2: EMQ entries (PRE+EMQ speedup over OoO)", presim.ModePREEMQ, opt,
+		s.sweep("a2_emq", "A2: EMQ entries (PRE+EMQ speedup over OoO)", presim.ModePREEMQ,
 			[]int{192, 384, 768, 1152, 1536},
 			func(c *core.Config, v int) { c.EMQSize = v })
 	}
 	if *doRAT {
 		any = true
-		sweep("A3: RA minimum-interval filter, cycles (RA speedup over OoO)", presim.ModeRA, opt,
+		s.sweep("a3_rathreshold", "A3: RA minimum-interval filter, cycles (RA speedup over OoO)", presim.ModeRA,
 			[]int{0, 20, 40, 64, 100, 150},
 			func(c *core.Config, v int) { c.MinRunaheadCycles = int64(v) })
 	}
 	if *doMSHR {
 		any = true
-		sweep("MSHR budget: L1D outstanding misses (PRE speedup over OoO)", presim.ModePRE, opt,
+		s.sweep("mshr", "MSHR budget: L1D outstanding misses (PRE speedup over OoO)", presim.ModePRE,
 			[]int{8, 16, 32, 64},
 			func(c *core.Config, v int) { c.Mem.L1D.MSHRs = v })
 	}
@@ -63,16 +84,78 @@ func main() {
 	}
 }
 
+type sweeper struct {
+	opt     presim.Options
+	workers int
+	serial  bool
+	jsonDir string
+	timing  bool
+}
+
 // sweep runs the full suite at each parameter value and prints the
-// geometric-mean speedup over a per-value OoO baseline.
-func sweep(title string, mode presim.Mode, opt presim.Options, values []int,
+// geometric-mean speedup over the (shared, deduplicated) OoO baseline.
+func (s sweeper) sweep(name, title string, mode presim.Mode, values []int,
 	apply func(*core.Config, int)) {
 	fmt.Println(title)
+	start := time.Now()
+	if s.serial {
+		s.sweepSerial(mode, values, apply)
+	} else {
+		s.sweepParallel(name, mode, values, apply)
+	}
+	if s.timing {
+		fmt.Printf("  (wall-clock %.2fs)\n", time.Since(start).Seconds())
+	}
+}
+
+// sweepParallel expresses the sweep as one exp.Matrix and lets the
+// orchestrator dedupe baselines and saturate the worker pool.
+func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
+	apply func(*core.Config, int)) {
+	points := make([]exp.Point, len(values))
+	for i, v := range values {
+		v := v
+		points[i] = exp.Point{
+			Name:  fmt.Sprintf("%d", v),
+			Apply: func(c *core.Config) { apply(c, v) },
+		}
+	}
+	m := exp.Matrix{
+		Name:        name,
+		Workloads:   presim.Workloads(),
+		Modes:       []presim.Mode{mode},
+		Points:      points,
+		Options:     s.opt,
+		AddBaseline: true,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	set, err := plan.Run(s.workers)
+	if err != nil {
+		fatal(err)
+	}
+	for pi, v := range values {
+		fmt.Printf("  %6d: %.3fx\n", v, set.GeoMeanSpeedups(pi)[0])
+	}
+	if s.jsonDir != "" {
+		if err := set.WriteFile(s.jsonDir, name); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// sweepSerial is the pre-orchestrator loop: one run at a time, with the
+// OoO baseline re-simulated for every parameter value. Kept as the
+// verification reference for the parallel path.
+func (s sweeper) sweepSerial(mode presim.Mode, values []int,
+	apply func(*core.Config, int)) {
 	ws := presim.Workloads()
 	for _, v := range values {
-		o := opt
+		o := s.opt
 		o.Configure = func(c *core.Config) { apply(c, v) }
-		baseOpt := opt // the baseline ignores runahead-structure knobs
+		baseOpt := s.opt // the baseline ignores runahead-structure knobs
 		baseOpt.Configure = func(c *core.Config) {
 			apply(c, v) // but memory-system knobs must match
 		}

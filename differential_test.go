@@ -1,0 +1,112 @@
+// Cross-mechanism differential tests: runahead is a prefetching
+// optimization, so whatever mechanism runs under the hood, the
+// architectural execution must be identical — same µop stream, same
+// committed state — and precise runahead must not lose to the baseline
+// on the memory-bound workloads it targets.
+package presim_test
+
+import (
+	"testing"
+
+	presim "repro"
+)
+
+// diffOpt is the differential-test window: long enough for hundreds of
+// runahead episodes per mechanism, short enough to run all modes on every
+// archetype.
+func diffOpt() presim.Options {
+	opt := presim.DefaultOptions()
+	opt.WarmupUops = 10_000
+	opt.MeasureUops = 50_000
+	return opt
+}
+
+// archetypeRepresentatives picks one suite proxy per workload archetype,
+// plus a custom pure pointer-chase — the archetype the suite deliberately
+// leaves out because runahead cannot help it (see examples/pointerchase).
+func archetypeRepresentatives() []presim.Workload {
+	reps := []presim.Workload{}
+	for _, name := range []string{
+		"libquantum", // stream
+		"milc",       // indirect
+		"lbm",        // stencil
+		"omnetpp",    // hashwalk
+	} {
+		w, err := presim.WorkloadByName(name)
+		if err != nil {
+			panic(err)
+		}
+		reps = append(reps, w)
+	}
+	reps = append(reps, presim.CustomWorkload("ptrchase", func() presim.Generator {
+		return presim.NewPtrChase(presim.PtrChaseParams{
+			KernelID: 99, Chains: 4, FootprintLines: 1 << 16,
+			ALUWork: 12, HotLoads: 4,
+		})
+	}))
+	return reps
+}
+
+// TestCommittedStateInvariance asserts that every mechanism commits the
+// same architectural µop count over the same measurement window: runahead
+// (speculative pre-execution) must never change committed state. The
+// commit stage retires up to Width µops per cycle, so the run can
+// overshoot the window target by at most Width-1 — that bunching is the
+// only difference allowed between mechanisms.
+func TestCommittedStateInvariance(t *testing.T) {
+	opt := diffOpt()
+	width := int64(presim.DefaultConfig(presim.ModeOoO).Width)
+	for _, w := range archetypeRepresentatives() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range presim.Modes() {
+				r, err := presim.Run(w, mode, opt)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if r.Committed < opt.MeasureUops || r.Committed >= opt.MeasureUops+width {
+					t.Errorf("%v: committed %d µops, want [%d, %d) — runahead changed architectural state",
+						mode, r.Committed, opt.MeasureUops, opt.MeasureUops+width)
+				}
+				if mode == presim.ModeOoO && r.Entries != 0 {
+					t.Errorf("OoO baseline entered runahead %d times", r.Entries)
+				}
+			}
+		})
+	}
+}
+
+// TestPRENeverLosesOnMemoryBound asserts the paper's headline property on
+// the memory-bound archetypes: PRE's unconditional, non-flushing runahead
+// never falls below the out-of-order baseline. The pure pointer-chase is
+// excluded — its miss addresses are data-dependent, so runahead has
+// nothing to prefetch there (that boundary is the pointerchase example's
+// point, not a regression).
+func TestPRENeverLosesOnMemoryBound(t *testing.T) {
+	opt := diffOpt()
+	for _, w := range archetypeRepresentatives() {
+		if w.Class == "custom" {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := presim.Run(w, presim.ModeOoO, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre, err := presim.Run(w, presim.ModePRE, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pre.IPC < base.IPC {
+				t.Errorf("PRE IPC %.4f < OoO IPC %.4f (speedup %.3fx)",
+					pre.IPC, base.IPC, pre.Speedup(base))
+			}
+			if pre.Entries == 0 {
+				t.Error("PRE never entered runahead on a memory-bound workload")
+			}
+		})
+	}
+}

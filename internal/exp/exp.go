@@ -1,0 +1,391 @@
+// Package exp is the parallel experiment orchestrator: it expands
+// (workload x mode x config-point) cross-products into a deduplicated run
+// list, executes the unique runs on a worker pool sharded across the
+// host's cores, and aggregates speedups over shared baselines.
+//
+// The package industrializes the design-space sweeps behind the paper's
+// evaluation (Figures 2-7, ablations A1-A3). Its contract is
+// determinism: a given Matrix produces byte-identical results JSON (see
+// Set.WriteJSON) at any worker count, because
+//
+//   - every simulation is single-threaded and replay-deterministic,
+//   - each unique run writes only its own pre-allocated result slot,
+//   - per-run seeds derive from the run's identity (workload, mode,
+//     canonical config), never from scheduling order or time, and
+//   - all output is emitted in expansion order, not completion order.
+//
+// Deduplication exploits mode-irrelevant configuration: an OoO baseline
+// does not read SSTSize, so a seven-point SST sweep needs the baseline
+// simulated once, not seven times. canonicalConfig encodes which knobs
+// each mechanism actually reads; identical canonical configurations
+// share one simulation.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/exp/pool"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Point is one configuration point of a sweep: a named override applied
+// on top of the mode's default configuration (after Options.Configure).
+// Apply sees the full configuration including Mode, so a point may
+// condition on it (e.g. the E6 FreeExit ablation applies to ModeRA only).
+type Point struct {
+	// Name labels the point in reports and the results sink ("sst=256").
+	Name string
+	// Apply mutates the configuration; nil means the default point.
+	Apply func(*core.Config)
+}
+
+// Matrix declares a full experiment: the cross-product of Points x
+// Workloads x Modes, all simulated under the same measurement window.
+type Matrix struct {
+	// Name labels the experiment in the results sink.
+	Name string
+	// Workloads are the benchmarks to simulate.
+	Workloads []workload.Workload
+	// Modes are the mechanisms to compare.
+	Modes []core.Mode
+	// Points are the sweep's configuration points; empty means a single
+	// default point.
+	Points []Point
+	// Options sets the warmup/measurement window. Options.Configure, if
+	// non-nil, applies before each Point's Apply.
+	Options sim.Options
+	// Baseline is the speedup denominator mode. The zero value is
+	// ModeOoO, the paper's baseline.
+	Baseline core.Mode
+	// AddBaseline forces a baseline run per (point, workload) even when
+	// Baseline is not in Modes, so speedups are always computable.
+	// Baseline runs added this way are extra unique runs, not cells.
+	AddBaseline bool
+}
+
+// uniqueRun is one deduplicated simulation.
+type uniqueRun struct {
+	wi   int // index into Matrix.Workloads
+	mode core.Mode
+	cfg  core.Config // fully-applied configuration
+	key  string      // canonical identity (drives dedup + seeding)
+	seed uint64
+}
+
+// Plan is an expanded Matrix: the cell grid, the deduplicated run list,
+// and the baseline wiring. Build one with Matrix.Expand, run it with
+// Plan.Run.
+type Plan struct {
+	m      Matrix
+	points []Point
+	// cells maps cell index (point-major, then workload, then mode) to a
+	// unique-run index.
+	cells []int
+	// base maps (point, workload) to the baseline's unique-run index, or
+	// -1 when no baseline is available.
+	base   []int
+	unique []uniqueRun
+}
+
+// Expand validates the matrix and builds the deduplicated run plan.
+func (m Matrix) Expand() (*Plan, error) {
+	if len(m.Workloads) == 0 {
+		return nil, fmt.Errorf("exp: matrix has no workloads")
+	}
+	if len(m.Modes) == 0 {
+		return nil, fmt.Errorf("exp: matrix has no modes")
+	}
+	if m.Options.MeasureUops <= 0 {
+		return nil, fmt.Errorf("exp: non-positive measurement window")
+	}
+	points := m.Points
+	if len(points) == 0 {
+		points = []Point{{Name: "default"}}
+	}
+	seenPoints := make(map[string]bool, len(points))
+	for _, pt := range points {
+		if pt.Name == "" {
+			return nil, fmt.Errorf("exp: point with empty name")
+		}
+		if seenPoints[pt.Name] {
+			return nil, fmt.Errorf("exp: duplicate point name %q", pt.Name)
+		}
+		seenPoints[pt.Name] = true
+	}
+	seenWs := make(map[string]bool, len(m.Workloads))
+	for _, w := range m.Workloads {
+		if seenWs[w.Name] {
+			return nil, fmt.Errorf("exp: duplicate workload %q", w.Name)
+		}
+		seenWs[w.Name] = true
+	}
+
+	p := &Plan{
+		m:      m,
+		points: points,
+		cells:  make([]int, 0, len(points)*len(m.Workloads)*len(m.Modes)),
+		base:   make([]int, 0, len(points)*len(m.Workloads)),
+	}
+	index := make(map[string]int) // key -> unique index
+
+	intern := func(wi int, mode core.Mode, pt Point) (int, error) {
+		cfg := core.Default(mode)
+		if m.Options.Configure != nil {
+			m.Options.Configure(&cfg)
+		}
+		if pt.Apply != nil {
+			pt.Apply(&cfg)
+		}
+		// Hooks must not switch mechanisms: the cell's mode is part of
+		// the matrix identity.
+		cfg.Mode = mode
+		if err := cfg.Validate(); err != nil {
+			return 0, fmt.Errorf("exp: point %q, workload %q, mode %v: %w",
+				pt.Name, m.Workloads[wi].Name, mode, err)
+		}
+		key := runKey(m.Workloads[wi].Name, m.Options, cfg)
+		if ui, ok := index[key]; ok {
+			return ui, nil
+		}
+		ui := len(p.unique)
+		index[key] = ui
+		p.unique = append(p.unique, uniqueRun{
+			wi: wi, mode: mode, cfg: cfg, key: key, seed: seedFor(key),
+		})
+		return ui, nil
+	}
+
+	baselineInModes := false
+	for _, mode := range m.Modes {
+		if mode == m.Baseline {
+			baselineInModes = true
+		}
+	}
+	for _, pt := range points {
+		for wi := range m.Workloads {
+			for _, mode := range m.Modes {
+				ui, err := intern(wi, mode, pt)
+				if err != nil {
+					return nil, err
+				}
+				p.cells = append(p.cells, ui)
+			}
+			switch {
+			case baselineInModes, m.AddBaseline:
+				ui, err := intern(wi, m.Baseline, pt)
+				if err != nil {
+					return nil, err
+				}
+				p.base = append(p.base, ui)
+			default:
+				p.base = append(p.base, -1)
+			}
+		}
+	}
+	return p, nil
+}
+
+// NumCells returns the number of matrix cells (points x workloads x modes).
+func (p *Plan) NumCells() int { return len(p.cells) }
+
+// NumUnique returns the number of deduplicated simulations the plan will
+// actually run; the difference from NumCells (plus implicit baselines) is
+// work saved by shared-baseline caching.
+func (p *Plan) NumUnique() int { return len(p.unique) }
+
+// Points returns the plan's point labels in expansion order.
+func (p *Plan) Points() []string {
+	names := make([]string, len(p.points))
+	for i, pt := range p.points {
+		names[i] = pt.Name
+	}
+	return names
+}
+
+// Seed returns the deterministic per-run seed of unique run ui. Seeds
+// derive from the run's identity, so they are stable across worker
+// counts, process runs, and plan rebuilds.
+func (p *Plan) Seed(ui int) uint64 { return p.unique[ui].seed }
+
+// Run executes the plan's unique runs on a worker pool (workers <= 0
+// selects one worker per CPU) and returns the completed result set. The
+// first error in expansion order aborts the set.
+func (p *Plan) Run(workers int) (*Set, error) {
+	res := make([]sim.Result, len(p.unique))
+	errs := make([]error, len(p.unique))
+	pool.Run(len(p.unique), workers, func(i int) {
+		u := p.unique[i]
+		opt := p.m.Options
+		cfg := u.cfg
+		opt.Configure = func(c *core.Config) { *c = cfg }
+		res[i], errs[i] = sim.Run(p.m.Workloads[u.wi], u.mode, opt)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Set{plan: p, res: res}, nil
+}
+
+// Set holds a plan's completed results and the aggregation helpers every
+// sweep frontend shares.
+type Set struct {
+	plan *Plan
+	res  []sim.Result
+}
+
+// Plan returns the plan this set was produced from.
+func (s *Set) Plan() *Plan { return s.plan }
+
+// cellIndex flattens (point, workload, mode) indices.
+func (s *Set) cellIndex(pi, wi, mi int) int {
+	nw, nm := len(s.plan.m.Workloads), len(s.plan.m.Modes)
+	return (pi*nw+wi)*nm + mi
+}
+
+// Result returns the simulation result of one matrix cell.
+func (s *Set) Result(pi, wi, mi int) sim.Result {
+	return s.res[s.plan.cells[s.cellIndex(pi, wi, mi)]]
+}
+
+// Baseline returns the baseline run shared by (point, workload), and
+// whether one exists.
+func (s *Set) Baseline(pi, wi int) (sim.Result, bool) {
+	ui := s.plan.base[pi*len(s.plan.m.Workloads)+wi]
+	if ui < 0 {
+		return sim.Result{}, false
+	}
+	return s.res[ui], true
+}
+
+// Speedup returns a cell's IPC normalized to its (point, workload)
+// baseline, or 0 when no baseline exists.
+func (s *Set) Speedup(pi, wi, mi int) float64 {
+	base, ok := s.Baseline(pi, wi)
+	if !ok {
+		return 0
+	}
+	return s.Result(pi, wi, mi).Speedup(base)
+}
+
+// GeoMeanSpeedups returns, for one point, the geometric-mean speedup of
+// each mode over the baseline across all workloads — the summary numbers
+// of the paper's sweep figures. This is the aggregation cmd/sweep used to
+// recompute inline. Workloads without a baseline are skipped; with no
+// baselines at all every entry is 0.
+func (s *Set) GeoMeanSpeedups(pi int) []float64 {
+	out := make([]float64, len(s.plan.m.Modes))
+	for mi := range s.plan.m.Modes {
+		xs := make([]float64, 0, len(s.plan.m.Workloads))
+		for wi := range s.plan.m.Workloads {
+			if _, ok := s.Baseline(pi, wi); !ok {
+				continue
+			}
+			xs = append(xs, s.Speedup(pi, wi, mi))
+		}
+		out[mi] = stats.GeoMean(xs)
+	}
+	return out
+}
+
+// Grid returns one point's results indexed [workload][mode] — the shape
+// the report package consumes.
+func (s *Set) Grid(pi int) [][]sim.Result {
+	grid := make([][]sim.Result, len(s.plan.m.Workloads))
+	for wi := range grid {
+		row := make([]sim.Result, len(s.plan.m.Modes))
+		for mi := range row {
+			row[mi] = s.Result(pi, wi, mi)
+		}
+		grid[wi] = row
+	}
+	return grid
+}
+
+// runKey builds the canonical identity of a simulation: the workload, the
+// measurement window, the energy model, and the canonical configuration.
+// Two runs with equal keys are guaranteed to produce equal Results.
+func runKey(workload string, opt sim.Options, cfg core.Config) string {
+	energy := "default"
+	if opt.Energy != nil {
+		energy = fmt.Sprintf("%+v", *opt.Energy)
+	}
+	return fmt.Sprintf("w=%s|warm=%d|meas=%d|energy=%s|cfg=%+v",
+		workload, opt.WarmupUops, opt.MeasureUops, energy, canonicalConfig(cfg))
+}
+
+// canonicalConfig zeroes the runahead knobs the configuration's mode never
+// reads, so configurations that differ only in mode-irrelevant knobs
+// fingerprint identically and share one simulation. The table mirrors
+// internal/core's per-mode knob usage (see runctl.go); exp's tests pin it
+// empirically by asserting result equality across irrelevant knob values.
+func canonicalConfig(cfg core.Config) core.Config {
+	c := cfg
+	type knobs struct {
+		runaheadWidth, sst, prdq, emq, chain, minCycles, divergence, replay, freeExit bool
+	}
+	var keep knobs
+	switch c.Mode {
+	case core.ModeOoO:
+		// The baseline reads none of the runahead machinery.
+	case core.ModeRA:
+		keep = knobs{minCycles: true, freeExit: true}
+	case core.ModeRABuffer:
+		// runctl.go's entry/exit paths read FreeExit for RA-buffer too;
+		// Config.Validate currently restricts the knob to ModeRA, but the
+		// dedup key must not depend on that staying true.
+		keep = knobs{chain: true, minCycles: true, replay: true, freeExit: true}
+	case core.ModePRE:
+		keep = knobs{runaheadWidth: true, sst: true, prdq: true, divergence: true}
+	case core.ModePREEMQ:
+		keep = knobs{runaheadWidth: true, sst: true, prdq: true, emq: true, divergence: true}
+	default:
+		return c // unknown mode: keep everything, dedup conservatively
+	}
+	if !keep.runaheadWidth {
+		c.RunaheadWidth = 0
+	}
+	if !keep.sst {
+		c.SSTSize = 0
+	}
+	if !keep.prdq {
+		c.PRDQSize = 0
+	}
+	if !keep.emq {
+		c.EMQSize = 0
+	}
+	if !keep.chain {
+		c.ChainMaxLen = 0
+	}
+	if !keep.minCycles {
+		c.MinRunaheadCycles = 0
+	}
+	if !keep.divergence {
+		c.PREMaxDivergence = 0
+	}
+	if !keep.replay {
+		c.ReplayLookahead = 0
+	}
+	if !keep.freeExit {
+		c.FreeExit = false
+	}
+	return c
+}
+
+// seedFor derives the per-run seed from the run's identity: an FNV-1a
+// hash of the key pushed through a splitmix64 finalizer. Workloads and
+// future stochastic components consume this seed instead of global
+// randomness, which keeps every run replayable in isolation.
+func seedFor(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testOpt keeps windows small: these tests run whole matrices.
+func testOpt() sim.Options {
+	return sim.Options{WarmupUops: 2_000, MeasureUops: 10_000}
+}
+
+// testWorkloads picks two fast, structurally different suite proxies.
+func testWorkloads(t testing.TB) []workload.Workload {
+	t.Helper()
+	var ws []workload.Workload
+	for _, name := range []string{"libquantum", "milc"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func sstSweepMatrix(t testing.TB) Matrix {
+	points := []Point{
+		{Name: "sst=16", Apply: func(c *core.Config) { c.SSTSize = 16 }},
+		{Name: "sst=64", Apply: func(c *core.Config) { c.SSTSize = 64 }},
+		{Name: "sst=256", Apply: func(c *core.Config) { c.SSTSize = 256 }},
+	}
+	return Matrix{
+		Name:        "sst-sweep",
+		Workloads:   testWorkloads(t),
+		Modes:       []core.Mode{core.ModePRE},
+		Points:      points,
+		Options:     testOpt(),
+		AddBaseline: true,
+	}
+}
+
+// TestExpandDedup verifies shared-baseline caching: a 3-point SST sweep
+// over 2 workloads needs 3x2 PRE runs but only 2 OoO baselines, because
+// the baseline never reads SSTSize.
+func TestExpandDedup(t *testing.T) {
+	plan, err := sstSweepMatrix(t).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := plan.NumCells(), 3*2*1; got != want {
+		t.Errorf("NumCells = %d, want %d", got, want)
+	}
+	// 6 distinct PRE configurations + 2 shared OoO baselines.
+	if got, want := plan.NumUnique(), 6+2; got != want {
+		t.Errorf("NumUnique = %d, want %d (shared-baseline caching broken?)", got, want)
+	}
+}
+
+// TestBaselineSharingIsSound pins the canonicalConfig assumption
+// empirically: simulating OoO with different (mode-irrelevant) runahead
+// knobs must produce identical results, otherwise deduplication would
+// change answers.
+func TestBaselineSharingIsSound(t *testing.T) {
+	w := testWorkloads(t)[1] // milc
+	run := func(configure func(*core.Config)) sim.Result {
+		opt := testOpt()
+		opt.Configure = configure
+		r, err := sim.Run(w, core.ModeOoO, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(nil)
+	varied := run(func(c *core.Config) {
+		c.SSTSize = 16
+		c.EMQSize = 1536
+		c.ChainMaxLen = 8
+		c.MinRunaheadCycles = 999
+		c.PREMaxDivergence = 1
+		c.ReplayLookahead = 64
+		c.RunaheadWidth = 12
+	})
+	if !reflect.DeepEqual(base, varied) {
+		t.Errorf("OoO results depend on runahead knobs; canonicalConfig's table is wrong:\nbase   %+v\nvaried %+v", base, varied)
+	}
+}
+
+// TestModeRelevantKnobsStayDistinct is the dedup counterpart: knobs a
+// mode does read must keep runs distinct.
+func TestModeRelevantKnobsStayDistinct(t *testing.T) {
+	cfgA := core.Default(core.ModePRE)
+	cfgB := core.Default(core.ModePRE)
+	cfgB.SSTSize = 16
+	if runKey("w", testOpt(), cfgA) == runKey("w", testOpt(), cfgB) {
+		t.Error("PRE runs with different SSTSize deduplicated")
+	}
+	cfgC := core.Default(core.ModeRA)
+	cfgD := core.Default(core.ModeRA)
+	cfgD.MinRunaheadCycles = 0
+	if runKey("w", testOpt(), cfgC) == runKey("w", testOpt(), cfgD) {
+		t.Error("RA runs with different MinRunaheadCycles deduplicated")
+	}
+}
+
+// TestDeterministicJSON runs the same matrix at 1, 4 and GOMAXPROCS
+// workers and requires byte-identical results JSON: the orchestrator's
+// core contract.
+func TestDeterministicJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full matrices")
+	}
+	m := sstSweepMatrix(t)
+	var reference []byte
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		plan, err := m.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := plan.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(reference, buf.Bytes()) {
+			t.Fatalf("results JSON differs at %d workers", workers)
+		}
+	}
+}
+
+// TestSpeedupsMatchSerialReference recomputes one sweep column the
+// pre-orchestrator way (fresh baseline per point, one run at a time) and
+// requires exact agreement with the orchestrated, deduplicated result.
+func TestSpeedupsMatchSerialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full matrices")
+	}
+	m := sstSweepMatrix(t)
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{16, 64, 256}
+	for pi, size := range sizes {
+		for wi, w := range m.Workloads {
+			opt := testOpt()
+			opt.Configure = func(c *core.Config) { c.SSTSize = size }
+			base, err := sim.Run(w, core.ModeOoO, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := sim.Run(w, core.ModePRE, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := r.Speedup(base)
+			if got := set.Speedup(pi, wi, 0); got != want {
+				t.Errorf("point %d workload %s: orchestrated speedup %v != serial %v",
+					size, w.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestSeedsAreStable verifies per-run seeds derive from run identity:
+// re-expanding the same matrix reproduces them, and distinct runs get
+// distinct seeds.
+func TestSeedsAreStable(t *testing.T) {
+	m := sstSweepMatrix(t)
+	a, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumUnique() != b.NumUnique() {
+		t.Fatalf("re-expansion changed unique count: %d vs %d", a.NumUnique(), b.NumUnique())
+	}
+	seen := make(map[uint64]bool)
+	for ui := 0; ui < a.NumUnique(); ui++ {
+		if a.Seed(ui) != b.Seed(ui) {
+			t.Errorf("unique run %d: seed changed across expansions", ui)
+		}
+		if seen[a.Seed(ui)] {
+			t.Errorf("unique run %d: seed collision", ui)
+		}
+		seen[a.Seed(ui)] = true
+	}
+}
+
+// TestExpandErrors covers matrix validation.
+func TestExpandErrors(t *testing.T) {
+	ws := testWorkloads(t)
+	cases := []struct {
+		name string
+		m    Matrix
+	}{
+		{"no workloads", Matrix{Modes: []core.Mode{core.ModeOoO}, Options: testOpt()}},
+		{"no modes", Matrix{Workloads: ws, Options: testOpt()}},
+		{"no window", Matrix{Workloads: ws, Modes: []core.Mode{core.ModeOoO}}},
+		{"duplicate point", Matrix{Workloads: ws, Modes: []core.Mode{core.ModeOoO},
+			Options: testOpt(), Points: []Point{{Name: "p"}, {Name: "p"}}}},
+		{"unnamed point", Matrix{Workloads: ws, Modes: []core.Mode{core.ModeOoO},
+			Options: testOpt(), Points: []Point{{}}}},
+		{"duplicate workload", Matrix{Workloads: []workload.Workload{ws[0], ws[0]},
+			Modes: []core.Mode{core.ModeOoO}, Options: testOpt()}},
+		{"invalid config", Matrix{Workloads: ws, Modes: []core.Mode{core.ModePRE},
+			Options: testOpt(),
+			Points:  []Point{{Name: "bad", Apply: func(c *core.Config) { c.SSTSize = -1 }}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.m.Expand(); err == nil {
+			t.Errorf("%s: Expand succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestNoBaseline verifies speedups degrade gracefully without a baseline.
+func TestNoBaseline(t *testing.T) {
+	m := Matrix{
+		Workloads: testWorkloads(t)[:1],
+		Modes:     []core.Mode{core.ModePRE},
+		Options:   testOpt(),
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set.Baseline(0, 0); ok {
+		t.Error("Baseline reported present without AddBaseline or OoO in Modes")
+	}
+	if s := set.Speedup(0, 0, 0); s != 0 {
+		t.Errorf("Speedup without baseline = %v, want 0", s)
+	}
+	// Serialization must degrade gracefully, not panic on the 0 speedups.
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON without baseline: %v", err)
+	}
+	for _, g := range set.GeoMeanSpeedups(0) {
+		if g != 0 {
+			t.Errorf("GeoMeanSpeedups without baseline = %v, want 0", g)
+		}
+	}
+}
+
+// TestDocumentRecordsImplicitBaselines verifies AddBaseline sweeps
+// serialize their baseline runs: the document must be self-describing
+// (baseline IPC and seed recoverable without rerunning).
+func TestDocumentRecordsImplicitBaselines(t *testing.T) {
+	plan, err := sstSweepMatrix(t).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := set.Document()
+	// 3 points x 2 workloads, but only 2 unique baseline simulations:
+	// one entry per (point, workload), later ones marked Shared.
+	if got, want := len(doc.Baselines), 3*2; got != want {
+		t.Fatalf("len(Baselines) = %d, want %d", got, want)
+	}
+	fresh := 0
+	for _, c := range doc.Baselines {
+		if c.Mode != core.ModeOoO.String() {
+			t.Errorf("baseline cell mode = %s", c.Mode)
+		}
+		if c.Result.IPC <= 0 {
+			t.Errorf("baseline %s/%s has no result", c.Point, c.Workload)
+		}
+		if !c.Shared {
+			fresh++
+		}
+	}
+	if fresh != 2 {
+		t.Errorf("fresh baseline runs = %d, want 2 (dedup broken?)", fresh)
+	}
+	// When the baseline mode is a matrix axis, Baselines must be empty —
+	// those runs are already Cells.
+	m := sstSweepMatrix(t)
+	m.Modes = []core.Mode{core.ModeOoO, core.ModePRE}
+	plan2, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := plan2.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2 := set2.Document(); len(doc2.Baselines) != 0 {
+		t.Errorf("Baselines populated (%d) with baseline mode in Modes", len(doc2.Baselines))
+	}
+}

@@ -1,0 +1,39 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestEveryIndexRunsOnce covers worker counts below, at, and above the
+// job count, including the serial fast path.
+func TestEveryIndexRunsOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 53
+		counts := make([]atomic.Int32, n)
+		Run(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestSerialOrder verifies the single-worker path runs jobs in index
+// order on the calling goroutine, which determinism-sensitive callers
+// may rely on for debugging.
+func TestSerialOrder(t *testing.T) {
+	var order []int
+	Run(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	Run(0, 4, func(i int) { t.Error("job ran with n=0") })
+	Run(-3, 4, func(i int) { t.Error("job ran with n<0") })
+}

@@ -1,0 +1,166 @@
+// Structured results sink: a schema-versioned JSON document of every
+// matrix cell, emitted in expansion order so identical plans serialize to
+// identical bytes at any worker count.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// SchemaVersion identifies the results-document layout. Bump it on any
+// field change so downstream consumers can reject documents they do not
+// understand.
+const SchemaVersion = 1
+
+// Document is the serialized form of a completed experiment.
+type Document struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Name is the experiment label from Matrix.Name.
+	Name string `json:"name,omitempty"`
+	// WarmupUops and MeasureUops record the simulation window.
+	WarmupUops  int64 `json:"warmup_uops"`
+	MeasureUops int64 `json:"measure_uops"`
+	// Workloads, Modes and Points record the matrix axes in order.
+	Workloads []string `json:"workloads"`
+	Modes     []string `json:"modes"`
+	Points    []string `json:"points"`
+	// Baseline is the speedup denominator mode.
+	Baseline string `json:"baseline"`
+	// UniqueRuns counts deduplicated simulations; TotalCells counts
+	// matrix cells. The gap is work saved by shared-baseline caching.
+	UniqueRuns int `json:"unique_runs"`
+	TotalCells int `json:"total_cells"`
+	// Summary holds per-point geomean speedups, indexed [point][mode].
+	Summary [][]float64 `json:"summary_geomean_speedups"`
+	// Baselines lists the implicit baseline runs per (point, workload)
+	// when the baseline mode is not a matrix axis (AddBaseline sweeps);
+	// when it is, the baselines already appear in Cells. Recording them
+	// keeps the document self-describing: baseline IPC and seeds are
+	// recoverable without rerunning.
+	Baselines []Cell `json:"baselines,omitempty"`
+	// Cells lists every matrix cell in expansion order (point-major,
+	// then workload, then mode).
+	Cells []Cell `json:"cells"`
+}
+
+// Cell is one matrix cell's serialized result.
+type Cell struct {
+	Point    string `json:"point"`
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	// Seed is the run's deterministic seed (hex; uint64 does not survive
+	// JSON number round-trips).
+	Seed string `json:"seed"`
+	// Shared marks cells whose simulation was deduplicated into another
+	// cell's (or a baseline's) run.
+	Shared bool `json:"shared"`
+	// Speedup is IPC normalized to the (point, workload) baseline; 0
+	// when the plan has no baseline.
+	Speedup float64 `json:"speedup"`
+	// Result is the full simulation outcome.
+	Result sim.Result `json:"result"`
+}
+
+// Document builds the serializable form of the result set.
+func (s *Set) Document() *Document {
+	p := s.plan
+	doc := &Document{
+		Schema:      SchemaVersion,
+		Name:        p.m.Name,
+		WarmupUops:  p.m.Options.WarmupUops,
+		MeasureUops: p.m.Options.MeasureUops,
+		Baseline:    p.m.Baseline.String(),
+		UniqueRuns:  p.NumUnique(),
+		TotalCells:  p.NumCells(),
+	}
+	for _, w := range p.m.Workloads {
+		doc.Workloads = append(doc.Workloads, w.Name)
+	}
+	for _, m := range p.m.Modes {
+		doc.Modes = append(doc.Modes, m.String())
+	}
+	doc.Points = p.Points()
+
+	baselineInModes := false
+	for _, m := range p.m.Modes {
+		if m == p.m.Baseline {
+			baselineInModes = true
+		}
+	}
+
+	firstCellOf := make(map[int]bool) // unique index -> already serialized
+	cell := 0
+	for pi, pt := range p.points {
+		doc.Summary = append(doc.Summary, s.GeoMeanSpeedups(pi))
+		for wi := range p.m.Workloads {
+			for mi, mode := range p.m.Modes {
+				ui := p.cells[cell]
+				shared := firstCellOf[ui]
+				firstCellOf[ui] = true
+				doc.Cells = append(doc.Cells, Cell{
+					Point:    pt.Name,
+					Workload: p.m.Workloads[wi].Name,
+					Mode:     mode.String(),
+					Seed:     fmt.Sprintf("%016x", p.unique[ui].seed),
+					Shared:   shared,
+					Speedup:  s.Speedup(pi, wi, mi),
+					Result:   s.res[ui],
+				})
+				cell++
+			}
+			if !baselineInModes {
+				if ui := p.base[pi*len(p.m.Workloads)+wi]; ui >= 0 {
+					shared := firstCellOf[ui]
+					firstCellOf[ui] = true
+					doc.Baselines = append(doc.Baselines, Cell{
+						Point:    pt.Name,
+						Workload: p.m.Workloads[wi].Name,
+						Mode:     p.m.Baseline.String(),
+						Seed:     fmt.Sprintf("%016x", p.unique[ui].seed),
+						Shared:   shared,
+						Speedup:  1,
+						Result:   s.res[ui],
+					})
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// WriteFile writes the results document to dir/name.json, creating dir
+// if needed — the shared sink path of every sweep frontend.
+func (s *Set) WriteFile(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSON serializes the result set. Output bytes depend only on the
+// matrix, never on worker count or scheduling, which the orchestrator's
+// determinism tests enforce.
+func (s *Set) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s.Document(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -7,11 +7,10 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/exp/pool"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -169,40 +168,24 @@ func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
 
 // RunMatrix simulates every (workload, mode) pair, in parallel across the
 // machine's cores, returning results indexed [workload][mode] in the
-// given orders.
+// given orders. It delegates to the same worker pool as the experiment
+// orchestrator (internal/exp): each job writes only its own slot, and the
+// returned error is the first in (workload, mode) order regardless of
+// completion order, so the call is deterministic at any parallelism.
 func RunMatrix(ws []workload.Workload, modes []core.Mode, opt Options) ([][]Result, error) {
 	results := make([][]Result, len(ws))
 	for i := range results {
 		results[i] = make([]Result, len(modes))
 	}
-	type job struct{ wi, mi int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-
-	workers := runtime.GOMAXPROCS(0)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := Run(ws[j.wi], modes[j.mi], opt)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				results[j.wi][j.mi] = r
-				mu.Unlock()
-			}
-		}()
-	}
-	for wi := range ws {
-		for mi := range modes {
-			jobs <- job{wi, mi}
+	errs := make([]error, len(ws)*len(modes))
+	pool.Run(len(errs), 0, func(i int) {
+		wi, mi := i/len(modes), i%len(modes)
+		results[wi][mi], errs[i] = Run(ws[wi], modes[mi], opt)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	return results, firstErr
+	return results, nil
 }

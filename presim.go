@@ -30,6 +30,7 @@ package presim
 
 import (
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -134,6 +135,25 @@ func Run(w Workload, mode Mode, opt Options) (Result, error) {
 func RunMatrix(ws []Workload, modes []Mode, opt Options) ([][]Result, error) {
 	return sim.RunMatrix(ws, modes, opt)
 }
+
+// Experiment declares a (points x workloads x modes) design-space sweep
+// for the parallel orchestrator: unique configurations are deduplicated
+// (shared OoO baselines run once), sharded across the host's cores, and
+// serialized deterministically — byte-identical results JSON at any
+// worker count.
+type Experiment = exp.Matrix
+
+// ExperimentPoint is one named configuration override of an Experiment.
+type ExperimentPoint = exp.Point
+
+// ExperimentPlan is an expanded, deduplicated Experiment ready to run.
+type ExperimentPlan = exp.Plan
+
+// ExperimentSet holds a completed Experiment's results and aggregations.
+type ExperimentSet = exp.Set
+
+// ResultsSchemaVersion identifies the experiment results JSON layout.
+const ResultsSchemaVersion = exp.SchemaVersion
 
 // Table is an aligned text/CSV table.
 type Table = report.Table
