@@ -348,7 +348,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 func BenchmarkCacheLookup(b *testing.B) {
 	c := cache.New(cache.Config{Name: "B", SizeBytes: 32 << 10, Assoc: 8, HitLatency: 4, MSHRs: 10})
 	for i := uint64(0); i < 512; i++ {
-		c.Insert(i*64, 0, false)
+		c.Insert(i*64, 0, cache.SrcDemand)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

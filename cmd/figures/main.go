@@ -5,9 +5,12 @@
 // Usage:
 //
 //	figures                # everything
-//	figures -only fig2     # one artifact: table1, fig2, fig3, e4...e9
+//	figures -only fig2     # one artifact: table1, fig2, fig3, e4...e9, pf
 //	figures -csv out/      # additionally write CSV files
 //	figures -n 300000      # measured window per run
+//
+// The pf artifact is the PRE-vs-prefetch-vs-combined grid: every
+// mechanism crossed with the standard hardware-prefetcher variants.
 package main
 
 import (
@@ -22,7 +25,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9")
+	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9, pf")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
 	jsonDir := flag.String("json", "", "directory to also write the full results JSON into")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
@@ -111,9 +114,52 @@ func main() {
 	if want("e9") {
 		emit("e9_invocations", e9Table(results, modes))
 	}
+	if want("pf") {
+		grid, detail, err := pfTables(opt, *workers, *jsonDir)
+		if err != nil {
+			fatal(err)
+		}
+		emit("pf_grid", grid)
+		emit("pf_detail", detail)
+	}
 	if *only == "" {
 		emit("runahead_detail", presim.RunaheadDetailTable(results, modes))
 	}
+}
+
+// pfTables runs the PF-augmented grid (every mechanism x every hardware-
+// prefetcher variant) and renders the speedup summary plus the combined
+// variant's per-workload prefetcher diagnostics.
+func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *presim.Table, error) {
+	m := exp.Matrix{
+		Name:      "pf_grid",
+		Workloads: presim.Workloads(),
+		Modes:     presim.Modes(),
+		Points:    presim.PrefetchPoints(),
+		Options:   opt,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := plan.Run(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if jsonDir != "" {
+		if err := set.WriteFile(jsonDir, "pf_grid"); err != nil {
+			return nil, nil, err
+		}
+	}
+	points := plan.Points()
+	summary := make([][]float64, len(points))
+	for pi := range points {
+		summary[pi] = set.GeoMeanSpeedups(pi)
+	}
+	grid := presim.PFGridTable(points, presim.Modes(), summary)
+	// Diagnostics for the combined variant (the last point, stride+bo).
+	detail := presim.PrefetchDetailTable(set.Grid(len(points)-1), presim.Modes())
+	return grid, detail, nil
 }
 
 // printTable1 dumps the baseline configuration (paper Table 1).

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	presim -bench mcf -mode PRE
+//	presim -bench libquantum -mode OoO -pf stride
 //	presim -bench libquantum -all
 //	presim -list
 package main
@@ -14,11 +15,13 @@ import (
 	"os"
 
 	presim "repro"
+	"repro/internal/core"
 )
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
 	mode := flag.String("mode", "PRE", "mechanism: OoO, RA, RA-buffer, PRE, PRE+EMQ")
+	pf := flag.String("pf", "no-pf", "hardware prefetchers: no-pf, stride, best-offset, stride+bo")
 	all := flag.Bool("all", false, "run every mechanism and compare")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops")
@@ -36,9 +39,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	variant, err := presim.PrefetchVariantByName(*pf)
+	if err != nil {
+		fatal(err)
+	}
 	opt := presim.DefaultOptions()
 	opt.WarmupUops = *warmup
 	opt.MeasureUops = *measure
+	opt.Configure = func(c *core.Config) { c.ApplyPrefetch(variant) }
 
 	if *all {
 		modes := presim.Modes()
@@ -68,11 +76,29 @@ func main() {
 	}
 	fmt.Printf("benchmark       %s (%s)\n", r.Workload, w.Class)
 	fmt.Printf("mechanism       %s\n", r.Mode)
+	if variant.L1D.Enabled() || variant.L2.Enabled() {
+		fmt.Printf("prefetchers     %s\n", variant.Name)
+	}
 	fmt.Printf("cycles          %d\n", r.Cycles)
 	fmt.Printf("committed       %d\n", r.Committed)
 	fmt.Printf("IPC             %.3f\n", r.IPC)
 	fmt.Printf("LLC MPKI        %.1f\n", r.L3MPKI)
+	hitPct := func(hits, misses int64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("L1D             %d hits / %d misses (%.1f%%)\n", r.L1DHits, r.L1DMisses, hitPct(r.L1DHits, r.L1DMisses))
+	fmt.Printf("L2              %d hits / %d misses (%.1f%%)\n", r.L2Hits, r.L2Misses, hitPct(r.L2Hits, r.L2Misses))
+	fmt.Printf("L3              %d hits / %d misses (%.1f%%)\n", r.L3Hits, r.L3Misses, hitPct(r.L3Hits, r.L3Misses))
 	fmt.Printf("DRAM reads      %d  writes %d\n", r.DRAMReads, r.DRAMWrites)
+	if r.HWPrefIssued > 0 || r.HWPrefDropped > 0 || r.HWPrefRedundant > 0 {
+		fmt.Printf("hw prefetch     %d issued, %d dropped, %d redundant, %d fills, %d useful\n",
+			r.HWPrefIssued, r.HWPrefDropped, r.HWPrefRedundant, r.HWPrefFills, r.HWPrefUseful)
+		fmt.Printf("hw pf quality   accuracy %.0f%%, coverage %.0f%%, timeliness %.0f%%\n",
+			100*r.HWPFAccuracy, 100*r.HWPFCoverage, 100*r.HWPFTimeliness)
+	}
 	fmt.Printf("branch mispred  %d\n", r.BranchMispredicts)
 	fmt.Printf("window stalls   %d cycles\n", r.FullWindowStall)
 	if r.Mode != presim.ModeOoO {

@@ -4,9 +4,14 @@
 //	sweep -emq           # A2: EMQ size sweep (paper picks 768 = 4x ROB)
 //	sweep -rathreshold   # A3: RA short-interval filter threshold
 //	sweep -mshr          # extra: memory-level-parallelism budget
+//	sweep -pf            # PF grid: every mechanism x every prefetcher variant
 //
 // Each sweep reports the geometric-mean speedup over the OoO baseline
-// across the whole suite for each parameter value.
+// across the whole suite for each parameter value. The -pf grid is the
+// PRE-vs-prefetch-vs-combined comparison: {OoO, RA, RA-buffer, PRE,
+// PRE+EMQ} x {no-pf, stride, best-offset, stride+bo} over the
+// 13-workload suite, with per-run prefetch accuracy/coverage/timeliness
+// in the results JSON.
 //
 // The command is a thin frontend over the parallel experiment
 // orchestrator (internal/exp): each sweep becomes one exp.Matrix whose
@@ -34,6 +39,7 @@ func main() {
 	doEMQ := flag.Bool("emq", false, "sweep EMQ size (PRE+EMQ)")
 	doRAT := flag.Bool("rathreshold", false, "sweep RA short-interval filter")
 	doMSHR := flag.Bool("mshr", false, "sweep L1D MSHR count (PRE)")
+	doPF := flag.Bool("pf", false, "run the mechanism x hardware-prefetcher grid")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 200_000, "measured µops per run")
 	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
@@ -78,8 +84,16 @@ func main() {
 			[]int{8, 16, 32, 64},
 			func(c *core.Config, v int) { c.Mem.L1D.MSHRs = v })
 	}
+	if *doPF {
+		any = true
+		if *serial {
+			fmt.Fprintln(os.Stderr, "sweep: -pf is orchestrator-only; drop -serial")
+			os.Exit(2)
+		}
+		s.sweepPF()
+	}
 	if !any {
-		fmt.Fprintln(os.Stderr, "sweep: pass at least one of -sst, -emq, -rathreshold, -mshr")
+		fmt.Fprintln(os.Stderr, "sweep: pass at least one of -sst, -emq, -rathreshold, -mshr, -pf")
 		os.Exit(2)
 	}
 }
@@ -141,6 +155,65 @@ func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
 	}
 	if s.jsonDir != "" {
 		if err := set.WriteFile(s.jsonDir, name); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// sweepPF runs the PF grid: every runahead mechanism crossed with every
+// hardware-prefetcher variant over the full suite, one exp.Matrix. The
+// grid summary (geomean speedups over each variant's own OoO baseline)
+// and per-variant prefetcher quality print to stdout; the full per-run
+// counters land in the -json sink.
+func (s sweeper) sweepPF() {
+	fmt.Println("PF grid: mechanisms x hardware prefetchers (speedup over per-variant OoO)")
+	start := time.Now()
+	m := exp.Matrix{
+		Name:      "pf_grid",
+		Workloads: presim.Workloads(),
+		Modes:     presim.Modes(),
+		Points:    presim.PrefetchPoints(),
+		Options:   s.opt,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	set, err := plan.Run(s.workers)
+	if err != nil {
+		fatal(err)
+	}
+	points := plan.Points()
+	summary := make([][]float64, len(points))
+	for pi := range points {
+		summary[pi] = set.GeoMeanSpeedups(pi)
+	}
+	presim.PFGridTable(points, presim.Modes(), summary).Write(os.Stdout)
+	for pi, p := range points {
+		var acc, cov, tim float64
+		var n int
+		for wi := range m.Workloads {
+			r := set.Result(pi, wi, 0) // prefetcher quality under the OoO cell
+			if r.HWPrefIssued == 0 {
+				continue
+			}
+			acc += r.HWPFAccuracy
+			cov += r.HWPFCoverage
+			tim += r.HWPFTimeliness
+			n++
+		}
+		if n > 0 {
+			fmt.Printf("  %-12s OoO-cell prefetch quality: accuracy %.0f%%, coverage %.0f%%, timeliness %.0f%% (mean over %d workloads)\n",
+				p, 100*acc/float64(n), 100*cov/float64(n), 100*tim/float64(n), n)
+		}
+	}
+	if s.timing {
+		meta := set.Meta()
+		fmt.Printf("  (wall-clock %.2fs, %d workers, GOMAXPROCS %d, %d unique runs)\n",
+			time.Since(start).Seconds(), meta.EffectiveWorkers, meta.GOMAXPROCS, meta.UniqueRuns)
+	}
+	if s.jsonDir != "" {
+		if err := set.WriteFile(s.jsonDir, "pf_grid"); err != nil {
 			fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	presim "repro"
+	"repro/internal/core"
 )
 
 // diffOpt is the differential-test window: long enough for hundreds of
@@ -72,6 +73,97 @@ func TestCommittedStateInvariance(t *testing.T) {
 				if mode == presim.ModeOoO && r.Entries != 0 {
 					t.Errorf("OoO baseline entered runahead %d times", r.Entries)
 				}
+			}
+		})
+	}
+}
+
+// TestPFCommittedStateInvariance extends the committed-state invariant to
+// the prefetcher axis: a hardware prefetcher only warms caches, so every
+// +PF configuration must commit the same architectural µop count as its
+// base mode — identical up to the Width-1 commit bunching the base
+// invariance test already allows between mechanisms (prefetching shifts
+// which cycle the window-closing commits land on, never which µops
+// commit).
+func TestPFCommittedStateInvariance(t *testing.T) {
+	opt := diffOpt()
+	width := int64(presim.DefaultConfig(presim.ModeOoO).Width)
+	reps := []string{"libquantum", "milc", "omnetpp"} // stream, indirect, hashwalk
+	for _, name := range reps {
+		w, err := presim.WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range presim.Modes() {
+				base, err := presim.Run(w, mode, opt)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				for _, v := range presim.PrefetchVariants() {
+					if !v.L1D.Enabled() && !v.L2.Enabled() {
+						continue
+					}
+					v := v
+					o := opt
+					o.Configure = func(c *core.Config) { c.ApplyPrefetch(v) }
+					r, err := presim.Run(w, mode, o)
+					if err != nil {
+						t.Fatalf("%v+%s: %v", mode, v.Name, err)
+					}
+					if r.Committed < opt.MeasureUops || r.Committed >= opt.MeasureUops+width {
+						t.Errorf("%v+%s: committed %d µops, want [%d, %d) — prefetching changed architectural state",
+							mode, v.Name, r.Committed, opt.MeasureUops, opt.MeasureUops+width)
+					}
+					if d := r.Committed - base.Committed; d >= width || d <= -width {
+						t.Errorf("%v+%s: committed %d µops vs base %d (beyond commit bunching)",
+							mode, v.Name, r.Committed, base.Committed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStridePFNeverLosesOnRegular asserts the hardware-prefetcher sanity
+// bound: on the address-computable archetypes (streaming and stencil) an
+// OoO core with the L1D stride prefetcher must never fall below the plain
+// OoO baseline — those are exactly the patterns a stride engine exists
+// for. Data-dependent archetypes are excluded: there a prefetcher may
+// legitimately pollute.
+func TestStridePFNeverLosesOnRegular(t *testing.T) {
+	opt := diffOpt()
+	stride, err := presim.PrefetchVariantByName("stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"libquantum", "bwaves", "lbm", "GemsFDTD"} {
+		w, err := presim.WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base, err := presim.Run(w, presim.ModeOoO, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := opt
+			o.Configure = func(c *core.Config) { c.ApplyPrefetch(stride) }
+			pf, err := presim.Run(w, presim.ModeOoO, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pf.IPC < base.IPC {
+				t.Errorf("OoO+stride IPC %.4f < OoO IPC %.4f (speedup %.3fx)",
+					pf.IPC, base.IPC, pf.Speedup(base))
+			}
+			if pf.HWPrefIssued == 0 {
+				t.Error("stride prefetcher never issued on a regular-access workload")
+			}
+			if pf.HWPrefUseful == 0 {
+				t.Error("stride prefetcher issued but nothing was useful")
 			}
 		})
 	}

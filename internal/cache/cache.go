@@ -56,6 +56,22 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Source tags who installed a line: demand traffic, a runahead-execution
+// prefetch, or a hardware prefetcher. The tag drives the per-source
+// usefulness statistics (runahead coverage vs. hardware-prefetcher
+// accuracy) and is cleared on the first demand hit.
+type Source uint8
+
+// Fill sources.
+const (
+	// SrcDemand marks demand fills (loads, fetches, write-allocates).
+	SrcDemand Source = iota
+	// SrcRunahead marks runahead-execution prefetch fills.
+	SrcRunahead
+	// SrcHW marks hardware-prefetcher fills (internal/prefetch).
+	SrcHW
+)
+
 // line is one tag-store entry.
 type line struct {
 	tag       uint64 // full line address (addr >> 6)
@@ -63,7 +79,7 @@ type line struct {
 	dirty     bool
 	lru       uint64 // larger = more recently used
 	fillReady int64  // cycle at which the line's data is usable
-	prefetch  bool   // filled by a runahead prefetch, not yet demanded
+	src       Source // who filled the line; demanded lines revert to SrcDemand
 }
 
 // mshr tracks one outstanding miss.
@@ -79,7 +95,10 @@ type Stats struct {
 	Hits           int64
 	Misses         int64
 	PrefetchFills  int64 // lines installed by runahead prefetches
-	PrefetchUseful int64 // demand hits on prefetched lines
+	PrefetchUseful int64 // demand hits on runahead-prefetched lines
+	HWPrefFills    int64 // lines installed by the hardware prefetcher
+	HWPrefUseful   int64 // demand hits on hardware-prefetched lines
+	HWPrefLate     int64 // of those, hits that still waited on the fill
 	Evictions      int64
 	Writebacks     int64 // dirty evictions
 	MSHRStalls     int64 // allocation attempts rejected for lack of MSHRs
@@ -149,10 +168,16 @@ func (c *Cache) Lookup(addr uint64, now int64, demand bool) (hit bool, ready int
 			ln.lru = c.lruClock
 			if demand {
 				c.stats.Hits++
-				if ln.prefetch {
+				switch ln.src {
+				case SrcRunahead:
 					c.stats.PrefetchUseful++
-					ln.prefetch = false
+				case SrcHW:
+					c.stats.HWPrefUseful++
+					if ln.fillReady > now {
+						c.stats.HWPrefLate++
+					}
 				}
+				ln.src = SrcDemand
 			}
 			ready = now + int64(c.cfg.HitLatency)
 			if ln.fillReady > ready {
@@ -191,9 +216,9 @@ type Eviction struct {
 }
 
 // Insert installs the line containing addr, choosing an LRU victim if the
-// set is full. fillReady is the cycle the new line's data arrives.
-// prefetch marks runahead-prefetch fills for coverage statistics.
-func (c *Cache) Insert(addr uint64, fillReady int64, prefetch bool) Eviction {
+// set is full. fillReady is the cycle the new line's data arrives. src
+// tags runahead and hardware-prefetch fills for coverage statistics.
+func (c *Cache) Insert(addr uint64, fillReady int64, src Source) Eviction {
 	tag := addr >> 6
 	set := c.set(tag)
 	for i := range set {
@@ -233,9 +258,12 @@ func (c *Cache) Insert(addr uint64, fillReady int64, prefetch bool) Eviction {
 		}
 	}
 	c.lruClock++
-	*v = line{tag: tag, valid: true, lru: c.lruClock, fillReady: fillReady, prefetch: prefetch}
-	if prefetch {
+	*v = line{tag: tag, valid: true, lru: c.lruClock, fillReady: fillReady, src: src}
+	switch src {
+	case SrcRunahead:
 		c.stats.PrefetchFills++
+	case SrcHW:
+		c.stats.HWPrefFills++
 	}
 	return ev
 }

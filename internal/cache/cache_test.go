@@ -36,7 +36,7 @@ func TestMissThenFillThenHit(t *testing.T) {
 	if hit, _ := c.Lookup(addr, 0, true); hit {
 		t.Fatal("cold cache must miss")
 	}
-	c.Insert(addr, 100, false)
+	c.Insert(addr, 100, SrcDemand)
 	hit, ready := c.Lookup(addr, 10, true)
 	if !hit {
 		t.Fatal("inserted line must hit")
@@ -56,7 +56,7 @@ func TestMissThenFillThenHit(t *testing.T) {
 
 func TestSameLineDifferentOffsetsHit(t *testing.T) {
 	c := smallCache()
-	c.Insert(0x1000, 0, false)
+	c.Insert(0x1000, 0, SrcDemand)
 	for _, off := range []uint64{0, 8, 63} {
 		if hit, _ := c.Lookup(0x1000+off, 10, true); !hit {
 			t.Errorf("offset %d within line must hit", off)
@@ -73,10 +73,10 @@ func TestLRUReplacement(t *testing.T) {
 	// Victim must be line1 (the LRU).
 	lines := []uint64{0x0, 0x1000, 0x2000, 0x3000} // same set (only one set)
 	for _, a := range lines {
-		c.Insert(a, 0, false)
+		c.Insert(a, 0, SrcDemand)
 	}
 	c.Lookup(0x0, 5, true) // make line0 MRU
-	ev := c.Insert(0x4000, 10, false)
+	ev := c.Insert(0x4000, 10, SrcDemand)
 	if !ev.Valid || ev.Addr != 0x1000 {
 		t.Errorf("evicted %#x, want 0x1000 (LRU)", ev.Addr)
 	}
@@ -87,11 +87,11 @@ func TestLRUReplacement(t *testing.T) {
 
 func TestDirtyEvictionWriteback(t *testing.T) {
 	c := New(Config{Name: "T", SizeBytes: 2 * uarch.LineSize, Assoc: 2, HitLatency: 1, MSHRs: 1})
-	c.Insert(0x0, 0, false)
+	c.Insert(0x0, 0, SrcDemand)
 	c.MarkDirty(0x0)
-	c.Insert(0x1000, 0, false)
+	c.Insert(0x1000, 0, SrcDemand)
 	// Insert third line: evicts 0x0 (LRU, dirty).
-	ev := c.Insert(0x2000, 0, false)
+	ev := c.Insert(0x2000, 0, SrcDemand)
 	if !ev.Valid || !ev.Dirty || ev.Addr != 0x0 {
 		t.Errorf("eviction = %+v, want dirty victim 0x0", ev)
 	}
@@ -110,7 +110,7 @@ func TestMarkDirtyOnAbsentLineIsNoop(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	c := smallCache()
-	c.Insert(0x1000, 0, false)
+	c.Insert(0x1000, 0, SrcDemand)
 	c.MarkDirty(0x1000)
 	present, dirty := c.Invalidate(0x1000)
 	if !present || !dirty {
@@ -127,8 +127,8 @@ func TestInvalidate(t *testing.T) {
 
 func TestDoubleInsertKeepsEarlierFill(t *testing.T) {
 	c := smallCache()
-	c.Insert(0x1000, 500, false)
-	c.Insert(0x1000, 300, false)
+	c.Insert(0x1000, 500, SrcDemand)
+	c.Insert(0x1000, 300, SrcDemand)
 	_, ready := c.Lookup(0x1000, 0, true)
 	if ready != 300 {
 		t.Errorf("ready = %d, want earlier fill 300", ready)
@@ -140,7 +140,7 @@ func TestDoubleInsertKeepsEarlierFill(t *testing.T) {
 
 func TestPrefetchAccounting(t *testing.T) {
 	c := smallCache()
-	c.Insert(0x1000, 0, true)
+	c.Insert(0x1000, 0, SrcRunahead)
 	s := c.Stats()
 	if s.PrefetchFills != 1 {
 		t.Errorf("prefetch fills = %d", s.PrefetchFills)
@@ -154,6 +154,32 @@ func TestPrefetchAccounting(t *testing.T) {
 	c.Lookup(0x1000, 20, true)
 	if c.Stats().PrefetchUseful != 1 {
 		t.Error("prefetch usefulness double-counted")
+	}
+}
+
+func TestHWPrefetchAccounting(t *testing.T) {
+	c := smallCache()
+	c.Insert(0x1000, 100, SrcHW)
+	c.Insert(0x2000, 0, SrcHW)
+	s := c.Stats()
+	if s.HWPrefFills != 2 || s.PrefetchFills != 0 {
+		t.Errorf("HW fills = %d (runahead %d), want 2 (0)", s.HWPrefFills, s.PrefetchFills)
+	}
+	// Demand hit while the fill is still in flight: useful but late.
+	c.Lookup(0x1000, 50, true)
+	// Demand hit after the fill settled: useful and timely.
+	c.Lookup(0x2000, 50, true)
+	s = c.Stats()
+	if s.HWPrefUseful != 2 || s.HWPrefLate != 1 {
+		t.Errorf("HW useful/late = %d/%d, want 2/1", s.HWPrefUseful, s.HWPrefLate)
+	}
+	if s.PrefetchUseful != 0 {
+		t.Error("HW prefetch hit leaked into runahead usefulness")
+	}
+	// Second demand hit must not double-count usefulness.
+	c.Lookup(0x1000, 200, true)
+	if c.Stats().HWPrefUseful != 2 {
+		t.Error("HW prefetch usefulness double-counted")
 	}
 }
 
@@ -226,7 +252,7 @@ func TestPropertyCapacityAndPresence(t *testing.T) {
 			case 0:
 				c.Lookup(addr, int64(op), true)
 			case 1:
-				c.Insert(addr, int64(op), false)
+				c.Insert(addr, int64(op), SrcDemand)
 				if !c.Contains(addr) {
 					return false
 				}
@@ -252,7 +278,7 @@ func TestPropertyLRUVictimNotRecent(t *testing.T) {
 		c := New(Config{Name: "P", SizeBytes: 4 * uarch.LineSize, Assoc: 4, HitLatency: 1, MSHRs: 1})
 		base := []uint64{0x0000, 0x1000, 0x2000, 0x3000}
 		for i, a := range base {
-			c.Insert(a, int64(i), false)
+			c.Insert(a, int64(i), SrcDemand)
 		}
 		now := int64(10)
 		recent := map[uint64]bool{}
@@ -274,7 +300,7 @@ func TestPropertyLRUVictimNotRecent(t *testing.T) {
 		if touched < 3 {
 			return true // not enough distinct touches to constrain the victim
 		}
-		ev := c.Insert(0x9000, now, false)
+		ev := c.Insert(0x9000, now, SrcDemand)
 		return ev.Valid && !recent[ev.Addr]
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/frontend"
 	"repro/internal/mem"
+	"repro/internal/prefetch"
 	"repro/internal/rename"
 )
 
@@ -150,6 +151,15 @@ func Default(mode Mode) Config {
 		PREMaxDivergence:  4,
 		ReplayLookahead:   4096,
 	}
+}
+
+// ApplyPrefetch installs a hardware-prefetcher variant into the memory
+// configuration — the hook every PF-augmented simulation mode uses. Any
+// runahead mode composes with any variant: "OoO + stride" and "PRE +
+// best-offset" are both just Default(mode) plus ApplyPrefetch.
+func (c *Config) ApplyPrefetch(v prefetch.Variant) {
+	c.Mem.L1DPrefetch = v.L1D
+	c.Mem.L2Prefetch = v.L2
 }
 
 // Validate checks the configuration for consistency.

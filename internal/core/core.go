@@ -409,7 +409,7 @@ func (c *Core) issueLoad(rec *uopRec) (ready int64, inv, ok bool) {
 			c.stats.Prefetches++
 		}
 	} else {
-		res, ok = c.hier.Load(u.Addr, c.now)
+		res, ok = c.hier.LoadPC(u.Addr, u.PC, c.now)
 	}
 	if !ok {
 		if neverWait {

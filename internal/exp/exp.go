@@ -24,6 +24,8 @@ package exp
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp/pool"
@@ -213,8 +215,12 @@ func (p *Plan) Seed(ui int) uint64 { return p.unique[ui].seed }
 
 // Run executes the plan's unique runs on a worker pool (workers <= 0
 // selects one worker per CPU) and returns the completed result set. The
-// first error in expansion order aborts the set.
+// first error in expansion order aborts the set. Execution-environment
+// facts (wall-clock, pool width) are recorded on the set's Meta, NOT in
+// the results document — they vary run to run, and the results JSON must
+// stay byte-identical at any worker count.
 func (p *Plan) Run(workers int) (*Set, error) {
+	start := time.Now()
 	res := make([]sim.Result, len(p.unique))
 	errs := make([]error, len(p.unique))
 	pool.Run(len(p.unique), workers, func(i int) {
@@ -229,7 +235,16 @@ func (p *Plan) Run(workers int) (*Set, error) {
 			return nil, err
 		}
 	}
-	return &Set{plan: p, res: res}, nil
+	return &Set{plan: p, res: res, meta: RunMeta{
+		Schema:           SchemaVersion,
+		Name:             p.m.Name,
+		WallClockSeconds: time.Since(start).Seconds(),
+		Workers:          workers,
+		EffectiveWorkers: pool.Effective(len(p.unique), workers),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		UniqueRuns:       p.NumUnique(),
+		TotalCells:       p.NumCells(),
+	}}, nil
 }
 
 // Set holds a plan's completed results and the aggregation helpers every
@@ -237,7 +252,12 @@ func (p *Plan) Run(workers int) (*Set, error) {
 type Set struct {
 	plan *Plan
 	res  []sim.Result
+	meta RunMeta
 }
+
+// Meta returns the execution-environment record of the Run call that
+// produced this set.
+func (s *Set) Meta() RunMeta { return s.meta }
 
 // Plan returns the plan this set was produced from.
 func (s *Set) Plan() *Plan { return s.plan }

@@ -2,11 +2,15 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -139,6 +143,131 @@ func TestDeterministicJSON(t *testing.T) {
 		if !bytes.Equal(reference, buf.Bytes()) {
 			t.Fatalf("results JSON differs at %d workers", workers)
 		}
+	}
+}
+
+// pfGridMatrix is the PF-augmented grid: modes x prefetcher variants.
+func pfGridMatrix(t testing.TB) Matrix {
+	points := make([]Point, 0, 3)
+	for _, v := range prefetch.Variants()[:3] { // no-pf, stride, best-offset
+		v := v
+		points = append(points, Point{Name: v.Name, Apply: func(c *core.Config) { c.ApplyPrefetch(v) }})
+	}
+	return Matrix{
+		Name:      "pf-grid",
+		Workloads: testWorkloads(t),
+		Modes:     []core.Mode{core.ModeOoO, core.ModePRE},
+		Points:    points,
+		Options:   testOpt(),
+	}
+}
+
+// TestPFGridDeterministicJSON extends the determinism contract to the
+// prefetcher axis: a {OoO, PRE} x {no-pf, stride, best-offset} matrix
+// must serialize byte-identically at any worker count, with the PF
+// metrics populated in the prefetching cells.
+func TestPFGridDeterministicJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full matrices")
+	}
+	m := pfGridMatrix(t)
+	var reference []byte
+	for _, workers := range []int{1, 4} {
+		plan, err := m.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := plan.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = buf.Bytes()
+			// Spot-check the axis actually changes the simulation: the
+			// stride point must record prefetch issue on the streaming
+			// workload, the no-pf point must not.
+			if r := set.Result(1, 0, 0); r.HWPrefIssued == 0 {
+				t.Error("stride point issued no hardware prefetches on libquantum")
+			}
+			if r := set.Result(0, 0, 0); r.HWPrefIssued != 0 {
+				t.Error("no-pf point issued hardware prefetches")
+			}
+			continue
+		}
+		if !bytes.Equal(reference, buf.Bytes()) {
+			t.Fatalf("PF-grid results JSON differs at %d workers", workers)
+		}
+	}
+}
+
+// TestPFPointsStayDistinct pins the dedup key's sensitivity to the
+// prefetcher configuration: same mode, different PF variant must never
+// share a simulation — for ANY mode, including the baseline (the
+// prefetcher changes OoO results, unlike runahead knobs).
+func TestPFPointsStayDistinct(t *testing.T) {
+	for _, mode := range core.Modes() {
+		cfgA := core.Default(mode)
+		cfgB := core.Default(mode)
+		cfgB.ApplyPrefetch(prefetch.Variants()[1]) // stride
+		if runKey("w", testOpt(), cfgA) == runKey("w", testOpt(), cfgB) {
+			t.Errorf("%v: no-pf and stride configurations deduplicated", mode)
+		}
+	}
+}
+
+// TestWriteFileEmitsMetaSibling verifies the sink writes the execution
+// metadata beside, not inside, the results document: the results bytes
+// stay worker-count-invariant while the meta file records wall-clock and
+// pool width.
+func TestWriteFileEmitsMetaSibling(t *testing.T) {
+	m := Matrix{
+		Workloads: testWorkloads(t)[:1],
+		Modes:     []core.Mode{core.ModeOoO},
+		Options:   testOpt(),
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := set.Meta()
+	if meta.Schema != SchemaVersion || meta.Workers != 1 || meta.EffectiveWorkers != 1 {
+		t.Errorf("meta = %+v", meta)
+	}
+	if meta.WallClockSeconds <= 0 {
+		t.Error("wall clock not recorded")
+	}
+	if meta.GOMAXPROCS <= 0 || meta.UniqueRuns != plan.NumUnique() {
+		t.Errorf("meta environment block wrong: %+v", meta)
+	}
+	dir := t.TempDir()
+	if err := set.WriteFile(dir, "out"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := os.ReadFile(filepath.Join(dir, "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(results, []byte("wall_clock_seconds")) {
+		t.Error("wall clock leaked into the byte-identical results document")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "out.meta.json"))
+	if err != nil {
+		t.Fatalf("meta sibling not written: %v", err)
+	}
+	var got RunMeta
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.WallClockSeconds <= 0 {
+		t.Errorf("meta file contents wrong: %+v", got)
 	}
 }
 

@@ -19,6 +19,19 @@ import (
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Effective returns the pool width Run actually uses for n jobs and the
+// given requested worker count — the single source of truth callers use
+// when recording pool width (e.g. experiment metadata).
+func Effective(n, workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // Run executes job(0) .. job(n-1) on up to workers goroutines and returns
 // when all have finished. workers <= 0 selects DefaultWorkers(); the pool
 // never starts more goroutines than jobs. With one worker the jobs run on
@@ -32,12 +45,7 @@ func Run(n, workers int, job func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = Effective(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			job(i)

@@ -16,7 +16,37 @@ import (
 // SchemaVersion identifies the results-document layout. Bump it on any
 // field change so downstream consumers can reject documents they do not
 // understand.
-const SchemaVersion = 1
+//
+// v2: sim.Result gained the per-level hit breakdown and the
+// hardware-prefetcher counters/metrics; the sink gained the sibling
+// metadata document (RunMeta).
+const SchemaVersion = 2
+
+// RunMeta records how a Set was produced: wall-clock, requested and
+// effective pool width, and GOMAXPROCS. It is deliberately a SEPARATE
+// document from the results (WriteFile emits "<name>.meta.json" beside
+// "<name>.json"): wall-clock varies run to run, while the results
+// document is contractually byte-identical at any worker count. Anything
+// excluded from that contract lives here.
+type RunMeta struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Name is the experiment label from Matrix.Name.
+	Name string `json:"name,omitempty"`
+	// WallClockSeconds is the duration of Plan.Run.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// Workers is the requested pool width (0 = one per CPU).
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the pool width actually used (bounded by the
+	// unique-run count).
+	EffectiveWorkers int `json:"effective_workers"`
+	// GOMAXPROCS is the scheduler width at run time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// UniqueRuns and TotalCells mirror the results document, so the meta
+	// file is interpretable on its own (runs/second etc.).
+	UniqueRuns int `json:"unique_runs"`
+	TotalCells int `json:"total_cells"`
+}
 
 // Document is the serialized form of a completed experiment.
 type Document struct {
@@ -135,8 +165,11 @@ func (s *Set) Document() *Document {
 	return doc
 }
 
-// WriteFile writes the results document to dir/name.json, creating dir
-// if needed — the shared sink path of every sweep frontend.
+// WriteFile writes the results document to dir/name.json and the
+// execution metadata to dir/name.meta.json, creating dir if needed — the
+// shared sink path of every sweep frontend. Only the results document is
+// covered by the byte-identical determinism contract; the meta file
+// records the run's wall-clock and pool width and differs run to run.
 func (s *Set) WriteFile(dir, name string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -149,7 +182,15 @@ func (s *Set) WriteFile(dir, name string) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(s.meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(filepath.Join(dir, name+".meta.json"), b, 0o644)
 }
 
 // WriteJSON serializes the result set. Output bytes depend only on the

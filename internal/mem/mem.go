@@ -9,6 +9,14 @@
 // and bus resources — the contention that bounds runahead's usable MLP)
 // but are tagged so coverage statistics can distinguish them.
 //
+// Hardware prefetchers (internal/prefetch) hang off the L1D and the L2:
+// the L1D prefetcher observes the demand-load stream, the L2 prefetcher
+// observes the data traffic that reaches the L2. Their requests walk the
+// same multi-level path as demand and runahead traffic — consuming the
+// same MSHRs, DRAM banks and bus slots — but carry their own fill tag
+// (cache.SrcHW), so runahead coverage and hardware-prefetch accuracy are
+// separately attributable.
+//
 // Latency convention: a hit at level k costs the sum of the hit latencies
 // of levels 1..k (L1 4, L2 4+8, L3 4+8+30 for data), matching how Sniper
 // composes its load-to-use latencies from Table 1.
@@ -19,6 +27,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
 )
 
 // Level identifies where an access was served.
@@ -56,6 +66,13 @@ func (l Level) String() string {
 type Config struct {
 	L1I, L1D, L2, L3 cache.Config
 	DRAM             dram.Config
+
+	// L1DPrefetch configures the hardware prefetcher observing demand
+	// loads at the L1D (prefetch.KindNone disables it, the default).
+	L1DPrefetch prefetch.Config
+	// L2Prefetch configures the hardware prefetcher observing data
+	// traffic at the L2; its fills stop at the L2/L3.
+	L2Prefetch prefetch.Config
 }
 
 // Default returns the paper's Table 1 memory hierarchy. MSHR counts are
@@ -63,6 +80,8 @@ type Config struct {
 // they bound the memory-level parallelism any mechanism — demand window or
 // runahead prefetching — can expose, which is what keeps the runahead
 // buffer's deep single-chain replay from outrunning its fair share.
+// Hardware prefetchers are disabled by default; the PF-augmented
+// configurations enable them per level.
 func Default() Config {
 	return Config{
 		L1I:  cache.Config{Name: "L1I", SizeBytes: 32 << 10, Assoc: 4, HitLatency: 2, MSHRs: 8},
@@ -80,6 +99,12 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.L1DPrefetch.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2Prefetch.Validate(); err != nil {
+		return err
+	}
 	return c.DRAM.Validate()
 }
 
@@ -91,6 +116,66 @@ type Result struct {
 	Level Level
 }
 
+// PFStats aggregates one hardware prefetcher's issue-side counters with
+// the usefulness counters its fill level accumulated. Derived metrics
+// follow the standard definitions: accuracy (what fraction of issued
+// prefetches turned into demand hits), coverage (what fraction of the
+// would-be demand misses the prefetcher absorbed) and timeliness (what
+// fraction of the useful prefetches had fully arrived when demanded).
+type PFStats struct {
+	// Issued counts prefetch requests injected into the hierarchy.
+	Issued int64
+	// Dropped counts requests rejected because no MSHR was free.
+	Dropped int64
+	// Redundant counts requests whose target line was already cached or
+	// in flight.
+	Redundant int64
+	// Fills counts lines the prefetcher installed at its fill level.
+	Fills int64
+	// Useful counts demand hits on prefetched lines.
+	Useful int64
+	// Late counts useful hits that still waited on the in-flight fill.
+	Late int64
+	// DemandMisses counts demand misses at the fill level — the coverage
+	// denominator's "missed anyway" term.
+	DemandMisses int64
+}
+
+// Add accumulates o into s (for combining per-level prefetcher stats).
+func (s PFStats) Add(o PFStats) PFStats {
+	return PFStats{
+		Issued:       s.Issued + o.Issued,
+		Dropped:      s.Dropped + o.Dropped,
+		Redundant:    s.Redundant + o.Redundant,
+		Fills:        s.Fills + o.Fills,
+		Useful:       s.Useful + o.Useful,
+		Late:         s.Late + o.Late,
+		DemandMisses: s.DemandMisses + o.DemandMisses,
+	}
+}
+
+// Accuracy returns Useful/Issued (0 when nothing was issued).
+func (s PFStats) Accuracy() float64 {
+	return stats.Ratio(float64(s.Useful), float64(s.Issued))
+}
+
+// Coverage returns Useful/(Useful+DemandMisses): the fraction of would-be
+// misses at the fill level the prefetcher converted into hits.
+func (s PFStats) Coverage() float64 {
+	return stats.Ratio(float64(s.Useful), float64(s.Useful+s.DemandMisses))
+}
+
+// Timeliness returns the fraction of useful prefetches whose data had
+// fully arrived by the time demand consumed them.
+func (s PFStats) Timeliness() float64 {
+	return stats.Ratio(float64(s.Useful-s.Late), float64(s.Useful))
+}
+
+// pfCounters is the mutable issue-side counter block per prefetcher.
+type pfCounters struct {
+	issued, dropped, redundant int64
+}
+
 // Hierarchy is the assembled memory system. Not safe for concurrent use.
 type Hierarchy struct {
 	cfg Config
@@ -99,6 +184,10 @@ type Hierarchy struct {
 	l2  *cache.Cache
 	l3  *cache.Cache
 	ram *dram.DRAM
+
+	// Hardware prefetchers (nil when disabled) and their issue counters.
+	l1dpf, l2pf prefetch.Prefetcher
+	pfL1D, pfL2 pfCounters
 }
 
 // New assembles a hierarchy, panicking on invalid configuration (the
@@ -108,12 +197,14 @@ func New(cfg Config) *Hierarchy {
 		panic(err)
 	}
 	return &Hierarchy{
-		cfg: cfg,
-		l1i: cache.New(cfg.L1I),
-		l1d: cache.New(cfg.L1D),
-		l2:  cache.New(cfg.L2),
-		l3:  cache.New(cfg.L3),
-		ram: dram.New(cfg.DRAM),
+		cfg:   cfg,
+		l1i:   cache.New(cfg.L1I),
+		l1d:   cache.New(cfg.L1D),
+		l2:    cache.New(cfg.L2),
+		l3:    cache.New(cfg.L3),
+		ram:   dram.New(cfg.DRAM),
+		l1dpf: cfg.L1DPrefetch.New(),
+		l2pf:  cfg.L2Prefetch.New(),
 	}
 }
 
@@ -132,13 +223,53 @@ func (h *Hierarchy) L3() *cache.Cache { return h.l3 }
 // DRAM returns the memory model (stats access).
 func (h *Hierarchy) DRAM() *dram.DRAM { return h.ram }
 
-// ResetStats opens a measurement window across all levels.
+// PFStatsL1D returns the L1D hardware prefetcher's aggregated statistics.
+func (h *Hierarchy) PFStatsL1D() PFStats {
+	cs := h.l1d.Stats()
+	return PFStats{
+		Issued: h.pfL1D.issued, Dropped: h.pfL1D.dropped, Redundant: h.pfL1D.redundant,
+		Fills: cs.HWPrefFills, Useful: cs.HWPrefUseful, Late: cs.HWPrefLate,
+		DemandMisses: cs.Misses,
+	}
+}
+
+// PFStatsL2 returns the L2 hardware prefetcher's aggregated statistics.
+func (h *Hierarchy) PFStatsL2() PFStats {
+	cs := h.l2.Stats()
+	return PFStats{
+		Issued: h.pfL2.issued, Dropped: h.pfL2.dropped, Redundant: h.pfL2.redundant,
+		Fills: cs.HWPrefFills, Useful: cs.HWPrefUseful, Late: cs.HWPrefLate,
+		DemandMisses: cs.Misses,
+	}
+}
+
+// PFStats returns the combined hardware-prefetch statistics — the
+// headline accuracy/coverage/timeliness numbers of a PF-augmented run.
+// Only levels with an enabled engine contribute: with a single engine
+// the combined numbers are exactly that engine's, and with both the
+// coverage denominator pools each engine's own miss stream.
+func (h *Hierarchy) PFStats() PFStats {
+	var s PFStats
+	if h.l1dpf != nil {
+		s = s.Add(h.PFStatsL1D())
+	}
+	if h.l2pf != nil {
+		s = s.Add(h.PFStatsL2())
+	}
+	return s
+}
+
+// ResetStats opens a measurement window across all levels. Prefetcher
+// prediction state (like cache contents) deliberately survives: warmup
+// trains the tables.
 func (h *Hierarchy) ResetStats() {
 	h.l1i.ResetStats()
 	h.l1d.ResetStats()
 	h.l2.ResetStats()
 	h.l3.ResetStats()
 	h.ram.ResetStats()
+	h.pfL1D = pfCounters{}
+	h.pfL2 = pfCounters{}
 }
 
 // writeback pushes a dirty victim from level k into level k+1. It costs no
@@ -154,7 +285,7 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, now int64) {
 			h.l2.MarkDirty(ev.Addr)
 			return
 		}
-		ev2 := h.l2.Insert(ev.Addr, now, false)
+		ev2 := h.l2.Insert(ev.Addr, now, cache.SrcDemand)
 		h.l2.MarkDirty(ev.Addr)
 		h.writeback(LevelL2, ev2, now)
 	case LevelL2:
@@ -162,7 +293,7 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, now int64) {
 			h.l3.MarkDirty(ev.Addr)
 			return
 		}
-		ev3 := h.l3.Insert(ev.Addr, now, false)
+		ev3 := h.l3.Insert(ev.Addr, now, cache.SrcDemand)
 		h.l3.MarkDirty(ev.Addr)
 		h.writeback(LevelL3, ev3, now)
 	case LevelL3:
@@ -171,10 +302,11 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, now int64) {
 }
 
 // access runs the generic L1→L2→L3→DRAM protocol starting from the given
-// L1 cache. demand=false marks runahead prefetches. ok=false means the
-// access could not even start because the first-level MSHRs are exhausted;
-// the caller must retry on a later cycle.
-func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand, prefetch bool) (Result, bool) {
+// L1 cache. demand=false excludes the lookup from demand statistics; src
+// tags any fills (runahead or hardware prefetches). ok=false means the
+// access could not even start because the first-level MSHRs are
+// exhausted; the caller must retry on a later cycle.
+func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand bool, src cache.Source) (Result, bool) {
 	// L1.
 	if hit, ready := l1.Lookup(addr, now, demand); hit {
 		return Result{Ready: ready, Level: LevelL1}, true
@@ -189,13 +321,35 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand, pref
 	}
 	t := now + int64(l1.HitLatency())
 
-	// L2.
-	if hit, ready := h.l2.Lookup(addr, t, demand); hit {
-		h.fill(l1, addr, ready, prefetch, now)
+	// A hardware prefetch is attributed at its engine's fill level only:
+	// the L1D engine's copies installed en route into L2/L3 are untagged
+	// (like demand fills), so each level's HWPref counters describe
+	// exactly the engine attached to that level.
+	downSrc := src
+	if src == cache.SrcHW {
+		downSrc = cache.SrcDemand
+	}
+	// The L2 prefetcher observes the data traffic that escapes the L1D.
+	res, ok := h.accessL2(addr, t, demand, demand && l1 == h.l1d, downSrc)
+	if !ok {
+		return Result{}, false
+	}
+	h.fill(l1, addr, res.Ready, src, now)
+	return res, true
+}
+
+// accessL2 runs the L2→L3→DRAM part of the protocol; t is the cycle the
+// request reaches the L2. train feeds the access into the L2 hardware
+// prefetcher (demand data traffic only). The caller owns the L1 fill.
+func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache.Source) (Result, bool) {
+	hit, ready := h.l2.Lookup(addr, t, demand)
+	if train && h.l2pf != nil {
+		h.l2pf.Observe(prefetch.Access{Addr: addr, Hit: hit, Cycle: t})
+	}
+	if hit {
 		return Result{Ready: ready, Level: LevelL2}, true
 	}
 	if fill, ok := h.l2.MSHRLookup(addr, t); ok {
-		h.fill(l1, addr, fill, prefetch, now)
 		return Result{Ready: fill, Level: LevelMem}, true
 	}
 	if h.l2.MSHRFree(t) == 0 {
@@ -206,14 +360,12 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand, pref
 
 	// L3.
 	if hit, ready := h.l3.Lookup(addr, t2, demand); hit {
-		h.fillL2(addr, ready, prefetch, t)
-		h.fill(l1, addr, ready, prefetch, now)
+		h.fillL2(addr, ready, src, t)
 		h.l2.MSHRAlloc(addr, t, ready)
 		return Result{Ready: ready, Level: LevelL3}, true
 	}
 	if fill, ok := h.l3.MSHRLookup(addr, t2); ok {
-		h.fillL2(addr, fill, prefetch, t)
-		h.fill(l1, addr, fill, prefetch, now)
+		h.fillL2(addr, fill, src, t)
 		h.l2.MSHRAlloc(addr, t, fill)
 		return Result{Ready: fill, Level: LevelMem}, true
 	}
@@ -226,46 +378,70 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand, pref
 	// DRAM.
 	done, _ := h.ram.Access(addr, t3, false)
 
-	ev3 := h.l3.Insert(addr, done, prefetch)
+	// As in access: the L2 engine's fill level is the L2, so its L3
+	// en-route copy is untagged.
+	l3Src := src
+	if src == cache.SrcHW {
+		l3Src = cache.SrcDemand
+	}
+	ev3 := h.l3.Insert(addr, done, l3Src)
 	h.writeback(LevelL3, ev3, done)
 	h.l3.MSHRAlloc(addr, t2, done)
-	h.fillL2(addr, done, prefetch, t)
+	h.fillL2(addr, done, src, t)
 	h.l2.MSHRAlloc(addr, t, done)
-	h.fill(l1, addr, done, prefetch, now)
 	return Result{Ready: done, Level: LevelMem}, true
 }
 
 // fill installs a line into an L1, allocating its MSHR for the in-flight
 // window and handling the victim writeback.
-func (h *Hierarchy) fill(l1 *cache.Cache, addr uint64, ready int64, prefetch bool, now int64) {
-	ev := l1.Insert(addr, ready, prefetch)
+func (h *Hierarchy) fill(l1 *cache.Cache, addr uint64, ready int64, src cache.Source, now int64) {
+	ev := l1.Insert(addr, ready, src)
 	h.writeback(LevelL1, ev, ready)
 	l1.MSHRAlloc(addr, now, ready)
 }
 
 // fillL2 installs a line into the L2 on its way up.
-func (h *Hierarchy) fillL2(addr uint64, ready int64, prefetch bool, now int64) {
-	ev := h.l2.Insert(addr, ready, prefetch)
+func (h *Hierarchy) fillL2(addr uint64, ready int64, src cache.Source, now int64) {
+	ev := h.l2.Insert(addr, ready, src)
 	h.writeback(LevelL2, ev, ready)
 	_ = now
 }
 
-// Load issues a demand data load for the line containing addr.
+// Load issues a demand data load for the line containing addr, with no
+// program counter attached (PC-indexed prefetchers skip training). The
+// core issues loads through LoadPC; Load remains for PC-less callers.
 // ok=false means MSHRs were exhausted and the load must retry later.
 func (h *Hierarchy) Load(addr uint64, now int64) (Result, bool) {
-	return h.access(h.l1d, addr, now, true, false)
+	return h.LoadPC(addr, 0, now)
+}
+
+// LoadPC issues a demand data load for the line containing addr on behalf
+// of the load instruction at pc. The access trains the hardware
+// prefetchers and drains their request queues into the hierarchy.
+// ok=false means MSHRs were exhausted and the load must retry later.
+func (h *Hierarchy) LoadPC(addr, pc uint64, now int64) (Result, bool) {
+	res, ok := h.access(h.l1d, addr, now, true, cache.SrcDemand)
+	if ok {
+		if h.l1dpf != nil {
+			h.l1dpf.Observe(prefetch.Access{Addr: addr, PC: pc, Hit: res.Level == LevelL1, Cycle: now})
+		}
+		h.drainPrefetchers(now)
+	}
+	return res, ok
 }
 
 // Prefetch issues a runahead prefetch for the line containing addr. It
 // uses the same resources as a demand load but is excluded from demand
-// statistics and its fills are tagged for coverage accounting.
+// statistics and its fills are tagged for coverage accounting. Runahead
+// prefetches do not train the hardware prefetchers (they are not demand
+// traffic).
 func (h *Hierarchy) Prefetch(addr uint64, now int64) (Result, bool) {
-	return h.access(h.l1d, addr, now, false, true)
+	return h.access(h.l1d, addr, now, false, cache.SrcRunahead)
 }
 
 // Fetch issues an instruction fetch for the line containing addr.
 func (h *Hierarchy) Fetch(addr uint64, now int64) (Result, bool) {
-	return h.access(h.l1i, addr, now, true, false)
+	return h.access(h.l1i, addr, now, true, cache.SrcDemand)
 }
 
 // StoreCommit retires a store to the line containing addr. A hit marks the
@@ -278,11 +454,58 @@ func (h *Hierarchy) StoreCommit(addr uint64, now int64) (Result, bool) {
 		h.l1d.MarkDirty(addr)
 		return Result{Ready: ready, Level: LevelL1}, true
 	}
-	res, ok := h.access(h.l1d, addr, now, false, false)
+	res, ok := h.access(h.l1d, addr, now, false, cache.SrcDemand)
 	if ok {
 		h.l1d.MarkDirty(addr)
 	}
 	return res, ok
+}
+
+// drainPrefetchers empties both request queues into the hierarchy. Each
+// request walks the real multi-level path — consuming MSHRs, DRAM banks
+// and bus slots exactly like demand and runahead traffic — or is dropped
+// (never retried) when its level's MSHRs are exhausted, the standard
+// drop-on-contention policy of hardware prefetch engines.
+func (h *Hierarchy) drainPrefetchers(now int64) {
+	if h.l1dpf != nil {
+		for _, addr := range h.l1dpf.Requests() {
+			switch {
+			case h.l1d.Contains(addr):
+				h.pfL1D.redundant++
+			case h.inFlight(h.l1d, addr, now):
+				h.pfL1D.redundant++
+			default:
+				if _, ok := h.access(h.l1d, addr, now, false, cache.SrcHW); ok {
+					h.pfL1D.issued++
+				} else {
+					h.pfL1D.dropped++
+				}
+			}
+		}
+	}
+	if h.l2pf != nil {
+		for _, addr := range h.l2pf.Requests() {
+			switch {
+			case h.l2.Contains(addr) || h.l3.Contains(addr):
+				h.pfL2.redundant++
+			case h.inFlight(h.l2, addr, now):
+				h.pfL2.redundant++
+			default:
+				if _, ok := h.accessL2(addr, now, false, false, cache.SrcHW); ok {
+					h.pfL2.issued++
+				} else {
+					h.pfL2.dropped++
+				}
+			}
+		}
+	}
+}
+
+// inFlight reports whether a fill for addr's line is already outstanding
+// at the given cache.
+func (h *Hierarchy) inFlight(c *cache.Cache, addr uint64, now int64) bool {
+	_, ok := c.MSHRLookup(addr, now)
+	return ok
 }
 
 // DemandLoadWouldMissLLC reports whether a load of addr would miss every

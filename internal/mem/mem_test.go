@@ -3,6 +3,9 @@ package mem
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/prefetch"
+	"repro/internal/uarch"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -274,6 +277,218 @@ func TestPropertyLoadLatencyOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- hardware prefetcher integration ---------------------------------------
+
+func strideConfig() Config {
+	cfg := Default()
+	cfg.L1DPrefetch = prefetch.DefaultStride()
+	return cfg
+}
+
+// A strided demand stream must train the L1D prefetcher, whose fills turn
+// later demand loads into L1 hits tagged as hardware-prefetch usefulness.
+func TestStridePrefetcherCoversStream(t *testing.T) {
+	h := New(strideConfig())
+	const pc = 0x400100
+	addr := uint64(1 << 24)
+	now := int64(0)
+	hwHits := 0
+	for i := 0; i < 64; i++ {
+		res, ok := h.LoadPC(addr, pc, now)
+		if !ok {
+			now += 50 // MSHR pressure: retry later
+			continue
+		}
+		if res.Level == LevelL1 {
+			hwHits++
+		}
+		now = res.Ready + 1
+		addr += uarch.LineSize
+	}
+	pf := h.PFStatsL1D()
+	if pf.Issued == 0 {
+		t.Fatal("stride prefetcher never issued into the hierarchy")
+	}
+	if pf.Fills == 0 || pf.Useful == 0 {
+		t.Errorf("prefetches filled %d lines, %d useful — stream not covered", pf.Fills, pf.Useful)
+	}
+	if pf.Accuracy() <= 0 || pf.Accuracy() > 1 {
+		t.Errorf("accuracy %.2f out of range", pf.Accuracy())
+	}
+	if pf.Coverage() <= 0 || pf.Coverage() > 1 {
+		t.Errorf("coverage %.2f out of range", pf.Coverage())
+	}
+	if hwHits == 0 {
+		t.Error("no demand load ever hit a prefetched line")
+	}
+}
+
+// Hardware prefetches consume real L1D MSHRs: with the prefetcher eating
+// into the 10 line-fill buffers, fewer concurrent demand misses fit.
+func TestHWPrefetchConsumesMSHRs(t *testing.T) {
+	h := New(strideConfig())
+	// Train the prefetcher so its requests are in flight.
+	const pc = 0x400100
+	addr := uint64(1 << 24)
+	for i := 0; i < 8; i++ {
+		h.LoadPC(addr, pc, 0)
+		addr += uarch.LineSize
+	}
+	if h.PFStatsL1D().Issued == 0 {
+		t.Fatal("prefetcher did not issue during training")
+	}
+	free := h.L1D().MSHRFree(0)
+	if free >= h.L1D().Config().MSHRs {
+		t.Errorf("MSHRs free = %d, want fewer than %d (prefetches must occupy them)",
+			free, h.L1D().Config().MSHRs)
+	}
+}
+
+// When MSHRs are exhausted, prefetch requests are dropped (never retried)
+// and counted, instead of wedging the access path.
+func TestHWPrefetchDropsOnMSHRExhaustion(t *testing.T) {
+	cfg := strideConfig()
+	cfg.L1DPrefetch.Degree = 8
+	cfg.L1D.MSHRs = 2
+	h := New(cfg)
+	const pc = 0x400100
+	addr := uint64(1 << 24)
+	now := int64(0)
+	for i := 0; i < 32; i++ {
+		// Wait for each fill so the demand load always starts (training
+		// happens) while its own MSHR plus one prefetch exhaust the pool:
+		// the rest of the degree-8 burst must drop.
+		res, ok := h.LoadPC(addr, pc, now)
+		if ok {
+			now = res.Ready + 1
+		} else {
+			now += 300
+		}
+		addr += uarch.LineSize
+	}
+	pf := h.PFStatsL1D()
+	if pf.Dropped == 0 {
+		t.Error("no prefetches dropped under MSHR starvation")
+	}
+}
+
+// The L2 best-offset prefetcher fills the L2, not the L1: a covered
+// demand load becomes an L2 hit.
+func TestBestOffsetFillsL2(t *testing.T) {
+	cfg := Default()
+	cfg.L2Prefetch = prefetch.DefaultBestOffset()
+	h := New(cfg)
+	addr := uint64(1 << 26)
+	now := int64(0)
+	for i := 0; i < 256; i++ {
+		res, ok := h.Load(addr, now) // PC-less: best-offset trains on addresses
+		if ok {
+			now = res.Ready + 1
+		} else {
+			now += 50
+		}
+		addr += uarch.LineSize
+	}
+	pf := h.PFStatsL2()
+	if pf.Issued == 0 || pf.Fills == 0 {
+		t.Fatalf("L2 prefetcher issued=%d fills=%d on a sequential stream", pf.Issued, pf.Fills)
+	}
+	if pf.Useful == 0 {
+		t.Error("no L2 demand hit on a prefetched line")
+	}
+	if got := h.L1D().Stats().HWPrefFills; got != 0 {
+		t.Errorf("L2 prefetcher filled %d lines into the L1D", got)
+	}
+}
+
+// HW prefetch fills are attributed at the engine's own level only: with
+// just the L1D engine enabled, the L2/L3 copies installed en route stay
+// untagged, and the combined PFStats equal the L1D engine's.
+func TestHWPrefetchAttributedPerEngine(t *testing.T) {
+	h := New(strideConfig()) // L1D stride only, no L2 engine
+	const pc = 0x400100
+	addr := uint64(1 << 24)
+	now := int64(0)
+	for i := 0; i < 64; i++ {
+		if res, ok := h.LoadPC(addr, pc, now); ok {
+			now = res.Ready + 1
+		} else {
+			now += 50
+		}
+		addr += uarch.LineSize
+	}
+	l1 := h.PFStatsL1D()
+	if l1.Fills == 0 {
+		t.Fatal("L1D engine filled nothing")
+	}
+	if got := h.L2().Stats().HWPrefFills; got != 0 {
+		t.Errorf("disabled L2 engine credited with %d fills (L1D en-route copies tagged)", got)
+	}
+	if got := h.L3().Stats().HWPrefFills; got != 0 {
+		t.Errorf("L3 credited with %d HW fills", got)
+	}
+	if combined := h.PFStats(); combined != l1 {
+		t.Errorf("combined stats %+v != L1D engine stats %+v with a single engine", combined, l1)
+	}
+}
+
+// Runahead and hardware prefetch fills are attributed separately.
+func TestRunaheadAndHWPrefetchSeparated(t *testing.T) {
+	h := New(strideConfig())
+	pre, _ := h.Prefetch(1<<30, 0)
+	h.Load(1<<30, pre.Ready+1)
+	l1d := h.L1D().Stats()
+	if l1d.PrefetchFills != 1 || l1d.PrefetchUseful != 1 {
+		t.Errorf("runahead fills/useful = %d/%d, want 1/1", l1d.PrefetchFills, l1d.PrefetchUseful)
+	}
+	if l1d.HWPrefUseful != 0 {
+		t.Error("runahead fill counted as hardware-prefetch usefulness")
+	}
+}
+
+// Redundant requests (line already cached or in flight) never re-access
+// the hierarchy.
+func TestHWPrefetchRedundantFiltered(t *testing.T) {
+	h := New(strideConfig())
+	const pc = 0x400100
+	// Walk the same tiny region twice: the second pass's prefetch targets
+	// are all resident.
+	for pass := 0; pass < 2; pass++ {
+		addr := uint64(1 << 24)
+		now := int64(100_000 * pass)
+		for i := 0; i < 16; i++ {
+			if res, ok := h.LoadPC(addr, pc, now); ok {
+				now = res.Ready + 1
+			}
+			addr += uarch.LineSize
+		}
+	}
+	if h.PFStatsL1D().Redundant == 0 {
+		t.Error("no redundant prefetches filtered on a re-walk")
+	}
+}
+
+// With prefetching disabled the PF statistics stay zero and ResetStats
+// clears the issue counters.
+func TestPFStatsDisabledAndReset(t *testing.T) {
+	h := New(Default())
+	for i := 0; i < 16; i++ {
+		h.LoadPC(uint64(1<<24)+uint64(i)*uarch.LineSize, 0x400100, int64(i)*400)
+	}
+	if s := h.PFStats(); s != (PFStats{DemandMisses: s.DemandMisses}) {
+		t.Errorf("disabled prefetcher accumulated stats: %+v", s)
+	}
+	h2 := New(strideConfig())
+	for i := 0; i < 16; i++ {
+		h2.LoadPC(uint64(1<<24)+uint64(i)*uarch.LineSize, 0x400100, int64(i)*400)
+	}
+	h2.ResetStats()
+	s := h2.PFStatsL1D()
+	if s.Issued != 0 || s.Fills != 0 || s.Useful != 0 {
+		t.Errorf("ResetStats left PF stats: %+v", s)
 	}
 }
 

@@ -1,0 +1,460 @@
+// Package prefetch implements the pluggable hardware prefetchers that sit
+// beside the cache levels of the simulated hierarchy. Runahead execution
+// is the paper's latency-hiding mechanism of interest, but it competes
+// with (and composes with) conventional hardware prefetching — the
+// comparison axis of Hashemi's on-chip-mechanisms work and the R3-DLA
+// evaluation methodology. This package supplies that axis.
+//
+// A Prefetcher is a passive observer with a request queue: the memory
+// hierarchy feeds it the demand-access stream of its level via Observe,
+// and drains Requests into real multi-level accesses that consume the
+// same MSHRs, DRAM banks and bus slots as demand and runahead traffic
+// (see internal/mem). The package itself performs no memory accesses and
+// keeps no timing state beyond what its prediction tables need, so every
+// implementation is trivially deterministic.
+//
+// Implementations:
+//
+//   - NextLine: sequential next-N-lines prefetching on every access — the
+//     simplest useful baseline.
+//   - Stride: a PC-indexed reference-prediction table (Chen & Baer style):
+//     per-PC last address, stride and 2-bit-style confidence; on a
+//     confident match it prefetches Degree lines Distance strides ahead.
+//     Covers the streaming/stencil archetypes.
+//   - BestOffset: a Michaud-style best-offset prefetcher for the L2: a
+//     recent-requests table scores candidate offsets round-robin and the
+//     winning offset drives prefetches until the next learning phase
+//     re-elects it. Covers strided streams whose L1 stride is sub-line
+//     (the offset is learned in line units, independent of PC).
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/uarch"
+)
+
+// Access is one demand access observed at a cache level.
+type Access struct {
+	// Addr is the accessed byte address.
+	Addr uint64
+	// PC is the load's program counter (zero when the observing level has
+	// no PC, e.g. the L2 observing L1 miss traffic).
+	PC uint64
+	// Hit reports whether this level served the access.
+	Hit bool
+	// Cycle is the core cycle of the access.
+	Cycle int64
+}
+
+// Prefetcher is the common interface: observe the demand stream, queue
+// line prefetch requests. Implementations are not safe for concurrent use
+// (the simulator is single-threaded per machine).
+type Prefetcher interface {
+	// Name labels the prefetcher in reports.
+	Name() string
+	// Observe feeds one demand access into the prediction tables.
+	Observe(a Access)
+	// Requests drains the queued prefetch requests: line-aligned byte
+	// addresses, in generation order. The queue is empty afterwards.
+	Requests() []uint64
+}
+
+// Kind selects a prefetcher implementation.
+type Kind uint8
+
+// Available prefetcher kinds.
+const (
+	// KindNone disables prefetching at the level.
+	KindNone Kind = iota
+	// KindNextLine prefetches the next Degree sequential lines.
+	KindNextLine
+	// KindStride is the PC-indexed stride prefetcher.
+	KindStride
+	// KindBestOffset is the best-offset prefetcher.
+	KindBestOffset
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "next-line", "stride", "best-offset"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a prefetcher name as used in CLI flags.
+func ParseKind(s string) (Kind, error) {
+	for k := KindNone; k < numKinds; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("prefetch: unknown kind %q (want none, next-line, stride, best-offset)", s)
+}
+
+// queueCap bounds any prefetcher's pending-request queue; the hierarchy
+// drains the queue after every demand access, so the cap only guards
+// against degenerate configurations.
+const queueCap = 64
+
+// Config describes one prefetcher instance. It contains only scalar
+// fields so it embeds cleanly in the experiment orchestrator's canonical
+// configuration fingerprints (internal/exp dedups runs by %+v identity).
+type Config struct {
+	// Kind selects the implementation; KindNone disables the prefetcher.
+	Kind Kind
+	// Degree is the number of lines requested per trigger.
+	Degree int
+	// Distance is the prefetch look-ahead: strides ahead of the current
+	// access for Stride, lines ahead for NextLine. BestOffset learns its
+	// own distance (the offset) and ignores this.
+	Distance int
+	// TableSize is the stride table's entry count (power of two).
+	TableSize int
+	// RRSize is the best-offset recent-requests table size (power of two).
+	RRSize int
+	// ScoreMax ends a best-offset learning phase early when an offset
+	// reaches this score.
+	ScoreMax int
+	// RoundMax bounds a best-offset learning phase in full passes over the
+	// candidate offset list.
+	RoundMax int
+	// BadScore disables best-offset prefetching for a phase whose winning
+	// offset scored at or below it (the access stream has no usable
+	// offset pattern).
+	BadScore int
+}
+
+// Enabled reports whether the configuration names a real prefetcher.
+func (c Config) Enabled() bool { return c.Kind != KindNone }
+
+// DefaultNextLine returns a degree-2 sequential prefetcher configuration.
+func DefaultNextLine() Config {
+	return Config{Kind: KindNextLine, Degree: 2, Distance: 1}
+}
+
+// DefaultStride returns the L1D stride prefetcher configuration: a
+// 256-entry PC-indexed table, prefetching 2 lines 16 strides ahead. The
+// suite's streaming kernels advance 8-32 bytes per iteration, so 16
+// strides is 2-8 lines of look-ahead — enough to stay ahead of a ~250
+// cycle DRAM access at the proxies' iteration rates.
+func DefaultStride() Config {
+	return Config{Kind: KindStride, Degree: 2, Distance: 16, TableSize: 256}
+}
+
+// DefaultBestOffset returns the L2 best-offset prefetcher configuration
+// (Michaud's published defaults, scaled to the 256 KB L2: 64-entry RR
+// table, scores saturate at 31, phases end after 24 rounds, offsets
+// scoring <= 1 do not prefetch).
+func DefaultBestOffset() Config {
+	return Config{Kind: KindBestOffset, Degree: 1, RRSize: 64, ScoreMax: 31, RoundMax: 24, BadScore: 1}
+}
+
+// Validate checks the configuration for the selected kind.
+func (c *Config) Validate() error {
+	switch c.Kind {
+	case KindNone:
+		return nil
+	case KindNextLine:
+		if c.Degree <= 0 || c.Degree > queueCap || c.Distance <= 0 {
+			return fmt.Errorf("prefetch: next-line needs 0 < Degree <= %d and Distance > 0", queueCap)
+		}
+	case KindStride:
+		if c.Degree <= 0 || c.Degree > queueCap || c.Distance <= 0 {
+			return fmt.Errorf("prefetch: stride needs 0 < Degree <= %d and Distance > 0", queueCap)
+		}
+		if c.TableSize <= 0 || c.TableSize&(c.TableSize-1) != 0 {
+			return fmt.Errorf("prefetch: stride TableSize %d not a power of two", c.TableSize)
+		}
+	case KindBestOffset:
+		if c.Degree <= 0 || c.Degree > queueCap {
+			return fmt.Errorf("prefetch: best-offset needs 0 < Degree <= %d", queueCap)
+		}
+		if c.RRSize <= 0 || c.RRSize&(c.RRSize-1) != 0 {
+			return fmt.Errorf("prefetch: best-offset RRSize %d not a power of two", c.RRSize)
+		}
+		if c.ScoreMax <= 0 || c.RoundMax <= 0 || c.BadScore < 0 {
+			return fmt.Errorf("prefetch: best-offset needs positive ScoreMax/RoundMax and BadScore >= 0")
+		}
+	default:
+		return fmt.Errorf("prefetch: invalid kind %d", c.Kind)
+	}
+	return nil
+}
+
+// New builds the configured prefetcher, or nil for KindNone. It panics on
+// invalid configuration (the public API validates first, like the cache
+// and DRAM constructors).
+func (c Config) New() Prefetcher {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	switch c.Kind {
+	case KindNone:
+		return nil
+	case KindNextLine:
+		return &nextLine{cfg: c}
+	case KindStride:
+		return &stride{cfg: c, table: make([]strideEntry, c.TableSize), mask: uint64(c.TableSize - 1)}
+	case KindBestOffset:
+		return newBestOffset(c)
+	}
+	panic("unreachable")
+}
+
+// reqQueue is the shared bounded request queue.
+type reqQueue struct {
+	q []uint64
+}
+
+// push queues a line-aligned request, dropping duplicates of the current
+// queue contents and everything past the cap.
+func (r *reqQueue) push(addr uint64) {
+	addr = uarch.LineAddr(addr)
+	if len(r.q) >= queueCap {
+		return
+	}
+	for _, a := range r.q {
+		if a == addr {
+			return
+		}
+	}
+	r.q = append(r.q, addr)
+}
+
+// Requests returns the queued requests and empties the queue.
+func (r *reqQueue) Requests() []uint64 {
+	if len(r.q) == 0 {
+		return nil
+	}
+	out := r.q
+	r.q = nil
+	return out
+}
+
+// --- next-line ---------------------------------------------------------------
+
+type nextLine struct {
+	cfg Config
+	reqQueue
+}
+
+func (p *nextLine) Name() string { return "next-line" }
+
+func (p *nextLine) Observe(a Access) {
+	base := uarch.LineAddr(a.Addr)
+	for i := 1; i <= p.cfg.Degree; i++ {
+		p.push(base + uint64(p.cfg.Distance+i-1)*uarch.LineSize)
+	}
+}
+
+// --- stride ------------------------------------------------------------------
+
+// strideEntry is one reference-prediction-table row.
+type strideEntry struct {
+	pc     uint64
+	last   uint64 // last address observed for this PC
+	stride int64  // last confirmed byte stride
+	conf   int8   // saturating confidence
+	valid  bool
+}
+
+// Confidence thresholds: two confirmations arm the entry, four saturate.
+const (
+	strideConfMax     = 4
+	strideConfTrigger = 2
+)
+
+type stride struct {
+	cfg   Config
+	table []strideEntry
+	mask  uint64
+	reqQueue
+}
+
+func (p *stride) Name() string { return "stride" }
+
+func (p *stride) Observe(a Access) {
+	if a.PC == 0 {
+		return // PC-less traffic (e.g. store commits) cannot train the RPT
+	}
+	e := &p.table[a.PC&p.mask]
+	if !e.valid || e.pc != a.PC {
+		*e = strideEntry{pc: a.PC, last: a.Addr, valid: true}
+		return
+	}
+	s := int64(a.Addr) - int64(e.last)
+	e.last = a.Addr
+	switch {
+	case s == 0:
+		return // same address (retry or hot line): no information
+	case s == e.stride:
+		if e.conf < strideConfMax {
+			e.conf++
+		}
+	default:
+		// Mismatch: decay; on full loss of confidence adopt the new stride.
+		e.conf--
+		if e.conf <= 0 {
+			e.stride = s
+			e.conf = 1
+		}
+		return
+	}
+	if e.conf < strideConfTrigger {
+		return
+	}
+	// Confident: fetch Degree distinct lines starting Distance strides
+	// ahead. Sub-line strides advance the target by whole lines so the
+	// degree is not wasted on duplicates of one line.
+	lineStep := e.stride
+	if lineStep > -uarch.LineSize && lineStep < uarch.LineSize {
+		if lineStep > 0 {
+			lineStep = uarch.LineSize
+		} else {
+			lineStep = -uarch.LineSize
+		}
+	}
+	base := int64(a.Addr) + e.stride*int64(p.cfg.Distance)
+	for i := 0; i < p.cfg.Degree; i++ {
+		target := base + int64(i)*lineStep
+		if target < 0 {
+			continue // descending stream ran past address zero
+		}
+		p.push(uint64(target))
+	}
+}
+
+// --- best offset -------------------------------------------------------------
+
+// bopOffsets is the candidate offset list in lines: Michaud's list is the
+// 2^i*3^j*5^k smooth numbers up to 256; this model uses the dense prefix
+// that matters at the proxies' working-set scales.
+var bopOffsets = []int64{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 27, 30, 32, 36, 40, 48, 54, 60, 64}
+
+type bestOffset struct {
+	cfg    Config
+	rr     []uint64 // direct-mapped recent request lines
+	rrMask uint64
+	scores []int
+	test   int // cursor into bopOffsets for the offset under test
+	round  int
+	best   int64 // elected offset in lines; 0 = prefetching disabled
+	reqQueue
+}
+
+func newBestOffset(cfg Config) *bestOffset {
+	return &bestOffset{
+		cfg:    cfg,
+		rr:     make([]uint64, cfg.RRSize),
+		rrMask: uint64(cfg.RRSize - 1),
+		scores: make([]int, len(bopOffsets)),
+		best:   1, // start sequential until the first phase elects a winner
+	}
+}
+
+func (p *bestOffset) Name() string { return "best-offset" }
+
+// Observe implements the learning loop: each access tests one candidate
+// offset d against the recent-requests table (was line X-d requested
+// recently? then offset d would have prefetched X in time), inserts the
+// access into the RR table, and prefetches with the currently elected
+// offset. Inserting at access time rather than at fill completion is the
+// model's one simplification; it biases the learner slightly toward
+// aggressive offsets, which the BadScore cutoff compensates.
+func (p *bestOffset) Observe(a Access) {
+	x := a.Addr / uarch.LineSize
+
+	d := bopOffsets[p.test]
+	if x >= uint64(d) && p.rrContains(x-uint64(d)) {
+		p.scores[p.test]++
+		if p.scores[p.test] >= p.cfg.ScoreMax {
+			p.elect(p.test)
+		}
+	}
+	p.test++
+	if p.test == len(bopOffsets) {
+		p.test = 0
+		p.round++
+		if p.round >= p.cfg.RoundMax {
+			best := 0
+			for i, s := range p.scores {
+				if s > p.scores[best] {
+					best = i
+				}
+			}
+			p.elect(best)
+		}
+	}
+
+	p.rrInsert(x)
+
+	if p.best == 0 {
+		return
+	}
+	for i := 1; i <= p.cfg.Degree; i++ {
+		p.push((x + uint64(p.best)*uint64(i)) * uarch.LineSize)
+	}
+}
+
+// elect ends the learning phase: adopt the winner (or disable prefetching
+// on a bad score) and reset the score board for the next phase.
+func (p *bestOffset) elect(idx int) {
+	if p.scores[idx] > p.cfg.BadScore {
+		p.best = bopOffsets[idx]
+	} else {
+		p.best = 0
+	}
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.test = 0
+	p.round = 0
+}
+
+func (p *bestOffset) rrContains(line uint64) bool {
+	return p.rr[line&p.rrMask] == line && line != 0
+}
+
+func (p *bestOffset) rrInsert(line uint64) {
+	p.rr[line&p.rrMask] = line
+}
+
+// --- variants ----------------------------------------------------------------
+
+// Variant is a named (L1D, L2) prefetcher pairing — one point of the
+// PF-augmented simulation grid.
+type Variant struct {
+	// Name labels the variant in reports and results sinks.
+	Name string
+	// L1D and L2 configure the per-level prefetchers (Kind None disables).
+	L1D, L2 Config
+}
+
+// Variants lists the standard PF grid points: no prefetching, an L1D
+// stride prefetcher, an L2 best-offset prefetcher, and both combined.
+// Every runahead mode crossed with these variants yields the
+// PRE-vs-prefetch-vs-combined comparison the paper frames its result
+// against.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "no-pf"},
+		{Name: "stride", L1D: DefaultStride()},
+		{Name: "best-offset", L2: DefaultBestOffset()},
+		{Name: "stride+bo", L1D: DefaultStride(), L2: DefaultBestOffset()},
+	}
+}
+
+// VariantByName looks up a standard grid point.
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("prefetch: unknown variant %q", name)
+}

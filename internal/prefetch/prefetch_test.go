@@ -1,0 +1,229 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{{}, DefaultNextLine(), DefaultStride(), DefaultBestOffset()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c.Kind, err)
+		}
+	}
+	bad := []Config{
+		{Kind: KindNextLine},                                     // zero degree
+		{Kind: KindStride, Degree: 2, Distance: 4},               // zero table
+		{Kind: KindStride, Degree: 2, Distance: 4, TableSize: 3}, // not pow2
+		{Kind: KindBestOffset, Degree: 1, RRSize: 64},            // zero ScoreMax
+		{Kind: numKinds},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v: invalid config accepted", c)
+		}
+	}
+}
+
+func TestNoneBuildsNil(t *testing.T) {
+	if p := (Config{}).New(); p != nil {
+		t.Errorf("KindNone built %v, want nil", p)
+	}
+}
+
+func TestNextLineRequests(t *testing.T) {
+	p := DefaultNextLine().New()
+	p.Observe(Access{Addr: 0x1008})
+	got := p.Requests()
+	want := []uint64{0x1040, 0x1080}
+	if len(got) != len(want) {
+		t.Fatalf("requests = %x, want %x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if p.Requests() != nil {
+		t.Error("queue not drained")
+	}
+}
+
+// A steady PC-repeating stride stream must arm the table and prefetch
+// ahead of the access point.
+func TestStrideDetectsStream(t *testing.T) {
+	cfg := DefaultStride()
+	p := cfg.New()
+	const pc, strideB = 0x400100, 32
+	var addr uint64 = 1 << 20
+	var reqs []uint64
+	for i := 0; i < 8; i++ {
+		p.Observe(Access{Addr: addr, PC: pc})
+		reqs = append(reqs, p.Requests()...)
+		addr += strideB
+	}
+	if len(reqs) == 0 {
+		t.Fatal("stride prefetcher never fired on a steady stream")
+	}
+	// Requests must be line-aligned and ahead of the trained stream.
+	for _, r := range reqs {
+		if r%uarch.LineSize != 0 {
+			t.Errorf("unaligned request %#x", r)
+		}
+		if r <= addr {
+			t.Errorf("request %#x not ahead of stream position %#x", r, addr)
+		}
+	}
+}
+
+// Different PCs map to different entries: interleaved streams train
+// independently.
+func TestStrideInterleavedStreams(t *testing.T) {
+	p := DefaultStride().New()
+	a, b := uint64(1<<20), uint64(1<<21)
+	for i := 0; i < 8; i++ {
+		p.Observe(Access{Addr: a, PC: 0x400100})
+		p.Observe(Access{Addr: b, PC: 0x400104})
+		a += 64
+		b += 128
+	}
+	if len(p.Requests()) == 0 {
+		t.Error("interleaved streams failed to train")
+	}
+}
+
+// A descending stream near address zero must not wrap its prefetch
+// targets around uint64.
+func TestStrideDescendingNoWrap(t *testing.T) {
+	p := DefaultStride().New()
+	addr := uint64(0x4000)
+	for i := 0; i < 16; i++ {
+		p.Observe(Access{Addr: addr, PC: 0x400100})
+		for _, r := range p.Requests() {
+			if r > 1<<32 {
+				t.Fatalf("wrapped prefetch target %#x from descending stream at %#x", r, addr)
+			}
+		}
+		if addr < 0x1000 {
+			break
+		}
+		addr -= 0x1000 // stride -4096: targets go negative within a few steps
+	}
+}
+
+func TestStrideIgnoresPCZeroAndZeroStride(t *testing.T) {
+	p := DefaultStride().New()
+	for i := 0; i < 8; i++ {
+		p.Observe(Access{Addr: 0x1000, PC: 0})    // PC-less
+		p.Observe(Access{Addr: 0x2000, PC: 0x40}) // same address each time
+	}
+	if got := p.Requests(); got != nil {
+		t.Errorf("prefetched %x from untrainable streams", got)
+	}
+}
+
+// A sequential line stream is best-offset's easiest pattern: after the
+// initial phase it must keep a non-zero offset elected and prefetch ahead.
+func TestBestOffsetLearnsSequential(t *testing.T) {
+	p := DefaultBestOffset().New()
+	var addr uint64 = 1 << 22
+	fired := 0
+	for i := 0; i < 512; i++ {
+		p.Observe(Access{Addr: addr})
+		if rs := p.Requests(); len(rs) > 0 {
+			fired++
+			for _, r := range rs {
+				if r <= addr {
+					t.Fatalf("request %#x behind stream position %#x", r, addr)
+				}
+			}
+		}
+		addr += uarch.LineSize
+	}
+	if fired < 256 {
+		t.Errorf("best-offset fired on %d/512 sequential accesses", fired)
+	}
+}
+
+// A random access stream must score no offset and disable prefetching
+// after the first learning phase concludes.
+func TestBestOffsetDisablesOnRandom(t *testing.T) {
+	cfg := DefaultBestOffset()
+	p := cfg.New().(*bestOffset)
+	s := uint64(12345)
+	next := func() uint64 { // splitmix64
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	total := cfg.RoundMax*len(bopOffsets) + 1
+	for i := 0; i < total; i++ {
+		p.Observe(Access{Addr: (next() % (1 << 24)) * uarch.LineSize})
+		p.Requests()
+	}
+	if p.best != 0 {
+		t.Errorf("best offset %d elected on random traffic, want disabled", p.best)
+	}
+}
+
+func TestQueueDedupAndCap(t *testing.T) {
+	var q reqQueue
+	for i := 0; i < 3; i++ {
+		q.push(0x1000)
+	}
+	if got := q.Requests(); len(got) != 1 {
+		t.Errorf("duplicate requests not deduplicated: %x", got)
+	}
+	for i := 0; i < 2*queueCap; i++ {
+		q.push(uint64(i) * uarch.LineSize)
+	}
+	if got := q.Requests(); len(got) != queueCap {
+		t.Errorf("queue grew to %d, cap is %d", len(got), queueCap)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := Variants()
+	if len(vs) < 3 {
+		t.Fatalf("want at least no-pf/stride/best-offset, got %d variants", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Errorf("duplicate variant %q", v.Name)
+		}
+		seen[v.Name] = true
+		if err := v.L1D.Validate(); err != nil {
+			t.Errorf("%s L1D: %v", v.Name, err)
+		}
+		if err := v.L2.Validate(); err != nil {
+			t.Errorf("%s L2: %v", v.Name, err)
+		}
+	}
+	for _, want := range []string{"no-pf", "stride", "best-offset"} {
+		if !seen[want] {
+			t.Errorf("standard variant %q missing", want)
+		}
+		if _, err := VariantByName(want); err != nil {
+			t.Errorf("VariantByName(%q): %v", want, err)
+		}
+	}
+	if _, err := VariantByName("bogus"); err == nil {
+		t.Error("VariantByName accepted bogus name")
+	}
+}

@@ -189,6 +189,53 @@ func AverageEnergySavings(results [][]sim.Result, modes []core.Mode) []float64 {
 	return out
 }
 
+// PFGrid builds the PRE-vs-prefetch-vs-combined summary: per PF variant
+// (row) and mechanism (column), the geometric-mean speedup over that
+// SAME variant's OoO baseline (so the OoO column is 1.000 by
+// construction, and each row isolates what the mechanism adds on top of
+// the prefetchers). points and summary come straight from an exp plan's
+// Points() and per-point GeoMeanSpeedups.
+func PFGrid(points []string, modes []core.Mode, summary [][]float64) *Table {
+	header := []string{"prefetcher"}
+	for _, m := range modes {
+		header = append(header, m.String())
+	}
+	t := NewTable("Prefetcher grid: geomean speedup over the per-variant OoO baseline", header...)
+	for pi, p := range points {
+		cells := []string{p}
+		for mi := range modes {
+			cells = append(cells, fmt.Sprintf("%.3f", summary[pi][mi]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// PrefetchDetail builds the per-workload hardware-prefetcher diagnostic
+// table: issue counts and the accuracy/coverage/timeliness triple, per
+// mechanism. Rows for runs without an enabled prefetcher are skipped.
+func PrefetchDetail(results [][]sim.Result, modes []core.Mode) *Table {
+	t := NewTable("Hardware prefetcher behaviour",
+		"benchmark", "mode", "issued", "dropped", "fills", "useful", "accuracy", "coverage", "timeliness")
+	for _, row := range results {
+		for mi, m := range modes {
+			r := row[mi]
+			if r.HWPrefIssued == 0 && r.HWPrefDropped == 0 && r.HWPrefRedundant == 0 {
+				continue
+			}
+			t.AddRow(r.Workload, m.String(),
+				fmt.Sprintf("%d", r.HWPrefIssued),
+				fmt.Sprintf("%d", r.HWPrefDropped),
+				fmt.Sprintf("%d", r.HWPrefFills),
+				fmt.Sprintf("%d", r.HWPrefUseful),
+				fmt.Sprintf("%.0f%%", 100*r.HWPFAccuracy),
+				fmt.Sprintf("%.0f%%", 100*r.HWPFCoverage),
+				fmt.Sprintf("%.0f%%", 100*r.HWPFTimeliness))
+		}
+	}
+	return t
+}
+
 // RunaheadDetail builds the per-mechanism diagnostic table used by the
 // in-text experiments (entries, intervals, prefetch coverage, refill
 // penalties).

@@ -49,6 +49,26 @@ type Result struct {
 	DRAMReads  int64
 	DRAMWrites int64
 
+	// Per-level demand hit breakdown (data-side for L1; L2/L3 include the
+	// instruction misses that reach them).
+	L1DHits, L1DMisses int64
+	L2Hits, L2Misses   int64
+	L3Hits, L3Misses   int64
+
+	// Hardware-prefetcher behaviour (PF-augmented configurations; all
+	// zero when both prefetchers are disabled). Issue counters sum the
+	// L1D and L2 engines; the derived metrics use the standard
+	// definitions (see mem.PFStats).
+	HWPrefIssued    int64
+	HWPrefDropped   int64
+	HWPrefRedundant int64
+	HWPrefFills     int64
+	HWPrefUseful    int64
+	HWPrefLate      int64
+	HWPFAccuracy    float64
+	HWPFCoverage    float64
+	HWPFTimeliness  float64
+
 	// Runahead behaviour.
 	Entries             int64
 	EntriesSkipped      int64
@@ -127,15 +147,17 @@ func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
 		RegReads:     2 * (cs.IssuedALU + cs.IssuedFPU + cs.IssuedBranch + cs.IssuedLoad + cs.IssuedStore),
 		RegWrites:    cs.Completed,
 		Committed:    cs.Committed + cs.PseudoRetired,
-		L1Accesses:   l1i.Accesses + cs.IssuedLoad + cs.IssuedStore,
-		L2Accesses:   l2.Accesses + l2.PrefetchFills + l2.Writebacks,
-		L3Accesses:   l3.Accesses + l3.PrefetchFills + l3.Writebacks,
+		L1Accesses:   l1i.Accesses + cs.IssuedLoad + cs.IssuedStore + l1d.HWPrefFills,
+		L2Accesses:   l2.Accesses + l2.PrefetchFills + l2.HWPrefFills + l2.Writebacks,
+		L3Accesses:   l3.Accesses + l3.PrefetchFills + l3.HWPrefFills + l3.Writebacks,
 		DRAMAccesses: dr.Reads + dr.Writes,
 		SSTLookups:   sst.Lookups,
 		SSTWrites:    sst.Inserts,
 		PRDQOps:      prdq.Allocs + prdq.Deallocs,
 		EMQOps:       emq.Pushes + emq.Pops,
 	}
+
+	pf := c.Hierarchy().PFStats()
 
 	return Result{
 		Workload:            name,
@@ -146,6 +168,21 @@ func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
 		L3MPKI:              stats.PerKilo(l3.Misses, cs.Committed),
 		DRAMReads:           dr.Reads,
 		DRAMWrites:          dr.Writes,
+		L1DHits:             l1d.Hits,
+		L1DMisses:           l1d.Misses,
+		L2Hits:              l2.Hits,
+		L2Misses:            l2.Misses,
+		L3Hits:              l3.Hits,
+		L3Misses:            l3.Misses,
+		HWPrefIssued:        pf.Issued,
+		HWPrefDropped:       pf.Dropped,
+		HWPrefRedundant:     pf.Redundant,
+		HWPrefFills:         pf.Fills,
+		HWPrefUseful:        pf.Useful,
+		HWPrefLate:          pf.Late,
+		HWPFAccuracy:        pf.Accuracy(),
+		HWPFCoverage:        pf.Coverage(),
+		HWPFTimeliness:      pf.Timeliness(),
 		Entries:             cs.Entries,
 		EntriesSkipped:      cs.EntriesSkipped,
 		RunaheadCycles:      cs.RunaheadCycles,

@@ -31,6 +31,7 @@ package presim
 import (
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -136,6 +137,40 @@ func RunMatrix(ws []Workload, modes []Mode, opt Options) ([][]Result, error) {
 	return sim.RunMatrix(ws, modes, opt)
 }
 
+// Hardware prefetching (internal/prefetch): pluggable prefetch engines
+// beside the L1D and L2. Any runahead mode composes with any prefetcher
+// variant, which is how the PF-augmented simulation configurations
+// (OoO+PF, PRE+PF, ...) are expressed.
+type (
+	// PrefetchConfig configures one hardware prefetcher instance.
+	PrefetchConfig = prefetch.Config
+	// PrefetchVariant is a named (L1D, L2) prefetcher pairing — one point
+	// of the PF grid.
+	PrefetchVariant = prefetch.Variant
+)
+
+// PrefetchVariants lists the standard PF grid points: no-pf, stride (L1D),
+// best-offset (L2), and stride+bo combined.
+func PrefetchVariants() []PrefetchVariant { return prefetch.Variants() }
+
+// PrefetchVariantByName looks up a standard PF grid point.
+func PrefetchVariantByName(name string) (PrefetchVariant, error) {
+	return prefetch.VariantByName(name)
+}
+
+// PrefetchPoints expresses the standard PF variants as experiment points,
+// ready to drop into an Experiment: {OoO, PRE, ...} x PrefetchPoints() is
+// the PRE-vs-prefetch-vs-combined grid.
+func PrefetchPoints() []ExperimentPoint {
+	vs := prefetch.Variants()
+	pts := make([]ExperimentPoint, len(vs))
+	for i, v := range vs {
+		v := v
+		pts[i] = ExperimentPoint{Name: v.Name, Apply: func(c *core.Config) { c.ApplyPrefetch(v) }}
+	}
+	return pts
+}
+
 // Experiment declares a (points x workloads x modes) design-space sweep
 // for the parallel orchestrator: unique configurations are deduplicated
 // (shared OoO baselines run once), sharded across the host's cores, and
@@ -167,6 +202,19 @@ func Fig3Table(results [][]Result, modes []Mode) *Table { return report.Fig3(res
 // RunaheadDetailTable renders the per-mechanism diagnostics table.
 func RunaheadDetailTable(results [][]Result, modes []Mode) *Table {
 	return report.RunaheadDetail(results, modes)
+}
+
+// PFGridTable renders the PRE-vs-prefetch-vs-combined grid: per-variant,
+// per-mode geomean speedups (from an ExperimentSet's Points and
+// GeoMeanSpeedups).
+func PFGridTable(points []string, modes []Mode, summary [][]float64) *Table {
+	return report.PFGrid(points, modes, summary)
+}
+
+// PrefetchDetailTable renders the per-workload hardware-prefetcher
+// diagnostics (issue counts, accuracy, coverage, timeliness).
+func PrefetchDetailTable(results [][]Result, modes []Mode) *Table {
+	return report.PrefetchDetail(results, modes)
 }
 
 // AverageSpeedups returns per-mode geometric-mean speedups over OoO.
