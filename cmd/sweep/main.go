@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	presim "repro"
@@ -46,11 +48,45 @@ func main() {
 	serial := flag.Bool("serial", false, "run the legacy serial loop instead of the orchestrator")
 	jsonDir := flag.String("json", "", "directory to write schema-versioned results JSON into")
 	timing := flag.Bool("time", false, "report wall-clock time per sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	flag.Parse()
 
 	if *serial && (*jsonDir != "" || *workers != 0) {
 		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports neither -json nor -workers")
 		os.Exit(2)
+	}
+
+	// Profiling hooks (after flag validation, so a usage exit never
+	// leaves a truncated profile behind): hot-path regressions in the
+	// simulator should be diagnosable from a real sweep without editing
+	// code —
+	//   sweep -sst -cpuprofile cpu.out && go tool pprof cpu.out
+	// A mid-run fatal() stops the CPU profile before exiting; the heap
+	// profile is written only on a successful run.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	opt := presim.DefaultOptions()
@@ -249,6 +285,7 @@ func (s sweeper) sweepSerial(mode presim.Mode, values []int,
 }
 
 func fatal(err error) {
+	pprof.StopCPUProfile() // flush -cpuprofile data; no-op when not profiling
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
 }

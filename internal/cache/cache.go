@@ -331,6 +331,42 @@ func (c *Cache) MSHRAlloc(addr uint64, now, fillReady int64) bool {
 	return false
 }
 
+// NextMSHRRelease returns the earliest cycle strictly after now at which
+// an occupied MSHR's fill completes (freeing the entry and changing the
+// outcome of MSHRFree/MSHRLookup/MSHRAlloc). ok=false means no occupied
+// entry releases after now. The core's cycle skipper uses this to bound
+// how far a retrying (MSHR-blocked) access can be fast-forwarded.
+func (c *Cache) NextMSHRRelease(now int64) (int64, bool) {
+	var best int64
+	ok := false
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.fillReady > now && (!ok || m.fillReady < best) {
+			best = m.fillReady
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// AddStats accumulates d into the counters. The core's cycle skipper uses
+// it to account, in bulk, the per-cycle statistics of skipped steady
+// retry cycles; d must describe exactly what the skipped cycles would
+// have counted.
+func (c *Cache) AddStats(d Stats) {
+	c.stats.Accesses += d.Accesses
+	c.stats.Hits += d.Hits
+	c.stats.Misses += d.Misses
+	c.stats.MSHRStalls += d.MSHRStalls
+	c.stats.PrefetchFills += d.PrefetchFills
+	c.stats.PrefetchUseful += d.PrefetchUseful
+	c.stats.HWPrefFills += d.HWPrefFills
+	c.stats.HWPrefUseful += d.HWPrefUseful
+	c.stats.HWPrefLate += d.HWPrefLate
+	c.stats.Evictions += d.Evictions
+	c.stats.Writebacks += d.Writebacks
+}
+
 // MSHRFree counts the MSHRs available at cycle now.
 func (c *Cache) MSHRFree(now int64) int {
 	free := 0

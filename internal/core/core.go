@@ -27,7 +27,7 @@ type Core struct {
 	iq     *issueQueue
 	sq     *storeQueue
 	pre    *prePool
-	events eventHeap
+	events eventQueue
 	fu     *fuPools
 
 	lqNorm, lqPre int // load-queue occupancy (normal / PRE transient)
@@ -83,6 +83,51 @@ type Core struct {
 	// Deadlock watchdog.
 	lastProgress int64
 
+	// Cycle-skip bookkeeping (see Run). progressed is set by any stage
+	// that mutates machine state in a way later cycles could observe;
+	// retryBlocked is set when something is retrying a time-dependent
+	// resource (MSHR-full load, busy divider, I-cache MSHR) whose retry
+	// attempt is itself a counted event every cycle. A Step that sets
+	// neither is provably idle until the next scheduled wake-up, so Run
+	// advances time in bulk with exactly the per-cycle accounting the
+	// skipped cycles would have performed.
+	progressed   bool
+	retryBlocked bool
+	stalledFW    bool // onFullWindow counted a stall this cycle
+
+	// Issue-queue quiescence: iqDirty is set by anything that could make
+	// a waiting µop issueable (or an IQ ref stale) — wake-ups, pushes of
+	// ready µops, runahead transitions; iqRetry records that the last
+	// scan left a ready-but-blocked µop (port/MSHR/divider), which must
+	// re-attempt every cycle. When both are clear the scan provably does
+	// nothing and issueStage returns immediately.
+	iqDirty bool
+	iqRetry bool
+
+	// Wake-up scheduling: waiters[p] lists the in-flight µops waiting on
+	// physical register p; completion decrements each waiter's srcWait
+	// instead of the issue stage re-polling every source every cycle.
+	// Stale entries (squashed µops) are filtered by slot generation.
+	waiters [][]wakeRef
+
+	// Pre-bound closures for the per-cycle hot path (building these
+	// inline would allocate a funcval every cycle).
+	sqDrainFn func(*sqEntry) bool
+	renFree   func(rename.PReg)
+
+	// Reusable per-episode buffers (zero-allocation steady state).
+	cpFullBuf   rename.Checkpoint
+	cpSpecBuf   rename.Checkpoint
+	snapBuf     pipeSnapshot
+	chainX      runahead.ChainExtractor
+	chainWindow []uarch.Uop
+
+	// DisableCycleSkip forces Run to execute every simulated cycle
+	// individually instead of skipping provably idle spans — the debug
+	// knob behind the skip-vs-no-skip differential tests. Results are
+	// byte-identical either way; only wall-clock differs.
+	DisableCycleSkip bool
+
 	// OnCommit, when set, is invoked with each architecturally committed
 	// µop's sequence number — an instrumentation hook for tests and
 	// tracing tools (pseudo-retirement does not trigger it).
@@ -115,7 +160,30 @@ func New(cfg Config, gen trace.Generator) (*Core, error) {
 		emq:          runahead.NewEMQ(cfg.EMQSize),
 		preResumeSeq: -1,
 		lastSkipSeq:  -1,
+		chainWindow:  make([]uarch.Uop, 0, cfg.ROBSize),
+		iqDirty:      true,
 	}
+	// Far (DRAM-latency) completions are bounded by the number of
+	// outstanding misses the MSHRs allow; pre-sizing the heap keeps the
+	// steady state allocation-free.
+	c.events.far = make(eventHeap, 0, 256)
+	c.waiters = make([][]wakeRef, 1+cfg.Rename.IntPRF+cfg.Rename.FPPRF)
+	waiterBacking := make([]wakeRef, len(c.waiters)*8)
+	for i := range c.waiters {
+		c.waiters[i] = waiterBacking[i*8 : i*8 : (i+1)*8]
+	}
+	for i := range c.events.near {
+		c.events.near[i] = make([]completion, 0, 16)
+	}
+	c.sqDrainFn = func(e *sqEntry) bool {
+		_, ok := c.hier.StoreCommit(e.addr, c.now)
+		if !ok {
+			// The retry attempt itself counts an MSHR stall each cycle.
+			c.retryBlocked = true
+		}
+		return ok
+	}
+	c.renFree = c.ren.Free
 	return c, nil
 }
 
@@ -165,11 +233,53 @@ func (c *Core) ResetStats() {
 // Run advances the core until n more µops have committed, returning the
 // cycles spent. It panics if the machine stops making progress (a model
 // bug, not a workload property).
+//
+// Run is event-driven. Two mechanisms avoid burning a host iteration per
+// simulated stall cycle, both producing statistics byte-identical to
+// stepping every cycle (set DisableCycleSkip to verify):
+//
+//   - Inert skip: a Step that made no progress and has nothing retrying
+//     is provably inert until the next wake-up (completion event,
+//     runahead exit, fetch thaw/line arrival, decode-pipe readiness,
+//     replay start); time jumps there with per-cycle counters
+//     bulk-incremented (skipAhead).
+//
+//   - Retry amortization: a Step that only re-attempted structurally
+//     blocked resources (e.g. loads on exhausted MSHRs) repeats with
+//     identical counter deltas until a wake-up, an MSHR release or a
+//     divider frees. Run proves the repetition on two consecutive
+//     cycles, then applies the delta in bulk (retrySkip, see skip.go).
 func (c *Core) Run(n int64) int64 {
 	start := c.now
 	target := c.stats.Committed + n
+	var pre, post, prevDelta retrySnap
+	fpArmed, prevValid := false, false
 	for c.stats.Committed < target {
+		if fpArmed {
+			c.captureRetry(&pre)
+		}
 		c.Step()
+		switch {
+		case c.DisableCycleSkip || c.progressed:
+			fpArmed, prevValid = false, false
+		case !c.retryBlocked:
+			c.skipAhead()
+			fpArmed, prevValid = false, false
+		case fpArmed:
+			c.captureRetry(&post)
+			delta := post.sub(&pre)
+			if prevValid && delta == prevDelta && delta.replicable() {
+				if c.retrySkip(&delta) {
+					// State at the wake-up cycle may differ; re-prove.
+					fpArmed, prevValid = false, false
+				}
+				// A no-op retrySkip leaves the proven delta valid.
+			} else {
+				prevDelta, prevValid = delta, true
+			}
+		default:
+			fpArmed = true // start measuring deltas next cycle
+		}
 		if c.now-c.lastProgress > watchdogCycles {
 			panic(fmt.Sprintf("core: no commit in %d cycles at cycle %d (mode %v, runahead=%v, rob=%d/%d, iq=%d)",
 				watchdogCycles, c.now, c.cfg.Mode, c.inRunahead, c.rob.len(), c.rob.cap(), c.iq.len()))
@@ -184,20 +294,31 @@ const watchdogCycles = 1_000_000
 
 // Step advances the machine by one cycle.
 func (c *Core) Step() {
+	c.progressed = false
+	c.retryBlocked = false
+	c.stalledFW = false
+
 	// Runahead exit has priority: the stalling load returns this cycle.
 	if c.inRunahead && c.now >= c.exitCycle {
 		c.exitRunahead()
+		c.progressed = true
 	}
 
 	c.completeStage()
 	c.commitStage()
 	c.issueStage()
-	c.sq.drainHead(func(e *sqEntry) bool {
-		_, ok := c.hier.StoreCommit(e.addr, c.now)
-		return ok
-	})
+	sqBefore := c.sq.size
+	c.sq.drainHead(c.sqDrainFn)
+	if c.sq.size != sqBefore {
+		c.progressed = true
+	}
 	c.dispatchStage()
-	c.fetch.Cycle(c.now)
+	switch c.fetch.Cycle(c.now) {
+	case frontend.CycleFetched, frontend.CycleLineMiss:
+		c.progressed = true
+	case frontend.CycleMSHRBlocked:
+		c.retryBlocked = true
+	}
 
 	if c.inRunahead {
 		c.stats.RunaheadCycles++
@@ -215,12 +336,58 @@ func (c *Core) resolve(kind recKind, slot int) *uopRec {
 	return &c.pre.e[slot]
 }
 
+// enqueue admits a freshly dispatched µop into the issue queue: its
+// not-yet-ready sources register in the waiter lists; with zero pending
+// sources the entry goes straight onto the ready list.
+func (c *Core) enqueue(kind recKind, slot int, rec *uopRec) {
+	c.iq.add(kind)
+	rec.srcWait = 0
+	for _, p := range [2]rename.PReg{rec.out.Src1P, rec.out.Src2P} {
+		if p != rename.PRegNone && !c.ren.IsReady(p) {
+			rec.srcWait++
+			c.waiters[p] = append(c.waiters[p], wakeRef{kind: kind, slot: slot, gen: rec.gen})
+		}
+	}
+	if rec.srcWait == 0 {
+		c.iq.markReady(kind, slot, rec.gen, rec.seq)
+		c.iqDirty = true
+	}
+}
+
+// wake publishes p's data to its waiters: each live waiter's srcWait
+// drops, and any that reach zero make the issue queue worth scanning.
+// While a consumer sits unissued in the window, p cannot be freed and
+// re-allocated (in-order commit and in-order PRDQ drain guarantee it), so
+// readiness is monotone and a single wake per completion suffices; stale
+// entries from squashed µops are rejected by the slot generation.
+func (c *Core) wake(p rename.PReg) {
+	if p == rename.PRegNone {
+		return
+	}
+	ws := c.waiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		rec := c.resolve(w.kind, w.slot)
+		if rec.gen == w.gen && rec.st == sWaiting && rec.srcWait > 0 {
+			rec.srcWait--
+			if rec.srcWait == 0 {
+				c.iq.markReady(w.kind, w.slot, w.gen, rec.seq)
+				c.iqDirty = true
+			}
+		}
+	}
+	c.waiters[p] = ws[:0]
+}
+
 func (c *Core) completeStage() {
 	for {
 		ev, ok := c.events.popDue(c.now)
 		if !ok {
 			return
 		}
+		c.progressed = true
 		rec := c.resolve(ev.kind, ev.slot)
 		if rec.gen != ev.gen || rec.st != sIssued {
 			continue // squashed
@@ -233,6 +400,7 @@ func (c *Core) completeStage() {
 			} else {
 				c.ren.MarkReady(rec.out.DstP)
 			}
+			c.wake(rec.out.DstP)
 		}
 		if rec.uop.IsStore() && rec.sqIdx >= 0 {
 			c.sq.e[rec.sqIdx].dataReady = true
@@ -273,10 +441,11 @@ func (c *Core) commitStage() {
 	if c.inRunahead && !c.pseudoRetire {
 		return // PRE: no commits during runahead (Section 3.1)
 	}
+	released := int64(-1)
 	for n := 0; n < c.cfg.Width && !c.rob.empty(); n++ {
 		rec := &c.rob.e[c.rob.headIdx()]
 		if rec.st != sDone {
-			return
+			break
 		}
 		if rec.uop.IsStore() && rec.sqIdx >= 0 {
 			c.sq.e[rec.sqIdx].committed = true
@@ -294,9 +463,13 @@ func (c *Core) commitStage() {
 			if c.OnCommit != nil {
 				c.OnCommit(rec.seq)
 			}
-			c.stream.Release(rec.seq) // older µops are dead
+			released = rec.seq // older µops are dead; release once below
 		}
 		c.rob.pop()
+		c.progressed = true
+	}
+	if released >= 0 {
+		c.stream.Release(released)
 	}
 }
 
@@ -304,26 +477,35 @@ func (c *Core) commitStage() {
 
 func (c *Core) issueStage() {
 	c.fu.newCycle()
-	for i := 0; i < c.iq.len(); {
-		ref := c.iq.refs[i]
+	if !c.iqDirty && !c.iqRetry {
+		return // nothing became ready and nothing is retrying: no-op scan
+	}
+	c.iqDirty = false
+	c.iqRetry = false
+	// Single program-order pass over the ready list, compacting
+	// issued/stale entries away. Source-pending µops are never visited:
+	// their completion wake-up files them here.
+	out := c.iq.ready[:0]
+	for _, ref := range c.iq.ready {
 		rec := c.resolve(ref.kind, ref.slot)
 		if rec.gen != ref.gen || rec.st != sWaiting {
-			c.iq.removeAt(i) // squashed or stale
+			c.progressed = true // squashed under us; occupancy was reset by the flush
 			continue
 		}
-		if c.tryIssueRec(ref, rec) {
-			c.iq.removeAt(i)
+		if c.tryIssueRec(iqRef{kind: ref.kind, slot: ref.slot, gen: ref.gen}, rec) {
+			c.iq.issued(ref.kind)
+			c.progressed = true
 			continue
 		}
-		i++
+		out = append(out, ref)
 	}
+	c.iq.ready = out
 }
 
-// tryIssueRec attempts to issue one µop; returns true when it left the IQ.
+// tryIssueRec attempts to issue one µop whose sources are all ready
+// (srcWait == 0, maintained by the wake-up lists); it returns true when
+// the µop left the IQ.
 func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
-	if !c.ren.IsReady(rec.out.Src1P) || !c.ren.IsReady(rec.out.Src2P) {
-		return false
-	}
 	u := &rec.uop
 
 	// INV propagation (traditional runahead semantics): a runahead µop
@@ -333,6 +515,10 @@ func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
 		(c.ren.IsPoisoned(rec.out.Src1P) || c.ren.IsPoisoned(rec.out.Src2P))
 
 	if !c.fu.tryIssue(u.Class, c.now) {
+		// Ready sources but no unit (per-cycle capacity or a busy
+		// divider): the retry outcome depends on the cycle number.
+		c.retryBlocked = true
+		c.iqRetry = true
 		return false
 	}
 	lat := int64(u.Class.Latency())
@@ -345,7 +531,11 @@ func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
 		ready, invLoad, ok := c.issueLoad(rec)
 		if !ok {
 			// Port consumed but the access could not start (forwarding
-			// data pending or MSHRs full): retry next cycle.
+			// data pending or MSHRs full): retry next cycle. The failed
+			// attempt mutated memory-system stall counters, so the cycle
+			// is not skippable.
+			c.retryBlocked = true
+			c.iqRetry = true
 			return false
 		}
 		rec.readyAt = ready
@@ -358,7 +548,7 @@ func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
 		rec.readyAt = c.now + lat
 	}
 	rec.st = sIssued
-	c.events.schedule(completion{cycle: rec.readyAt, kind: ref.kind, slot: ref.slot, gen: rec.gen})
+	c.events.schedule(c.now, completion{cycle: rec.readyAt, kind: ref.kind, slot: ref.slot, gen: rec.gen})
 	c.countIssue(u.Class)
 	if rec.inRunahead {
 		c.stats.RunaheadExecuted++
@@ -455,7 +645,9 @@ func (c *Core) dispatchStage() {
 		}
 		// PRE frees runahead registers as the PRDQ drains in order.
 		if c.cfg.Mode == ModePRE || c.cfg.Mode == ModePREEMQ {
-			c.prdq.Drain(c.ren.Free)
+			if c.prdq.Drain(c.renFree) > 0 {
+				c.progressed = true // freed registers can unblock dispatch
+			}
 		}
 		return
 	}
@@ -522,7 +714,7 @@ func (c *Core) dispatchOne(slot frontend.Slot, inRunahead bool) bool {
 	if u.IsStore() {
 		rec.sqIdx = c.sq.push(u.Seq, u.Addr, u.Size, inRunahead)
 	}
-	c.iq.push(iqRef{kind: kROB, slot: idx, gen: gen})
+	c.enqueue(kROB, idx, rec)
 	c.stats.Decoded++
 	c.stats.Renamed++
 	c.stats.Dispatched++
@@ -541,6 +733,7 @@ func (c *Core) dispatchOne(slot frontend.Slot, inRunahead bool) bool {
 			c.learnProducers(u)
 		}
 	}
+	c.progressed = true
 	return true
 }
 
@@ -566,5 +759,8 @@ func (c *Core) onFullWindow() {
 	}
 	c.stats.FullWindowStallCycles++
 	c.stats.RobFullEvents++
+	// A stall cycle repeats identically until the head's completion event:
+	// flag it so skipped cycles replicate these counters in bulk.
+	c.stalledFW = true
 	c.maybeEnterRunahead(head)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/frontend"
 	"repro/internal/rename"
-	"repro/internal/runahead"
 	"repro/internal/uarch"
 )
 
@@ -39,6 +38,7 @@ func (c *Core) maybeEnterRunahead(head *uopRec) {
 			if c.lastSkipSeq != head.seq {
 				c.stats.EntriesSkipped++
 				c.lastSkipSeq = head.seq
+				c.progressed = true
 			}
 			return
 		}
@@ -48,6 +48,8 @@ func (c *Core) maybeEnterRunahead(head *uopRec) {
 
 // enterRunahead performs the mode-specific entry sequence.
 func (c *Core) enterRunahead(head *uopRec) {
+	c.progressed = true
+	c.iqDirty = true
 	c.inRunahead = true
 	c.entryCycle = c.now
 	c.exitCycle = head.readyAt
@@ -65,14 +67,17 @@ func (c *Core) enterRunahead(head *uopRec) {
 
 	switch c.cfg.Mode {
 	case ModeRA, ModeRABuffer:
-		c.cpFull = c.ren.CheckpointCommitted()
+		c.ren.CheckpointCommittedInto(&c.cpFullBuf)
+		c.cpFull = &c.cpFullBuf
 		c.pseudoRetire = true
 		if c.cfg.FreeExit {
-			c.snap = c.takeSnapshot()
+			c.takeSnapshotInto(&c.snapBuf)
+			c.snap = &c.snapBuf
 		}
 		// The stalling load pseudo-completes with an INV result so the
 		// window drains through pseudo-retirement.
 		c.ren.MarkPoisoned(head.out.DstP, true)
+		c.wake(head.out.DstP)
 		head.st = sDone
 		head.invResult = true
 		// Everything in flight is now runahead work: its loads prefetch,
@@ -87,7 +92,7 @@ func (c *Core) enterRunahead(head *uopRec) {
 			if rec.st == sIssued && rec.uop.IsLoad() && rec.readyAt > c.now+longLat {
 				rec.invResult = true
 				rec.readyAt = c.now + 1
-				c.events.schedule(completion{cycle: rec.readyAt, kind: kROB, slot: c.rob.at(i), gen: rec.gen})
+				c.events.schedule(c.now, completion{cycle: rec.readyAt, kind: kROB, slot: c.rob.at(i), gen: rec.gen})
 			}
 		}
 		if c.cfg.Mode == ModeRABuffer {
@@ -98,7 +103,8 @@ func (c *Core) enterRunahead(head *uopRec) {
 		// load's register is poisoned but NOT published: normal-mode
 		// consumers keep waiting for the real data while runahead slice
 		// µops observe INV at rename.
-		c.cpSpec = c.ren.CheckpointSpec()
+		c.ren.CheckpointSpecInto(&c.cpSpecBuf)
+		c.cpSpec = &c.cpSpecBuf
 		c.ren.BeginRunahead()
 		c.ren.MarkPoisoned(head.out.DstP, false)
 		c.sst.Insert(c.stallPC)
@@ -115,6 +121,7 @@ func (c *Core) enterRunahead(head *uopRec) {
 
 // exitRunahead returns to normal mode: the stalling load's data arrived.
 func (c *Core) exitRunahead() {
+	c.iqDirty = true
 	c.stats.Intervals.Observe(c.now - c.entryCycle)
 	switch c.cfg.Mode {
 	case ModeRA, ModeRABuffer:
@@ -136,12 +143,12 @@ func (c *Core) exitRunahead() {
 			c.measuringRefill = true
 		}
 		c.chain = nil
-		c.replayPending = nil
+		c.replayPending = c.replayPending[:0]
 	case ModePRE, ModePREEMQ:
 		// Section 3.5: restore the RAT, drop runahead transients; the ROB
 		// is intact, so commit restarts immediately once the head's
 		// completion event lands (this cycle).
-		c.iq.filter(func(r iqRef) bool { return r.kind == kROB })
+		c.iq.dropPRE()
 		c.pre.flush()
 		c.lqPre = 0
 		c.prdq.Clear()
@@ -192,6 +199,7 @@ func (c *Core) dispatchPRE() {
 				// Paper: when the EMQ fills, the core stalls until the
 				// stalling load returns.
 				c.preScanStop = true
+				c.progressed = true
 				return
 			}
 			seq = slot.Seq
@@ -201,7 +209,11 @@ func (c *Core) dispatchPRE() {
 		if c.sst.Lookup(u.PC) {
 			c.learnProducers(u)
 			if !c.preExecute(u, misp) {
-				return // resources exhausted: leave the µop queued; retry
+				// Resources exhausted: leave the µop queued; retry. The
+				// retry re-probes the SST (a counted lookup) every cycle,
+				// so the cycle is not skippable.
+				c.retryBlocked = true
+				return
 			}
 		} else if misp {
 			// A mispredicted branch that will not execute: charge a
@@ -214,6 +226,7 @@ func (c *Core) dispatchPRE() {
 				c.stats.DivergenceStops++
 			}
 		}
+		c.progressed = true
 		if fromEMQ {
 			c.emqScan++ // already decoded and buffered; nothing else to do
 		} else {
@@ -305,7 +318,7 @@ func (c *Core) preExecute(u *uarch.Uop, mispredicted bool) bool {
 		c.lqPre++
 		rec.lqHeld = true
 	}
-	c.iq.push(iqRef{kind: kPRE, slot: poolIdx, gen: gen})
+	c.enqueue(kPRE, poolIdx, rec)
 	c.stats.Dispatched++
 	return true
 }
@@ -319,6 +332,7 @@ func (c *Core) dispatchFromEMQ() {
 		seq, ok := c.emq.Peek()
 		if !ok {
 			c.emqDraining = false
+			c.progressed = true
 			return
 		}
 		if c.rob.full() {
@@ -342,12 +356,12 @@ func (c *Core) dispatchFromEMQ() {
 // cycle ("expensive CAM lookups", Section 3.6), so replay dispatch only
 // begins once the walk has finished.
 func (c *Core) initReplay() {
-	window := make([]uarch.Uop, 0, c.rob.len())
+	c.chainWindow = c.chainWindow[:0]
 	for i := 0; i < c.rob.len(); i++ {
-		window = append(window, c.rob.e[c.rob.at(i)].uop)
+		c.chainWindow = append(c.chainWindow, c.rob.e[c.rob.at(i)].uop)
 	}
 	var walkCycles int
-	c.chain, walkCycles = runahead.ExtractChainCost(window, c.stallPC, c.cfg.ChainMaxLen)
+	c.chain, walkCycles = c.chainX.Extract(c.chainWindow, c.stallPC, c.cfg.ChainMaxLen)
 	c.replayStart = c.now + int64(walkCycles)
 	c.fetch.Freeze()
 	c.replayCursor = c.stallSeq + 1
@@ -405,6 +419,8 @@ func (c *Core) dispatchReplay() {
 	}
 	for n := 0; n < c.cfg.Width; n++ {
 		if c.replayIdx >= len(c.replayPending) {
+			// The stream scan mutates replay state either way.
+			c.progressed = true
 			if !c.prepareReplayIteration() {
 				return
 			}

@@ -13,34 +13,38 @@ import (
 // idealized runahead with zero discard/refill cost. Memory-system state is
 // deliberately NOT restored: the prefetches issued during runahead are the
 // benefit being isolated.
+//
+// The core owns one pipeSnapshot (snapBuf) and refills it in place on
+// every entry, so the per-episode snapshot costs no allocation once the
+// buffers have grown to pipeline size.
+// The issue queue needs no snapshot of its own: its content is exactly
+// the sWaiting records of the snapshotted ROB, from which restoreSnapshot
+// rebuilds occupancy, waiter registrations and the ready list.
 type pipeSnapshot struct {
 	robE    []uopRec
 	robHead int
 	robSize int
-	iqRefs  []iqRef
 	sqE     []sqEntry
 	sqHead  int
 	sqSize  int
 	lqNorm  int
-	ren     *rename.FullSnapshot
-	fetch   *frontend.FetchSnapshot
+	ren     rename.FullSnapshot
+	fetch   frontend.FetchSnapshot
 }
 
-// takeSnapshot deep-copies the pipeline (called at RA entry under
-// FreeExit, before the stalling load is poisoned).
-func (c *Core) takeSnapshot() *pipeSnapshot {
-	return &pipeSnapshot{
-		robE:    append([]uopRec(nil), c.rob.e...),
-		robHead: c.rob.head,
-		robSize: c.rob.size,
-		iqRefs:  append([]iqRef(nil), c.iq.refs...),
-		sqE:     append([]sqEntry(nil), c.sq.e...),
-		sqHead:  c.sq.head,
-		sqSize:  c.sq.size,
-		lqNorm:  c.lqNorm,
-		ren:     c.ren.TakeFullSnapshot(),
-		fetch:   c.fetch.TakeSnapshot(),
-	}
+// takeSnapshotInto deep-copies the pipeline into s, reusing its buffers
+// (called at RA entry under FreeExit, before the stalling load is
+// poisoned).
+func (c *Core) takeSnapshotInto(s *pipeSnapshot) {
+	s.robE = append(s.robE[:0], c.rob.e...)
+	s.robHead = c.rob.head
+	s.robSize = c.rob.size
+	s.sqE = append(s.sqE[:0], c.sq.e...)
+	s.sqHead = c.sq.head
+	s.sqSize = c.sq.size
+	s.lqNorm = c.lqNorm
+	c.ren.TakeFullSnapshotInto(&s.ren)
+	c.fetch.TakeSnapshotInto(&s.fetch)
 }
 
 // restoreSnapshot reinstates the pipeline exactly as it was at entry, with
@@ -49,6 +53,7 @@ func (c *Core) takeSnapshot() *pipeSnapshot {
 // completion time, and the runahead episode's in-flight transients are
 // discarded.
 func (c *Core) restoreSnapshot(s *pipeSnapshot) {
+	c.iqDirty = true
 	// Restore ROB contents, advancing every slot generation past both the
 	// snapshot's and the current value so stale events cannot match.
 	for i := range s.robE {
@@ -64,17 +69,6 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 	c.rob.head = s.robHead
 	c.rob.size = s.robSize
 
-	// Rebuild the IQ from the restored ROB: waiting entries in program
-	// order (the snapshot was taken in RA mode, so only kROB µops existed).
-	c.iq.clear()
-	for i := 0; i < c.rob.size; i++ {
-		idx := c.rob.at(i)
-		rec := &c.rob.e[idx]
-		if rec.st == sWaiting {
-			c.iq.push(iqRef{kind: kROB, slot: idx, gen: rec.gen})
-		}
-	}
-
 	c.sq.e = append(c.sq.e[:0], s.sqE...)
 	c.sq.head = s.sqHead
 	c.sq.size = s.sqSize
@@ -82,8 +76,23 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 	c.lqPre = 0
 	c.pre.flush()
 
-	c.ren.RestoreFullSnapshot(s.ren)
-	c.fetch.RestoreSnapshot(s.fetch, c.now+1)
+	c.ren.RestoreFullSnapshot(&s.ren)
+	c.fetch.RestoreSnapshot(&s.fetch, c.now+1)
+
+	// Rebuild the IQ from the restored ROB: waiting entries in program
+	// order (the snapshot was taken in RA mode, so only kROB µops existed).
+	// Waiter registrations from the snapshotted episode were consumed, so
+	// every waiting entry re-registers — necessarily after the renamer
+	// restore above, which reinstates the ready bits srcWait is computed
+	// from.
+	c.iq.clear()
+	for i := 0; i < c.rob.size; i++ {
+		idx := c.rob.at(i)
+		rec := &c.rob.e[idx]
+		if rec.st == sWaiting {
+			c.enqueue(kROB, idx, rec)
+		}
+	}
 
 	// Re-schedule completions for issued-but-unfinished µops. Their memory
 	// completion times were computed at issue and remain valid; anything
@@ -100,6 +109,6 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 		if at <= c.now {
 			at = c.now + 1
 		}
-		c.events.schedule(completion{cycle: at, kind: kROB, slot: idx, gen: rec.gen})
+		c.events.schedule(c.now, completion{cycle: at, kind: kROB, slot: idx, gen: rec.gen})
 	}
 }

@@ -24,6 +24,13 @@ type Stats struct {
 	FullWindowStallCycles int64 // normal-mode cycles with ROB full, head incomplete
 	RobFullEvents         int64
 
+	// SkippedAhead counts the simulated cycles Run advanced in bulk via
+	// event-driven cycle skipping (already included in Cycles). Purely an
+	// engineering diagnostic: it never feeds results JSON, and with
+	// DisableCycleSkip it stays zero while every other counter is
+	// unchanged.
+	SkippedAhead int64
+
 	// Runahead accounting.
 	Entries          int64 // runahead invocations
 	EntriesSkipped   int64 // RA/RAB entries suppressed by the interval filter

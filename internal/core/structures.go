@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/mem"
 	"repro/internal/rename"
 	"repro/internal/uarch"
@@ -45,6 +43,7 @@ type uopRec struct {
 	mispredicted bool      // fetch-time misprediction flag
 	invResult    bool      // completion publishes poison, not data
 	inRunahead   bool      // executed under any runahead episode
+	srcWait      uint8     // source pregs still pending (0 = issueable)
 	readyAt      int64     // completion cycle once issued
 	memLevel     mem.Level // loads: level that served the access
 	sqIdx        int       // stores: SQ slot; loads: -1
@@ -99,13 +98,14 @@ func (r *rob) flush() {
 // prePool holds PRE runahead µops (no ROB slot). Slots are recycled via a
 // free list; generations invalidate stale references on reuse and flush.
 type prePool struct {
-	e    []uopRec
-	free []int
-	live int
+	e     []uopRec
+	free  []int
+	inUse []bool
+	live  int
 }
 
 func newPrePool(n int) *prePool {
-	p := &prePool{e: make([]uopRec, n), free: make([]int, 0, n)}
+	p := &prePool{e: make([]uopRec, n), free: make([]int, 0, n), inUse: make([]bool, n)}
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, i)
 	}
@@ -118,6 +118,7 @@ func (p *prePool) alloc() (int, bool) {
 	}
 	idx := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
+	p.inUse[idx] = true
 	p.live++
 	return idx, true
 }
@@ -125,6 +126,7 @@ func (p *prePool) alloc() (int, bool) {
 func (p *prePool) release(idx int) {
 	p.e[idx].gen++
 	p.free = append(p.free, idx)
+	p.inUse[idx] = false
 	p.live--
 }
 
@@ -133,12 +135,8 @@ func (p *prePool) flush() {
 	if p.live == 0 {
 		return
 	}
-	inFree := make([]bool, len(p.e))
-	for _, i := range p.free {
-		inFree[i] = true
-	}
 	for i := range p.e {
-		if !inFree[i] {
+		if p.inUse[i] {
 			p.release(i)
 		}
 	}
@@ -153,38 +151,99 @@ type iqRef struct {
 	gen  uint32
 }
 
-// issueQueue is a program-ordered list of waiting µops.
+// wakeRef identifies a µop waiting on a physical register's data.
+type wakeRef struct {
+	kind recKind
+	slot int
+	gen  uint32
+}
+
+// readyRef is a waiting µop whose sources have all arrived, keyed by
+// sequence number for program-ordered issue priority.
+type readyRef struct {
+	kind recKind
+	slot int
+	gen  uint32
+	seq  int64
+}
+
+// issueQueue tracks issue-queue occupancy plus the program-ordered list
+// of *ready* waiting µops. Entries with pending sources are represented
+// only by their waiter-list registrations (Core.waiters) and by the
+// occupancy count; they join the ready list when their last source
+// completes. This keeps the per-cycle issue scan proportional to the
+// handful of issueable µops instead of the whole 92-entry queue.
 type issueQueue struct {
-	refs []iqRef
-	cap  int
+	ready  []readyRef // srcWait==0 waiting entries, seq-ascending
+	count  int        // all waiting entries (ready + source-pending)
+	preCnt int        // of those, kPRE transients (PRE-exit accounting)
+	cap    int
 }
 
-func newIQ(n int) *issueQueue { return &issueQueue{refs: make([]iqRef, 0, n), cap: n} }
+func newIQ(n int) *issueQueue { return &issueQueue{ready: make([]readyRef, 0, n), cap: n} }
 
-func (q *issueQueue) full() bool     { return len(q.refs) >= q.cap }
-func (q *issueQueue) len() int       { return len(q.refs) }
-func (q *issueQueue) freeSlots() int { return q.cap - len(q.refs) }
+func (q *issueQueue) full() bool     { return q.count >= q.cap }
+func (q *issueQueue) len() int       { return q.count }
+func (q *issueQueue) freeSlots() int { return q.cap - q.count }
 
-func (q *issueQueue) push(ref iqRef) { q.refs = append(q.refs, ref) }
-
-// removeAt deletes the i-th entry preserving order.
-func (q *issueQueue) removeAt(i int) {
-	copy(q.refs[i:], q.refs[i+1:])
-	q.refs = q.refs[:len(q.refs)-1]
+// add admits one waiting µop (ready or not) into the queue's occupancy.
+func (q *issueQueue) add(kind recKind) {
+	q.count++
+	if kind == kPRE {
+		q.preCnt++
+	}
 }
 
-// filter keeps only entries for which keep returns true.
-func (q *issueQueue) filter(keep func(iqRef) bool) {
-	out := q.refs[:0]
-	for _, r := range q.refs {
-		if keep(r) {
+// issued releases one entry's occupancy (it left the queue by issuing).
+func (q *issueQueue) issued(kind recKind) {
+	q.count--
+	if kind == kPRE {
+		q.preCnt--
+	}
+}
+
+// markReady files a µop whose sources are all available, keeping the
+// ready list seq-sorted. Dispatch appends in program order (fast path);
+// wake-ups insert older µops by binary search.
+func (q *issueQueue) markReady(kind recKind, slot int, gen uint32, seq int64) {
+	r := readyRef{kind: kind, slot: slot, gen: gen, seq: seq}
+	n := len(q.ready)
+	if n == 0 || q.ready[n-1].seq < seq {
+		q.ready = append(q.ready, r)
+		return
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.ready[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.ready = append(q.ready, readyRef{})
+	copy(q.ready[lo+1:], q.ready[lo:])
+	q.ready[lo] = r
+}
+
+// dropPRE removes every kPRE entry (PRE runahead exit: the transients are
+// squashed wholesale; pending ones are gen-guarded in the waiter lists).
+func (q *issueQueue) dropPRE() {
+	out := q.ready[:0]
+	for _, r := range q.ready {
+		if r.kind == kROB {
 			out = append(out, r)
 		}
 	}
-	q.refs = out
+	q.ready = out
+	q.count -= q.preCnt
+	q.preCnt = 0
 }
 
-func (q *issueQueue) clear() { q.refs = q.refs[:0] }
+func (q *issueQueue) clear() {
+	q.ready = q.ready[:0]
+	q.count, q.preCnt = 0, 0
+}
 
 // --- store queue ------------------------------------------------------------
 
@@ -277,38 +336,117 @@ type completion struct {
 	gen   uint32
 }
 
-// eventHeap is a min-heap of completions ordered by cycle.
+// eventQueue schedules completions. Nearly every completion is short
+// (ALU 1 cycle, cache hits up to ~42 cycles), so near events go into a
+// 64-slot calendar ring — O(1) schedule and pop, no heap churn — and only
+// far events (DRAM-latency fills) use a hand-rolled min-heap. Same-cycle
+// events carry no ordering contract (completion effects within a cycle
+// are commutative; the differential and golden tests pin this).
+//
+// Slot aliasing is safe because events are always drained at their exact
+// cycle: a slot can only hold one cycle's events at a time (a second
+// cycle mapping to the same slot would be ≥ 64 cycles out, which is far).
+type eventQueue struct {
+	near    [eventRing][]completion
+	nearCnt int
+	far     eventHeap
+}
+
+const eventRing = 64
+
+// schedule files a completion due at c.cycle, seen from cycle now.
+func (q *eventQueue) schedule(now int64, c completion) {
+	if c.cycle-now < eventRing {
+		q.near[c.cycle&(eventRing-1)] = append(q.near[c.cycle&(eventRing-1)], c)
+		q.nearCnt++
+		return
+	}
+	q.far.push(c)
+}
+
+// popDue removes one event due at now, if any.
+func (q *eventQueue) popDue(now int64) (completion, bool) {
+	if q.nearCnt > 0 {
+		slot := &q.near[now&(eventRing-1)]
+		if n := len(*slot); n > 0 {
+			c := (*slot)[n-1]
+			*slot = (*slot)[:n-1]
+			q.nearCnt--
+			return c, true
+		}
+	}
+	if len(q.far) > 0 && q.far[0].cycle <= now {
+		return q.far.pop(), true
+	}
+	return completion{}, false
+}
+
+// nextAt returns the cycle of the earliest pending event at or after now,
+// or ok=false when the queue is empty.
+func (q *eventQueue) nextAt(now int64) (int64, bool) {
+	best := int64(0)
+	ok := false
+	if q.nearCnt > 0 {
+		for d := int64(0); d < eventRing; d++ {
+			slot := q.near[(now+d)&(eventRing-1)]
+			if len(slot) > 0 {
+				best, ok = slot[0].cycle, true
+				break
+			}
+		}
+	}
+	if len(q.far) > 0 && (!ok || q.far[0].cycle < best) {
+		best, ok = q.far[0].cycle, true
+	}
+	return best, ok
+}
+
+func (q *eventQueue) len() int { return q.nearCnt + len(q.far) }
+
+// eventHeap is a hand-rolled min-heap of completions ordered by cycle
+// (no container/heap: interface boxing would allocate per event).
 type eventHeap []completion
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push adds a completion (sift-up).
+func (h *eventHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].cycle <= s[i].cycle {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
 }
 
-// schedule pushes a completion event.
-func (h *eventHeap) schedule(c completion) { heap.Push(h, c) }
-
-// nextAt returns the cycle of the earliest pending event, or ok=false.
-func (h eventHeap) nextAt() (int64, bool) {
-	if len(h) == 0 {
-		return 0, false
+// pop removes the minimum (sift-down).
+func (h *eventHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].cycle < s[min].cycle {
+			min = l
+		}
+		if r < n && s[r].cycle < s[min].cycle {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
 	}
-	return h[0].cycle, true
-}
-
-// popDue removes and returns the earliest event if due at now.
-func (h *eventHeap) popDue(now int64) (completion, bool) {
-	if len(*h) == 0 || (*h)[0].cycle > now {
-		return completion{}, false
-	}
-	return heap.Pop(h).(completion), true
+	return top
 }
 
 // --- functional units -----------------------------------------------------
@@ -331,6 +469,22 @@ func newFU(cfg *Config) *fuPools {
 
 // newCycle resets the per-cycle counters.
 func (f *fuPools) newCycle() { f.alu, f.fpu, f.load, f.store, f.branch = 0, 0, 0, 0, 0 }
+
+// nextDivFree returns the earliest cycle strictly after now at which an
+// unpipelined divide unit frees up (ok=false when both are already free).
+// A ready divide µop blocked on a busy unit retries identically until
+// then.
+func (f *fuPools) nextDivFree(now int64) (int64, bool) {
+	var best int64
+	ok := false
+	if f.idivBusyUntil > now {
+		best, ok = f.idivBusyUntil, true
+	}
+	if f.fdivBusyUntil > now && (!ok || f.fdivBusyUntil < best) {
+		best, ok = f.fdivBusyUntil, true
+	}
+	return best, ok
+}
 
 // tryIssue consumes capacity for class c at cycle now; reports acceptance.
 func (f *fuPools) tryIssue(c uarch.Class, now int64) bool {

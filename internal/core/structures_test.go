@@ -99,22 +99,36 @@ func TestPrePoolAllocReleaseFlush(t *testing.T) {
 
 func TestIssueQueueOrderAndFilter(t *testing.T) {
 	q := newIQ(4)
-	for i := 0; i < 4; i++ {
-		q.push(iqRef{kind: kROB, slot: i})
+	for i := 0; i < 3; i++ {
+		q.add(kROB)
 	}
+	q.add(kPRE)
 	if !q.full() || q.freeSlots() != 0 {
 		t.Fatal("IQ must be full")
 	}
-	q.removeAt(1)
-	if q.len() != 3 || q.refs[1].slot != 2 {
-		t.Error("removeAt must preserve order")
+	// Ready-list ordering: appends in program order, wake-up insertions
+	// in the middle keep seq-ascending order.
+	q.markReady(kROB, 0, 0, 10)
+	q.markReady(kROB, 2, 0, 30)
+	q.markReady(kPRE, 1, 0, 20) // woken later, but older than slot 2
+	if len(q.ready) != 3 || q.ready[0].seq != 10 || q.ready[1].seq != 20 || q.ready[2].seq != 30 {
+		t.Errorf("ready order %v", q.ready)
 	}
-	q.filter(func(r iqRef) bool { return r.slot != 3 })
+	q.issued(kROB)
+	if q.len() != 3 || q.full() {
+		t.Errorf("issued must free a slot: len=%d", q.len())
+	}
+	q.dropPRE()
 	if q.len() != 2 {
-		t.Errorf("filter left %d", q.len())
+		t.Errorf("dropPRE left %d entries", q.len())
+	}
+	for _, r := range q.ready {
+		if r.kind != kROB {
+			t.Error("dropPRE left a kPRE ready entry")
+		}
 	}
 	q.clear()
-	if q.len() != 0 {
+	if q.len() != 0 || len(q.ready) != 0 {
 		t.Error("clear failed")
 	}
 }
@@ -194,53 +208,67 @@ func TestStoreQueueDrainAndDrop(t *testing.T) {
 	}
 }
 
-func TestEventHeapOrdering(t *testing.T) {
-	var h eventHeap
-	h.schedule(completion{cycle: 30, slot: 3})
-	h.schedule(completion{cycle: 10, slot: 1})
-	h.schedule(completion{cycle: 20, slot: 2})
-	if at, ok := h.nextAt(); !ok || at != 10 {
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	// One near event (ring) and two far events (heap).
+	q.schedule(0, completion{cycle: 30, slot: 3})
+	q.schedule(0, completion{cycle: 200, slot: 4})
+	q.schedule(0, completion{cycle: 10, slot: 1})
+	q.schedule(0, completion{cycle: 100, slot: 2})
+	if at, ok := q.nextAt(0); !ok || at != 10 {
 		t.Fatalf("nextAt = %d,%v", at, ok)
 	}
-	if _, ok := h.popDue(5); ok {
+	if _, ok := q.popDue(5); ok {
 		t.Fatal("nothing due at 5")
 	}
 	order := []int{}
-	for now := int64(0); now <= 30; now += 10 {
+	for now := int64(0); now <= 200; now++ {
 		for {
-			ev, ok := h.popDue(now)
+			ev, ok := q.popDue(now)
 			if !ok {
 				break
+			}
+			if ev.cycle != now {
+				t.Fatalf("event for cycle %d popped at %d", ev.cycle, now)
 			}
 			order = append(order, ev.slot)
 		}
 	}
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+	if len(order) != 4 || order[0] != 1 || order[1] != 3 || order[2] != 2 || order[3] != 4 {
 		t.Errorf("pop order %v", order)
+	}
+	if q.len() != 0 {
+		t.Errorf("queue not drained: %d left", q.len())
 	}
 }
 
-// Property: the event heap pops completions in nondecreasing cycle order.
-func TestEventHeapProperty(t *testing.T) {
+// Property: drained cycle-by-cycle (the core's contract — time never jumps
+// past a pending event), the event queue pops completions in nondecreasing
+// cycle order and loses none.
+func TestEventQueueProperty(t *testing.T) {
 	f := func(cycles []uint16) bool {
-		var h eventHeap
+		var q eventQueue
 		for i, c := range cycles {
-			h.schedule(completion{cycle: int64(c), slot: i})
+			q.schedule(0, completion{cycle: int64(c), slot: i})
 		}
 		last := int64(-1)
-		for {
-			ev, ok := h.popDue(1 << 20)
-			if !ok {
-				break
+		popped := 0
+		for now := int64(0); now <= 1<<16; now++ {
+			for {
+				ev, ok := q.popDue(now)
+				if !ok {
+					break
+				}
+				if ev.cycle < last {
+					return false
+				}
+				last = ev.cycle
+				popped++
 			}
-			if ev.cycle < last {
-				return false
-			}
-			last = ev.cycle
 		}
-		return true
+		return popped == len(cycles) && q.len() == 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
 }

@@ -63,7 +63,14 @@ type FetchUnit struct {
 
 	nextSeq     int64
 	frozenUntil int64
-	queue       []Slot // FIFO of fetched µops (decode pipe + µop queue)
+
+	// queue is a fixed-capacity ring of fetched µops (decode pipe + µop
+	// queue); qHead/qLen index it. A ring (rather than a shifted slice)
+	// keeps Pop O(1) — with up to Width pops per cycle, slice shifting
+	// was a measurable share of the simulator's hot path.
+	queue []Slot
+	qHead int
+	qLen  int
 
 	curLine   uint64 // I-cache line currently being fetched from
 	lineReady int64  // when the current line's fetch completes
@@ -82,7 +89,7 @@ func NewFetchUnit(cfg FetchConfig, stream *trace.Stream, pred *Predictor, hier *
 		stream:  stream,
 		pred:    pred,
 		hier:    hier,
-		queue:   make([]Slot, 0, cfg.QueueSize),
+		queue:   make([]Slot, cfg.QueueSize),
 		curLine: ^uint64(0),
 	}
 }
@@ -101,19 +108,50 @@ func (f *FetchUnit) NextSeq() int64 { return f.nextSeq }
 func (f *FetchUnit) Frozen(now int64) bool { return f.frozenUntil > now }
 
 // QueueLen returns the number of µops in the pipe/queue.
-func (f *FetchUnit) QueueLen() int { return len(f.queue) }
+func (f *FetchUnit) QueueLen() int { return f.qLen }
+
+// CycleStatus summarizes what one fetch Cycle did, so the core's
+// event-driven cycle skipper can classify the cycle: active statuses
+// (CycleFetched, CycleLineMiss, CycleMSHRBlocked) mutate machine or
+// statistics state every cycle and forbid skipping; passive statuses
+// (CycleFrozen, CycleLineWait, CycleIdle) repeat identically until a known
+// wake-up cycle and are replicable in bulk via SkipIdle.
+type CycleStatus uint8
+
+// Fetch cycle outcomes.
+const (
+	// CycleIdle: nothing to do (µop queue full); no state or counter
+	// changed.
+	CycleIdle CycleStatus = iota
+	// CycleFetched: at least one µop entered the pipe.
+	CycleFetched
+	// CycleFrozen: fetch is frozen (mispredict/rewind); FreezeCycles
+	// counted.
+	CycleFrozen
+	// CycleLineWait: waiting on an in-flight I-cache line; ICacheStallCy
+	// counted.
+	CycleLineWait
+	// CycleLineMiss: this cycle started an I-cache line fetch (memory
+	// state changed); fetch resumes when the line arrives.
+	CycleLineMiss
+	// CycleMSHRBlocked: the I-cache rejected the fetch for lack of MSHRs;
+	// the retry itself is a counted event every cycle.
+	CycleMSHRBlocked
+)
 
 // Cycle fetches up to Width µops at cycle now, pushing them into the pipe.
-func (f *FetchUnit) Cycle(now int64) {
+// The returned status classifies the cycle for the core's cycle skipper.
+func (f *FetchUnit) Cycle(now int64) CycleStatus {
 	if f.frozenUntil > now {
 		f.stats.FreezeCycles++
-		return
+		return CycleFrozen
 	}
 	if f.lineReady > now {
 		f.stats.ICacheStallCy++
-		return
+		return CycleLineWait
 	}
-	for budget := f.cfg.Width; budget > 0 && len(f.queue) < f.cfg.QueueSize; budget-- {
+	fetched := false
+	for budget := f.cfg.Width; budget > 0 && f.qLen < f.cfg.QueueSize; budget-- {
 		u := f.stream.At(f.nextSeq)
 		line := uarch.LineAddr(u.PC)
 		if line != f.curLine {
@@ -121,52 +159,106 @@ func (f *FetchUnit) Cycle(now int64) {
 			if !ok {
 				// I-cache MSHRs exhausted: retry next cycle.
 				f.stats.ICacheStallCy++
-				return
+				return CycleMSHRBlocked
 			}
 			f.curLine = line
 			if res.Ready > now+int64(f.hier.L1I().HitLatency()) {
 				// Line miss: fetch resumes when the line arrives.
 				f.lineReady = res.Ready
-				return
+				return CycleLineMiss
 			}
 		}
 		correct := true
 		if u.IsBranch() {
 			correct = f.pred.PredictAndTrain(u)
 		}
-		f.queue = append(f.queue, Slot{
+		f.queue[(f.qHead+f.qLen)%len(f.queue)] = Slot{
 			Seq:          f.nextSeq,
 			Ready:        now + int64(f.cfg.Depth),
 			Mispredicted: !correct,
-		})
+		}
+		f.qLen++
 		f.nextSeq++
 		f.stats.FetchedUops++
+		fetched = true
 		if !correct {
 			// Freeze until the core redirects after the branch resolves.
 			f.frozenUntil = neverThaw
-			return
+			return CycleFetched
 		}
 	}
+	if fetched {
+		return CycleFetched
+	}
+	return CycleIdle
+}
+
+// NextWakeAt returns the first cycle after now at which a currently
+// stalled fetch unit could resume (thaw or line arrival). ok=false means
+// fetch is either not time-blocked or frozen indefinitely (awaiting an
+// explicit Redirect/Rewind).
+func (f *FetchUnit) NextWakeAt(now int64) (int64, bool) {
+	if f.frozenUntil > now {
+		if f.frozenUntil == neverThaw {
+			return 0, false
+		}
+		return f.frozenUntil, true
+	}
+	if f.lineReady > now {
+		return f.lineReady, true
+	}
+	return 0, false
+}
+
+// HeadReadyAt returns the cycle the oldest queued µop clears the decode
+// pipe (ok=false when the queue is empty).
+func (f *FetchUnit) HeadReadyAt() (int64, bool) {
+	if f.qLen == 0 {
+		return 0, false
+	}
+	return f.queue[f.qHead].Ready, true
+}
+
+// SkipIdle accounts n skipped cycles starting at now, replicating exactly
+// the per-cycle counters Cycle would have incremented. The caller (the
+// core's cycle skipper) guarantees the fetch unit's stall class does not
+// change over the skipped span: when frozen, now+n does not exceed
+// frozenUntil; when waiting on a line, it does not exceed lineReady.
+func (f *FetchUnit) SkipIdle(now, n int64) {
+	switch {
+	case f.frozenUntil > now:
+		f.stats.FreezeCycles += n
+	case f.lineReady > now:
+		f.stats.ICacheStallCy += n
+	}
+}
+
+// AddStats accumulates d into the counters — the cycle skipper's bulk
+// accounting hook for skipped steady retry cycles.
+func (f *FetchUnit) AddStats(d Stats) {
+	f.stats.FetchedUops += d.FetchedUops
+	f.stats.ICacheStallCy += d.ICacheStallCy
+	f.stats.FreezeCycles += d.FreezeCycles
 }
 
 // Pop removes and returns the oldest µop if it has cleared the decode pipe
 // by cycle now.
 func (f *FetchUnit) Pop(now int64) (Slot, bool) {
-	if len(f.queue) == 0 || f.queue[0].Ready > now {
+	if f.qLen == 0 || f.queue[f.qHead].Ready > now {
 		return Slot{}, false
 	}
-	s := f.queue[0]
-	copy(f.queue, f.queue[1:])
-	f.queue = f.queue[:len(f.queue)-1]
+	s := f.queue[f.qHead]
+	f.qHead = (f.qHead + 1) % len(f.queue)
+	f.qLen--
 	return s, true
 }
 
 // Peek returns the oldest µop without removing it.
 func (f *FetchUnit) Peek(now int64) (Slot, bool) {
-	if len(f.queue) == 0 || f.queue[0].Ready > now {
+	if f.qLen == 0 || f.queue[f.qHead].Ready > now {
 		return Slot{}, false
 	}
-	return f.queue[0], true
+	return f.queue[f.qHead], true
 }
 
 // Redirect unfreezes fetch at the given cycle (mispredicted branch
@@ -193,7 +285,7 @@ func (f *FetchUnit) Bubble(now, cycles int64) {
 // at runahead exit (re-fetch from the stalling load); PRE uses it to
 // re-fetch the µops it consumed during runahead.
 func (f *FetchUnit) Rewind(seq, resume int64) {
-	f.queue = f.queue[:0]
+	f.qHead, f.qLen = 0, 0
 	f.nextSeq = seq
 	f.frozenUntil = resume
 	f.curLine = ^uint64(0)
@@ -217,13 +309,24 @@ type FetchSnapshot struct {
 
 // TakeSnapshot deep-copies the fetch state.
 func (f *FetchUnit) TakeSnapshot() *FetchSnapshot {
-	return &FetchSnapshot{
-		nextSeq:     f.nextSeq,
-		frozenUntil: f.frozenUntil,
-		queue:       append([]Slot(nil), f.queue...),
-		curLine:     f.curLine,
-		lineReady:   f.lineReady,
+	s := &FetchSnapshot{}
+	f.TakeSnapshotInto(s)
+	return s
+}
+
+// TakeSnapshotInto deep-copies the fetch state into s, reusing s's queue
+// buffer — the allocation-free variant for the per-episode snapshot the
+// E6 ablation takes at every runahead entry. The ring is linearized in
+// FIFO order.
+func (f *FetchUnit) TakeSnapshotInto(s *FetchSnapshot) {
+	s.nextSeq = f.nextSeq
+	s.frozenUntil = f.frozenUntil
+	s.queue = s.queue[:0]
+	for i := 0; i < f.qLen; i++ {
+		s.queue = append(s.queue, f.queue[(f.qHead+i)%len(f.queue)])
 	}
+	s.curLine = f.curLine
+	s.lineReady = f.lineReady
 }
 
 // RestoreSnapshot restores a TakeSnapshot copy; fetch resumes no earlier
@@ -234,7 +337,7 @@ func (f *FetchUnit) RestoreSnapshot(s *FetchSnapshot, resume int64) {
 	if f.frozenUntil != neverThaw && f.frozenUntil < resume {
 		f.frozenUntil = resume
 	}
-	f.queue = append(f.queue[:0], s.queue...)
+	f.qHead, f.qLen = 0, copy(f.queue, s.queue)
 	f.curLine = s.curLine
 	f.lineReady = s.lineReady
 }

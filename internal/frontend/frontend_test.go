@@ -119,8 +119,10 @@ type seqGen struct {
 
 func (g *seqGen) Name() string { return "seq" }
 func (g *seqGen) Next(u *uarch.Uop) {
+	// Per the Generator contract, fully overwrite *u (the Stream does not
+	// zero recycled ring slots).
 	slot := g.n % g.period
-	u.PC = 0x400000 + slot*4
+	*u = uarch.Uop{PC: 0x400000 + slot*4}
 	if slot == g.period-1 {
 		u.Class = uarch.ClassBranch
 		u.Taken = true

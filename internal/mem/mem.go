@@ -188,6 +188,14 @@ type Hierarchy struct {
 	// Hardware prefetchers (nil when disabled) and their issue counters.
 	l1dpf, l2pf prefetch.Prefetcher
 	pfL1D, pfL2 pfCounters
+
+	// pfObserves counts every Observe fed to either prefetcher. It is
+	// engineering bookkeeping, not a reported statistic: the core's
+	// retry-span amortizer treats any training during a candidate span
+	// as hidden state change and refuses to fast-forward (the L2
+	// prefetcher trains *before* the L2/L3 MSHR rejection, so a blocked
+	// retry can still be a training event).
+	pfObserves int64
 }
 
 // New assembles a hierarchy, panicking on invalid configuration (the
@@ -345,6 +353,7 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 	hit, ready := h.l2.Lookup(addr, t, demand)
 	if train && h.l2pf != nil {
 		h.l2pf.Observe(prefetch.Access{Addr: addr, Hit: hit, Cycle: t})
+		h.pfObserves++
 	}
 	if hit {
 		return Result{Ready: ready, Level: LevelL2}, true
@@ -424,11 +433,17 @@ func (h *Hierarchy) LoadPC(addr, pc uint64, now int64) (Result, bool) {
 	if ok {
 		if h.l1dpf != nil {
 			h.l1dpf.Observe(prefetch.Access{Addr: addr, PC: pc, Hit: res.Level == LevelL1, Cycle: now})
+			h.pfObserves++
 		}
 		h.drainPrefetchers(now)
 	}
 	return res, ok
 }
+
+// PFObserves returns the total number of training events fed to the
+// hardware prefetchers — the cycle skipper's guard against amortizing a
+// span that is still training a prediction table.
+func (h *Hierarchy) PFObserves() int64 { return h.pfObserves }
 
 // Prefetch issues a runahead prefetch for the line containing addr. It
 // uses the same resources as a demand load but is excluded from demand
@@ -506,6 +521,45 @@ func (h *Hierarchy) drainPrefetchers(now int64) {
 func (h *Hierarchy) inFlight(c *cache.Cache, addr uint64, now int64) bool {
 	_, ok := c.MSHRLookup(addr, now)
 	return ok
+}
+
+// NextMSHRRelease returns the earliest core cycle strictly after now at
+// which an occupied MSHR anywhere in the hierarchy becomes *effective*
+// for a retrying access. A blocked (MSHR-exhausted) access retries with
+// an identical outcome every cycle until then, which is what lets the
+// core fast-forward steady retry spans.
+//
+// The subtlety is that a retry probes deeper levels at future cycles —
+// the L2 at now plus the L1 hit latency, the L3 another L2 hit latency
+// later — so a level-k MSHR whose fill completes at cycle f already
+// changes a retry issued lead(k) cycles earlier. Each level's releases
+// are therefore shifted back by its maximal probe lead (the I-side and
+// D-side leads differ; the larger one is used, which can only wake the
+// core early — harmless — never late).
+//
+// DRAM bank and bus busy times need no separate probe: they are embedded
+// in the fill-completion times the MSHRs already carry (the timing model
+// computes completions analytically at issue).
+func (h *Hierarchy) NextMSHRRelease(now int64) (int64, bool) {
+	lead1 := int64(h.l1i.HitLatency())
+	if l := int64(h.l1d.HitLatency()); l > lead1 {
+		lead1 = l
+	}
+	lead2 := lead1 + int64(h.l2.HitLatency())
+	var best int64
+	ok := false
+	consider := func(c *cache.Cache, lead int64) {
+		if t, tok := c.NextMSHRRelease(now + lead); tok {
+			if cand := t - lead; !ok || cand < best {
+				best, ok = cand, true
+			}
+		}
+	}
+	consider(h.l1i, 0)
+	consider(h.l1d, 0)
+	consider(h.l2, lead1)
+	consider(h.l3, lead2)
+	return best, ok
 }
 
 // DemandLoadWouldMissLLC reports whether a load of addr would miss every

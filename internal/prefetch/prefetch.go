@@ -226,13 +226,17 @@ func (r *reqQueue) push(addr uint64) {
 	r.q = append(r.q, addr)
 }
 
-// Requests returns the queued requests and empties the queue.
+// Requests returns the queued requests and empties the queue. The
+// returned slice aliases the queue's reusable buffer: it is valid until
+// the next Observe call, which is exactly the hierarchy's drain pattern
+// (drain fully, then resume observing) — so steady-state draining never
+// allocates.
 func (r *reqQueue) Requests() []uint64 {
 	if len(r.q) == 0 {
 		return nil
 	}
 	out := r.q
-	r.q = nil
+	r.q = r.q[:0]
 	return out
 }
 

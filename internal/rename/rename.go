@@ -104,6 +104,11 @@ type Renamer struct {
 	allocGen []uint32
 	curGen   uint32
 
+	// inUseScratch is RestoreFull's per-call workspace (which pregs the
+	// checkpoint RAT references), kept here so the per-episode exit path
+	// does not allocate.
+	inUseScratch []bool
+
 	stats Stats
 }
 
@@ -115,10 +120,11 @@ func New(cfg Config) *Renamer {
 	}
 	total := 1 + cfg.IntPRF + cfg.FPPRF // preg 0 unused
 	r := &Renamer{
-		cfg:      cfg,
-		ready:    make([]bool, total),
-		poison:   make([]bool, total),
-		allocGen: make([]uint32, total),
+		cfg:          cfg,
+		ready:        make([]bool, total),
+		poison:       make([]bool, total),
+		allocGen:     make([]uint32, total),
+		inUseScratch: make([]bool, total),
 	}
 	// Int pregs: [1, IntPRF]; FP pregs: [IntPRF+1, IntPRF+FPPRF].
 	next := PReg(1)
@@ -304,13 +310,19 @@ func (r *Renamer) IsRunaheadAlloc(p PReg) bool {
 // CheckpointSpec snapshots the speculative RAT, its PC extension and the
 // free lists — PRE's entry checkpoint (Section 3.1).
 func (r *Renamer) CheckpointSpec() *Checkpoint {
-	cp := &Checkpoint{
-		rat:     r.rat,
-		ratPC:   r.ratPC,
-		intFree: append([]PReg(nil), r.intFree...),
-		fpFree:  append([]PReg(nil), r.fpFree...),
-	}
+	cp := &Checkpoint{}
+	r.CheckpointSpecInto(cp)
 	return cp
+}
+
+// CheckpointSpecInto writes the Section 3.1 entry checkpoint into cp,
+// reusing its free-list buffers. PRE enters runahead on every long-latency
+// stall, so this path must not allocate.
+func (r *Renamer) CheckpointSpecInto(cp *Checkpoint) {
+	cp.rat = r.rat
+	cp.ratPC = r.ratPC
+	cp.intFree = append(cp.intFree[:0], r.intFree...)
+	cp.fpFree = append(cp.fpFree[:0], r.fpFree...)
 }
 
 // RestoreSpec restores a CheckpointSpec: the RAT and the free lists return
@@ -329,7 +341,18 @@ func (r *Renamer) RestoreSpec(cp *Checkpoint) {
 // CheckpointCommitted snapshots the committed RAT — traditional runahead's
 // entry checkpoint (the architectural state at the stalling load).
 func (r *Renamer) CheckpointCommitted() *Checkpoint {
-	return &Checkpoint{rat: r.committed, ratPC: r.ratPC}
+	cp := &Checkpoint{}
+	r.CheckpointCommittedInto(cp)
+	return cp
+}
+
+// CheckpointCommittedInto writes the committed-RAT checkpoint into cp —
+// the allocation-free variant used on every RA/RA-buffer entry.
+func (r *Renamer) CheckpointCommittedInto(cp *Checkpoint) {
+	cp.rat = r.committed
+	cp.ratPC = r.ratPC
+	cp.intFree = cp.intFree[:0]
+	cp.fpFree = cp.fpFree[:0]
 }
 
 // RestoreFull rebuilds the whole rename state from a committed-state
@@ -341,7 +364,10 @@ func (r *Renamer) RestoreFull(cp *Checkpoint) {
 	r.rat = cp.rat
 	r.ratPC = cp.ratPC
 	r.committed = cp.rat
-	inUse := make(map[PReg]bool, uarch.NumArchRegs)
+	inUse := r.inUseScratch
+	for i := range inUse {
+		inUse[i] = false
+	}
 	for a := uarch.Reg(0); a < uarch.RegLimit; a++ {
 		if p := cp.rat[a]; p != PRegNone {
 			inUse[p] = true
@@ -376,15 +402,21 @@ type FullSnapshot struct {
 
 // TakeFullSnapshot deep-copies the renamer state.
 func (r *Renamer) TakeFullSnapshot() *FullSnapshot {
-	return &FullSnapshot{
-		rat:       r.rat,
-		ratPC:     r.ratPC,
-		committed: r.committed,
-		intFree:   append([]PReg(nil), r.intFree...),
-		fpFree:    append([]PReg(nil), r.fpFree...),
-		ready:     append([]bool(nil), r.ready...),
-		poison:    append([]bool(nil), r.poison...),
-	}
+	s := &FullSnapshot{}
+	r.TakeFullSnapshotInto(s)
+	return s
+}
+
+// TakeFullSnapshotInto deep-copies the renamer state into s, reusing its
+// buffers — the allocation-free variant for per-episode snapshots.
+func (r *Renamer) TakeFullSnapshotInto(s *FullSnapshot) {
+	s.rat = r.rat
+	s.ratPC = r.ratPC
+	s.committed = r.committed
+	s.intFree = append(s.intFree[:0], r.intFree...)
+	s.fpFree = append(s.fpFree[:0], r.fpFree...)
+	s.ready = append(s.ready[:0], r.ready...)
+	s.poison = append(s.poison[:0], r.poison...)
 }
 
 // RestoreFullSnapshot restores a TakeFullSnapshot copy.

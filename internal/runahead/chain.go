@@ -27,6 +27,25 @@ func ExtractChain(window []uarch.Uop, stallPC uint64, maxLen int) []uarch.Uop {
 // producer or by recognizing a looped instance of a µop already in the
 // chain.
 func ExtractChainCost(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.Uop, int) {
+	var x ChainExtractor
+	return x.Extract(window, stallPC, maxLen)
+}
+
+// ChainExtractor runs the backward dataflow walk with reusable scratch
+// state, so a long simulation extracts one chain per runahead entry
+// without allocating. The zero value is ready to use; Extract's returned
+// chain aliases internal storage and is valid until the next Extract call.
+type ChainExtractor struct {
+	needReg  [uarch.RegLimit]bool
+	needList []uarch.Reg // registers currently set in needReg
+	forced   []bool      // per-window-index: store must join the chain
+	picked   []int
+	pickedPC map[uint64]struct{}
+	chain    []uarch.Uop
+}
+
+// Extract is ExtractChainCost over the extractor's reusable buffers.
+func (x *ChainExtractor) Extract(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.Uop, int) {
 	// Find the youngest instance of the stalling load, scanning from the
 	// tail as the hardware does.
 	start := -1
@@ -40,6 +59,38 @@ func ExtractChainCost(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.U
 	}
 	if start < 0 {
 		return nil, visited
+	}
+
+	// Reset scratch state from the previous extraction.
+	for _, r := range x.needList {
+		x.needReg[r] = false
+	}
+	x.needList = x.needList[:0]
+	if cap(x.forced) < len(window) {
+		x.forced = make([]bool, len(window))
+	}
+	x.forced = x.forced[:len(window)]
+	for i := range x.forced {
+		x.forced[i] = false
+	}
+	x.picked = x.picked[:0]
+	if x.pickedPC == nil {
+		x.pickedPC = make(map[uint64]struct{})
+	} else {
+		clear(x.pickedPC)
+	}
+
+	needCount := 0
+	need := func(r uarch.Reg) {
+		if r != uarch.RegNone && !x.needReg[r] {
+			x.needReg[r] = true
+			x.needList = append(x.needList, r)
+			needCount++
+		}
+	}
+	add := func(u *uarch.Uop) {
+		need(u.Src1)
+		need(u.Src2)
 	}
 
 	// Store-queue CAM: for a chain load, the youngest older store with a
@@ -57,56 +108,47 @@ func ExtractChainCost(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.U
 		return -1
 	}
 
-	needReg := map[uarch.Reg]bool{}
-	forced := map[int]bool{} // store indices that must join the chain
 	pendingStores := 0
-	add := func(u *uarch.Uop) {
-		if u.Src1 != uarch.RegNone {
-			needReg[u.Src1] = true
-		}
-		if u.Src2 != uarch.RegNone {
-			needReg[u.Src2] = true
-		}
-	}
 	onLoadPicked := func(idx int) {
-		if j := forwardingStore(idx); j >= 0 && !forced[j] {
-			forced[j] = true
+		if j := forwardingStore(idx); j >= 0 && !x.forced[j] {
+			x.forced[j] = true
 			pendingStores++
 		}
 	}
 
-	picked := []int{start}
-	pickedPC := map[uint64]bool{stallPC: true}
+	x.picked = append(x.picked, start)
+	x.pickedPC[stallPC] = struct{}{}
 	add(&window[start])
 	onLoadPicked(start)
 
-	for i := start - 1; i >= 0 && len(picked) < maxLen; i-- {
-		if len(needReg) == 0 && pendingStores == 0 {
+	for i := start - 1; i >= 0 && len(x.picked) < maxLen; i-- {
+		if needCount == 0 && pendingStores == 0 {
 			break // every dependence resolved; the hardware walk stops here
 		}
 		visited++
 		u := &window[i]
 		take := false
-		if u.HasDst() && needReg[u.Dst] {
+		if u.HasDst() && x.needReg[u.Dst] {
 			take = true
-			delete(needReg, u.Dst)
+			x.needReg[u.Dst] = false
+			needCount--
 		}
-		if forced[i] {
+		if x.forced[i] {
 			take = true
 			pendingStores--
 		}
 		if !take {
 			continue
 		}
-		if pickedPC[u.PC] {
+		if _, dup := x.pickedPC[u.PC]; dup {
 			// An older dynamic instance of a µop already in the chain
 			// (e.g. the i += 1 recurrence): the buffered chain holds one
 			// static copy and replays it in a loop, so the dependence is
 			// satisfied without storing the instance again.
 			continue
 		}
-		pickedPC[u.PC] = true
-		picked = append(picked, i)
+		x.pickedPC[u.PC] = struct{}{}
+		x.picked = append(x.picked, i)
 		add(u)
 		if u.IsLoad() {
 			// Register backtracking stops at loads; memory dependences
@@ -115,12 +157,12 @@ func ExtractChainCost(window []uarch.Uop, stallPC uint64, maxLen int) ([]uarch.U
 		}
 	}
 
-	// Reverse into program order and copy out.
-	chain := make([]uarch.Uop, 0, len(picked))
-	for i := len(picked) - 1; i >= 0; i-- {
-		chain = append(chain, window[picked[i]])
+	// Reverse into program order into the reusable chain buffer.
+	x.chain = x.chain[:0]
+	for i := len(x.picked) - 1; i >= 0; i-- {
+		x.chain = append(x.chain, window[x.picked[i]])
 	}
-	return chain, visited
+	return x.chain, visited
 }
 
 // ChainHasLeadingDependence reports whether any non-terminal load in the

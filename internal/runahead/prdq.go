@@ -81,18 +81,19 @@ func (q *PRDQ) Alloc(old rename.PReg) (ticket int64, ok bool) {
 
 // MarkExecuted sets the executed bit for the entry with the given ticket.
 // Marking an already-drained ticket is a no-op (the µop completed after a
-// runahead exit cleared the queue).
+// runahead exit cleared the queue). Tickets are allocated consecutively
+// and the queue drains in order, so the live entries always hold a
+// contiguous ticket range — the entry's position is its ticket's offset
+// from the head ticket, making this O(1).
 func (q *PRDQ) MarkExecuted(ticket int64) {
-	for i := 0; i < q.size; i++ {
-		e := &q.entries[(q.head+i)%len(q.entries)]
-		if e.ticket == ticket {
-			e.executed = true
-			return
-		}
-		if e.ticket > ticket {
-			return
-		}
+	if q.size == 0 {
+		return
 	}
+	idx := ticket - q.entries[q.head].ticket
+	if idx < 0 || idx >= int64(q.size) {
+		return
+	}
+	q.entries[(q.head+int(idx))%len(q.entries)].executed = true
 }
 
 // Drain pops executed entries from the head, in order, returning the

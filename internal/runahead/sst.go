@@ -8,7 +8,10 @@
 // controllers in internal/core drive them.
 package runahead
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // SSTStats counts SST activity for the energy model and Section 3.6
 // accounting.
@@ -23,34 +26,59 @@ type SSTStats struct {
 // of instruction addresses (PCs) known to belong to a stalling slice
 // (Section 3.2). A hit means "this µop feeds a long-latency load; execute
 // it in runahead mode".
+//
+// The table is probed for every decoded µop — in normal mode and (at up
+// to RunaheadWidth per cycle) during PRE runahead — so it is implemented
+// as an open-addressed hash table over a preallocated node arena rather
+// than a Go map: no hashing allocation, no pointer chasing, and all
+// storage fixed at construction.
 type SST struct {
 	capacity int
-	// LRU bookkeeping: map PC -> node index in a doubly-linked list
-	// threaded through nodes, most-recent at head.
-	nodes map[uint64]*sstNode
-	head  *sstNode // most recently used
-	tail  *sstNode // least recently used
+
+	// tbl maps hash slots to arena indices + 1 (0 = empty); linear
+	// probing with backward-shift deletion keeps probe chains compact.
+	tbl  []int32
+	mask uint64
+
+	// nodes is the LRU list arena; used nodes form a doubly-linked list
+	// via prev/next indices, most-recent at head. -1 terminates.
+	nodes      []sstNode
+	used       int
+	head, tail int32
+
 	stats SSTStats
 }
 
 type sstNode struct {
 	pc         uint64
-	prev, next *sstNode
+	prev, next int32
 }
+
+const sstNil = int32(-1)
 
 // NewSST builds an SST with the given entry capacity (Table 1: 256).
 func NewSST(capacity int) *SST {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("runahead: SST capacity %d must be positive", capacity))
 	}
-	return &SST{capacity: capacity, nodes: make(map[uint64]*sstNode, capacity)}
+	// 4x slots keeps the linear-probe load factor at 25%.
+	slots := 1 << bits.Len(uint(capacity*4-1))
+	s := &SST{
+		capacity: capacity,
+		tbl:      make([]int32, slots),
+		mask:     uint64(slots - 1),
+		nodes:    make([]sstNode, capacity),
+		head:     sstNil,
+		tail:     sstNil,
+	}
+	return s
 }
 
 // Capacity returns the configured entry count.
 func (s *SST) Capacity() int { return s.capacity }
 
 // Len returns the number of live entries.
-func (s *SST) Len() int { return len(s.nodes) }
+func (s *SST) Len() int { return s.used }
 
 // Stats returns a copy of the counters.
 func (s *SST) Stats() SSTStats { return s.stats }
@@ -58,74 +86,138 @@ func (s *SST) Stats() SSTStats { return s.stats }
 // ResetStats zeroes the counters.
 func (s *SST) ResetStats() { s.stats = SSTStats{} }
 
+// AddStats accumulates d into the counters — the cycle skipper's bulk
+// accounting hook for skipped steady retry cycles (which re-probe the
+// SST every cycle).
+func (s *SST) AddStats(d SSTStats) {
+	s.stats.Lookups += d.Lookups
+	s.stats.Hits += d.Hits
+	s.stats.Inserts += d.Inserts
+	s.stats.Evicts += d.Evicts
+}
+
 // StorageBytes returns the SST's hardware cost with 4-byte tags
 // (Section 3.6: 256 entries -> 1 KB).
 func (s *SST) StorageBytes() int { return s.capacity * 4 }
 
-func (s *SST) unlink(n *sstNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (s *SST) slotOf(pc uint64) uint64 {
+	return (pc * 0x9e3779b97f4a7c15) >> 32 & s.mask
+}
+
+// find returns the arena index of pc's node, or sstNil.
+func (s *SST) find(pc uint64) int32 {
+	for slot := s.slotOf(pc); ; slot = (slot + 1) & s.mask {
+		n := s.tbl[slot]
+		if n == 0 {
+			return sstNil
+		}
+		if s.nodes[n-1].pc == pc {
+			return n - 1
+		}
+	}
+}
+
+// delete removes pc from the hash table, then re-homes the contiguous
+// occupied run that followed it so no probe chain is broken. Deletion
+// only happens on LRU eviction, which is rare relative to lookups.
+func (s *SST) delete(pc uint64) {
+	slot := s.slotOf(pc)
+	for s.tbl[slot] == 0 || s.nodes[s.tbl[slot]-1].pc != pc {
+		slot = (slot + 1) & s.mask
+	}
+	s.tbl[slot] = 0
+	s.reinsertCluster((slot + 1) & s.mask)
+}
+
+// reinsertCluster re-homes the contiguous occupied run starting at slot
+// (after a deletion opened a gap before it).
+func (s *SST) reinsertCluster(slot uint64) {
+	for ; s.tbl[slot] != 0; slot = (slot + 1) & s.mask {
+		n := s.tbl[slot]
+		s.tbl[slot] = 0
+		s.place(n)
+	}
+}
+
+// place inserts an arena index (+1) at its pc's probe position.
+func (s *SST) place(n int32) {
+	slot := s.slotOf(s.nodes[n-1].pc)
+	for s.tbl[slot] != 0 {
+		slot = (slot + 1) & s.mask
+	}
+	s.tbl[slot] = n
+}
+
+func (s *SST) unlink(i int32) {
+	n := &s.nodes[i]
+	if n.prev != sstNil {
+		s.nodes[n.prev].next = n.next
 	} else {
 		s.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != sstNil {
+		s.nodes[n.next].prev = n.prev
 	} else {
 		s.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = sstNil, sstNil
 }
 
-func (s *SST) pushFront(n *sstNode) {
+func (s *SST) pushFront(i int32) {
+	n := &s.nodes[i]
+	n.prev = sstNil
 	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
+	if s.head != sstNil {
+		s.nodes[s.head].prev = i
 	}
-	s.head = n
-	if s.tail == nil {
-		s.tail = n
+	s.head = i
+	if s.tail == sstNil {
+		s.tail = i
 	}
 }
 
 // Lookup probes for pc, refreshing its LRU position on a hit.
 func (s *SST) Lookup(pc uint64) bool {
 	s.stats.Lookups++
-	n, ok := s.nodes[pc]
-	if !ok {
+	i := s.find(pc)
+	if i == sstNil {
 		return false
 	}
 	s.stats.Hits++
-	if s.head != n {
-		s.unlink(n)
-		s.pushFront(n)
+	if s.head != i {
+		s.unlink(i)
+		s.pushFront(i)
 	}
 	return true
 }
 
 // Contains probes without touching LRU or statistics (tests, reports).
-func (s *SST) Contains(pc uint64) bool {
-	_, ok := s.nodes[pc]
-	return ok
-}
+func (s *SST) Contains(pc uint64) bool { return s.find(pc) != sstNil }
 
 // Insert adds pc (refreshing it if already present), evicting the LRU
 // entry when full.
 func (s *SST) Insert(pc uint64) {
-	if n, ok := s.nodes[pc]; ok {
-		if s.head != n {
-			s.unlink(n)
-			s.pushFront(n)
+	if i := s.find(pc); i != sstNil {
+		if s.head != i {
+			s.unlink(i)
+			s.pushFront(i)
 		}
 		return
 	}
-	if len(s.nodes) >= s.capacity {
-		victim := s.tail
-		s.unlink(victim)
-		delete(s.nodes, victim.pc)
+	var i int32
+	if s.used >= s.capacity {
+		// Recycle the evicted LRU node: a full table (the steady state of
+		// any long run) inserts without allocating.
+		i = s.tail
+		s.unlink(i)
+		s.delete(s.nodes[i].pc)
 		s.stats.Evicts++
+	} else {
+		i = int32(s.used)
+		s.used++
 	}
-	n := &sstNode{pc: pc}
-	s.nodes[pc] = n
-	s.pushFront(n)
+	s.nodes[i].pc = pc
+	s.place(i + 1)
+	s.pushFront(i)
 	s.stats.Inserts++
 }

@@ -28,6 +28,11 @@ type Options struct {
 	Configure func(*core.Config)
 	// Energy overrides the energy parameters (Default22nm otherwise).
 	Energy *energy.Params
+	// DisableCycleSkip runs every simulated cycle individually instead of
+	// letting the core skip provably idle spans. Results are byte-identical
+	// either way (the differential tests pin this); the knob exists for
+	// those tests and for debugging, at a large wall-clock cost.
+	DisableCycleSkip bool
 }
 
 // DefaultOptions returns the standard harness window.
@@ -109,6 +114,7 @@ func Run(w workload.Workload, mode core.Mode, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	c.DisableCycleSkip = opt.DisableCycleSkip
 	if opt.WarmupUops > 0 {
 		c.Run(opt.WarmupUops)
 	}

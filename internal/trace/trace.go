@@ -26,7 +26,10 @@ import (
 type Generator interface {
 	// Name identifies the workload (for reports).
 	Name() string
-	// Next writes the next µop of the stream into u.
+	// Next writes the next µop of the stream into u. It must fully
+	// overwrite *u (assign a complete Uop value, as the archetype
+	// generators do): the Stream does not zero the buffer slot between
+	// generations, so leftover fields from a recycled µop would leak.
 	Next(u *uarch.Uop)
 }
 
@@ -51,8 +54,17 @@ func (s *Stream) Name() string { return s.gen.Name() }
 
 // At returns the µop with the given sequence number, generating forward as
 // needed. seq must be at or after the current window start; asking for a
-// released µop is a programming error and panics.
+// released µop is a programming error and panics. The already-generated
+// case is kept small enough to inline — At is on the fetch, dispatch and
+// runahead-scan hot paths, several calls per simulated µop.
 func (s *Stream) At(seq int64) *uarch.Uop {
+	if seq >= s.start && seq < s.next {
+		return &s.buf[seq&s.mask]
+	}
+	return s.atSlow(seq)
+}
+
+func (s *Stream) atSlow(seq int64) *uarch.Uop {
 	if seq < s.start {
 		panic(fmt.Sprintf("trace: seq %d already released (window starts at %d)", seq, s.start))
 	}
@@ -61,8 +73,7 @@ func (s *Stream) At(seq int64) *uarch.Uop {
 			s.grow()
 		}
 		u := &s.buf[s.next&s.mask]
-		*u = uarch.Uop{}
-		s.gen.Next(u)
+		s.gen.Next(u) // contract: Next fully overwrites *u
 		u.Seq = s.next
 		s.next++
 	}

@@ -13,9 +13,13 @@ type countGen struct{ n uint64 }
 
 func (g *countGen) Name() string { return "count" }
 func (g *countGen) Next(u *uarch.Uop) {
-	u.Class = uarch.ClassIntAlu
-	u.PC = 0x400000 + (g.n%7)*4 // 7 static PCs cycling
-	u.Addr = g.n
+	// Per the Generator contract, fully overwrite *u (the Stream does not
+	// zero recycled ring slots).
+	*u = uarch.Uop{
+		Class: uarch.ClassIntAlu,
+		PC:    0x400000 + (g.n%7)*4, // 7 static PCs cycling
+		Addr:  g.n,
+	}
 	g.n++
 }
 
