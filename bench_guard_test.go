@@ -1,0 +1,77 @@
+// Coarse wall-clock regression guard: the quickstart sweep must stay
+// within 3x of the recorded BENCH_0.json trajectory point. This is
+// deliberately perf-lab-free — CI runners are noisy, so the threshold
+// only catches order-of-magnitude regressions (a hot-path structure
+// quietly degenerating to O(n), skipping turned off by accident); real
+// measurements belong in BENCH_<n>.json points recorded on a quiet host.
+//
+// Gated behind BENCH_GUARD=1 so ordinary `go test ./...` runs — and
+// laptops under load — never flake on it.
+package presim_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	presim "repro"
+)
+
+// benchGuardFactor is the allowed wall-clock multiple over the recorded
+// point before the guard fails.
+const benchGuardFactor = 3
+
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the wall-clock regression guard")
+	}
+	raw, err := os.ReadFile("BENCH_0.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		QuickstartSweep struct {
+			CurrentMS float64 `json:"current_ms"`
+		} `json:"quickstart_sweep"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.QuickstartSweep.CurrentMS <= 0 {
+		t.Fatal("BENCH_0.json has no quickstart_sweep.current_ms point")
+	}
+
+	// The BenchmarkQuickstartSweep scenario, timed directly: libquantum
+	// under OoO and PRE, 50k warmup + 200k measured µops, fresh machines.
+	w, err := presim.WorkloadByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := presim.DefaultOptions()
+	opt.MeasureUops = 200_000
+
+	// Best of three damps scheduler noise; the guard only needs to see
+	// that the machine CAN still run the sweep near the recorded speed.
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := presim.Run(w, presim.ModeOoO, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := presim.Run(w, presim.ModePRE, opt); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+
+	limit := time.Duration(benchGuardFactor * rec.QuickstartSweep.CurrentMS * float64(time.Millisecond))
+	t.Logf("quickstart sweep: best of 3 = %v (recorded %.1fms, limit %v)",
+		best, rec.QuickstartSweep.CurrentMS, limit)
+	if best > limit {
+		t.Errorf("quickstart sweep took %v, over %dx the recorded %.1fms point: hot-path regression",
+			best, benchGuardFactor, rec.QuickstartSweep.CurrentMS)
+	}
+}

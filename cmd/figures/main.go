@@ -11,6 +11,11 @@
 //
 // The pf artifact is the PRE-vs-prefetch-vs-combined grid: every
 // mechanism crossed with the standard hardware-prefetcher variants.
+//
+// The synth artifact is the population-robustness grid: -seeds scenarios
+// sampled from the default synth space (date-pinned base seed), every
+// mechanism per scenario, summarized as per-seed speedup distributions —
+// the "does the paper's conclusion survive scenario diversity?" figure.
 package main
 
 import (
@@ -25,12 +30,13 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9, pf")
+	only := flag.String("only", "", "emit a single artifact: table1, fig2, fig3, e4, e5, e6, e7, e8, e9, pf, synth")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
 	jsonDir := flag.String("json", "", "directory to also write the full results JSON into")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 300_000, "measured µops per run")
 	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
+	seeds := flag.Int("seeds", 16, "population size for the synth artifact")
 	flag.Parse()
 
 	opt := presim.DefaultOptions()
@@ -122,9 +128,50 @@ func main() {
 		emit("pf_grid", grid)
 		emit("pf_detail", detail)
 	}
+	if want("synth") {
+		t, err := synthTable(opt, *workers, *jsonDir, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("synth_population", t)
+	}
 	if *only == "" {
 		emit("runahead_detail", presim.RunaheadDetailTable(results, modes))
 	}
+}
+
+// synthTable runs the population sweep: every mechanism over a seeded
+// scenario population, rendered as the per-seed speedup-distribution grid
+// (min / median / geomean, worst seed). The -json artifact records each
+// scenario's sampled parameters for artifact-only reproduction.
+func synthTable(opt presim.Options, workers int, jsonDir string, seeds int) (*presim.Table, error) {
+	m := exp.Matrix{
+		Name:  "synth_population",
+		Modes: presim.Modes(),
+		Population: &exp.Population{
+			Space: presim.DefaultSynthSpace(), Count: seeds,
+		},
+		Options: opt,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	set, err := plan.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		if err := set.WriteFile(jsonDir, "synth_population"); err != nil {
+			return nil, err
+		}
+	}
+	points := plan.Points()
+	stats := make([][]presim.PopulationStat, len(points))
+	for pi := range points {
+		stats[pi] = set.PopulationStats(pi)
+	}
+	return presim.PopulationGridTable(points, stats), nil
 }
 
 // pfTables runs the PF-augmented grid (every mechanism x every hardware-

@@ -5,6 +5,7 @@
 //	sweep -rathreshold   # A3: RA short-interval filter threshold
 //	sweep -mshr          # extra: memory-level-parallelism budget
 //	sweep -pf            # PF grid: every mechanism x every prefetcher variant
+//	sweep -synth         # population sweep: -seeds sampled scenarios
 //
 // Each sweep reports the geometric-mean speedup over the OoO baseline
 // across the whole suite for each parameter value. The -pf grid is the
@@ -12,6 +13,14 @@
 // PRE+EMQ} x {no-pf, stride, best-offset, stride+bo} over the
 // 13-workload suite, with per-run prefetch accuracy/coverage/timeliness
 // in the results JSON.
+//
+// The -synth sweep replaces the fixed suite with a seeded scenario
+// population (internal/workload/synth): -seeds scenarios sampled from the
+// default space (base seed -synthseed, default date-pinned), every
+// mechanism per scenario, reported as per-seed speedup distributions
+// (min/median/geomean + worst seed). The results JSON records each
+// scenario's sampled parameters, so any seed is reproducible from the
+// artifact alone.
 //
 // The command is a thin frontend over the parallel experiment
 // orchestrator (internal/exp): each sweep becomes one exp.Matrix whose
@@ -42,6 +51,9 @@ func main() {
 	doRAT := flag.Bool("rathreshold", false, "sweep RA short-interval filter")
 	doMSHR := flag.Bool("mshr", false, "sweep L1D MSHR count (PRE)")
 	doPF := flag.Bool("pf", false, "run the mechanism x hardware-prefetcher grid")
+	doSynth := flag.Bool("synth", false, "run a seeded scenario-population sweep")
+	seeds := flag.Int("seeds", 20, "population size for -synth")
+	synthSeed := flag.Uint64("synthseed", 0, "population base seed for -synth (0 = date-pinned default)")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 200_000, "measured µops per run")
 	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
@@ -128,8 +140,16 @@ func main() {
 		}
 		s.sweepPF()
 	}
+	if *doSynth {
+		any = true
+		if *serial {
+			fmt.Fprintln(os.Stderr, "sweep: -synth is orchestrator-only; drop -serial")
+			os.Exit(2)
+		}
+		s.sweepSynth(*seeds, *synthSeed)
+	}
 	if !any {
-		fmt.Fprintln(os.Stderr, "sweep: pass at least one of -sst, -emq, -rathreshold, -mshr, -pf")
+		fmt.Fprintln(os.Stderr, "sweep: pass at least one of -sst, -emq, -rathreshold, -mshr, -pf, -synth")
 		os.Exit(2)
 	}
 }
@@ -252,6 +272,48 @@ func (s sweeper) sweepPF() {
 		if err := set.WriteFile(s.jsonDir, "pf_grid"); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// sweepSynth runs the population sweep: count seeded scenarios sampled
+// from the default synth space, crossed with every mechanism, summarized
+// as per-seed speedup distributions. The -json artifact records every
+// scenario's sampled parameters (schema v3 "synth" cell field).
+func (s sweeper) sweepSynth(count int, baseSeed uint64) {
+	fmt.Printf("Synth population: %d seeded scenarios x all mechanisms (speedup over OoO)\n", count)
+	start := time.Now()
+	m := exp.Matrix{
+		Name:  "synth_population",
+		Modes: presim.Modes(),
+		Population: &exp.Population{
+			Space: presim.DefaultSynthSpace(), Count: count, BaseSeed: baseSeed,
+		},
+		Options: s.opt,
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	set, err := plan.Run(s.workers)
+	if err != nil {
+		fatal(err)
+	}
+	points := plan.Points()
+	stats := make([][]presim.PopulationStat, len(points))
+	for pi := range points {
+		stats[pi] = set.PopulationStats(pi)
+	}
+	presim.PopulationGridTable(points, stats).Write(os.Stdout)
+	if s.timing {
+		meta := set.Meta()
+		fmt.Printf("  (wall-clock %.2fs, %d workers, %d unique runs)\n",
+			time.Since(start).Seconds(), meta.EffectiveWorkers, meta.UniqueRuns)
+	}
+	if s.jsonDir != "" {
+		if err := set.WriteFile(s.jsonDir, "synth_population"); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  (per-seed parameters recorded in %s/synth_population.json cells[].synth)\n", s.jsonDir)
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/prefetch"
+	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/internal/workload/synth"
 )
 
 // skipTestCases pairs each mechanism with a memory-bound workload whose
@@ -39,7 +41,6 @@ var skipTestCases = []struct {
 // (pipeline, caches, DRAM, front end, runahead structures, rename) must
 // be identical.
 func TestCycleSkipLockstep(t *testing.T) {
-	const commits = 25_000
 	for _, tc := range skipTestCases {
 		tc := tc
 		name := tc.wl + "/" + tc.mode.String()
@@ -60,103 +61,129 @@ func TestCycleSkipLockstep(t *testing.T) {
 				}
 				cfg.ApplyPrefetch(v)
 			}
-
-			ref, _ := New(cfg, w.New())
-			ref.DisableCycleSkip = true
-			type cyc struct{ progressed, retry bool }
-			rec := map[int64]cyc{}
-			for ref.stats.Committed < commits+1000 {
-				ref.Step()
-				rec[ref.now-1] = cyc{ref.progressed, ref.retryBlocked}
-			}
-
-			c, _ := New(cfg, w.New())
-			var pre, post, prevDelta retrySnap
-			fpArmed, prevValid := false, false
-			check := func(from, to int64, kind string) {
-				for t2 := from; t2 < to; t2++ {
-					if r, ok := rec[t2]; ok && (r.progressed || r.retry) {
-						t.Fatalf("%s-skipped span [%d,%d) covers active cycle %d (progressed=%v retry=%v): missing wake-up source",
-							kind, from, to, t2, r.progressed, r.retry)
-					}
-				}
-			}
-			// Mirror Run's skip loop so each span can be validated.
-			for c.stats.Committed < commits {
-				if fpArmed {
-					c.captureRetry(&pre)
-				}
-				c.Step()
-				switch {
-				case c.progressed:
-					fpArmed, prevValid = false, false
-				case !c.retryBlocked:
-					from := c.now
-					c.skipAhead()
-					check(from, c.now, "inert")
-					fpArmed, prevValid = false, false
-				case fpArmed:
-					c.captureRetry(&post)
-					delta := post.sub(&pre)
-					if prevValid && delta == prevDelta && delta.replicable() {
-						from := c.now
-						if c.retrySkip(&delta) {
-							fpArmed, prevValid = false, false
-						}
-						// Retry-skipped cycles must all have been retry
-						// cycles in the reference (not progress).
-						for t2 := from; t2 < c.now; t2++ {
-							if r, ok := rec[t2]; ok && r.progressed {
-								t.Fatalf("retry-skipped span [%d,%d) covers progress cycle %d", from, c.now, t2)
-							}
-						}
-					} else {
-						prevDelta, prevValid = delta, true
-					}
-				default:
-					fpArmed = true
-				}
-			}
-			if c.stats.SkippedAhead == 0 {
-				t.Error("cycle skipping never engaged on a memory-bound workload")
-			}
-
-			// Drive the reference to the same committed count, then compare
-			// every statistic the simulator reports.
-			refC, _ := New(cfg, w.New())
-			refC.DisableCycleSkip = true
-			refC.Run(c.stats.Committed)
-
-			skipped := c.stats.SkippedAhead
-			c.stats.SkippedAhead = 0 // the only counter allowed to differ
-			if !reflect.DeepEqual(*refC.stats, *c.stats) {
-				t.Errorf("core stats diverge:\n  ref:  %+v\n  skip: %+v", *refC.stats, *c.stats)
-			}
-			c.stats.SkippedAhead = skipped
-			if refC.now != c.now {
-				t.Errorf("cycle count diverges: ref %d, skip %d", refC.now, c.now)
-			}
-			type pair struct {
-				name      string
-				ref, skip interface{}
-			}
-			for _, p := range []pair{
-				{"L1I", refC.hier.L1I().Stats(), c.hier.L1I().Stats()},
-				{"L1D", refC.hier.L1D().Stats(), c.hier.L1D().Stats()},
-				{"L2", refC.hier.L2().Stats(), c.hier.L2().Stats()},
-				{"L3", refC.hier.L3().Stats(), c.hier.L3().Stats()},
-				{"DRAM", refC.hier.DRAM().Stats(), c.hier.DRAM().Stats()},
-				{"fetch", refC.fetch.Stats(), c.fetch.Stats()},
-				{"SST", refC.sst.Stats(), c.sst.Stats()},
-				{"PRDQ", refC.prdq.Stats(), c.prdq.Stats()},
-				{"EMQ", refC.emq.Stats(), c.emq.Stats()},
-				{"rename", refC.ren.Stats(), c.ren.Stats()},
-			} {
-				if !reflect.DeepEqual(p.ref, p.skip) {
-					t.Errorf("%s stats diverge:\n  ref:  %+v\n  skip: %+v", p.name, p.ref, p.skip)
-				}
-			}
+			lockstepCompare(t, cfg, w.New)
 		})
+	}
+}
+
+// TestCycleSkipLockstepSynth extends the lockstep contract to the
+// stochastic scenario engine: a sampled multi-phase scenario (date-pinned
+// seed, the same population the CI scenario-fuzz gate draws from) must
+// skip without covering a single active reference cycle. Phase switches
+// are exactly the discontinuities a stale wake-up bound would mishandle.
+func TestCycleSkipLockstepSynth(t *testing.T) {
+	sc, err := synth.DefaultSpace().Sample(synth.NthSeed(synth.DefaultBaseSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeOoO, ModePRE} {
+		mode := mode
+		t.Run(sc.Name()+"/"+mode.String(), func(t *testing.T) {
+			t.Parallel()
+			lockstepCompare(t, Default(mode), sc.NewGenerator)
+		})
+	}
+}
+
+// lockstepCompare runs the reference (skip-disabled) core cycle by cycle,
+// then validates every span a skipping core jumps over, and finally
+// requires all reported statistics to be identical.
+func lockstepCompare(t *testing.T, cfg Config, newGen func() trace.Generator) {
+	const commits = 25_000
+	ref, _ := New(cfg, newGen())
+	ref.DisableCycleSkip = true
+	type cyc struct{ progressed, retry bool }
+	rec := map[int64]cyc{}
+	for ref.stats.Committed < commits+1000 {
+		ref.Step()
+		rec[ref.now-1] = cyc{ref.progressed, ref.retryBlocked}
+	}
+
+	c, _ := New(cfg, newGen())
+	var pre, post, prevDelta retrySnap
+	fpArmed, prevValid := false, false
+	check := func(from, to int64, kind string) {
+		for t2 := from; t2 < to; t2++ {
+			if r, ok := rec[t2]; ok && (r.progressed || r.retry) {
+				t.Fatalf("%s-skipped span [%d,%d) covers active cycle %d (progressed=%v retry=%v): missing wake-up source",
+					kind, from, to, t2, r.progressed, r.retry)
+			}
+		}
+	}
+	// Mirror Run's skip loop so each span can be validated.
+	for c.stats.Committed < commits {
+		if fpArmed {
+			c.captureRetry(&pre)
+		}
+		c.Step()
+		switch {
+		case c.progressed:
+			fpArmed, prevValid = false, false
+		case !c.retryBlocked:
+			from := c.now
+			c.skipAhead()
+			check(from, c.now, "inert")
+			fpArmed, prevValid = false, false
+		case fpArmed:
+			c.captureRetry(&post)
+			delta := post.sub(&pre)
+			if prevValid && delta == prevDelta && delta.replicable() {
+				from := c.now
+				if c.retrySkip(&delta) {
+					fpArmed, prevValid = false, false
+				}
+				// Retry-skipped cycles must all have been retry
+				// cycles in the reference (not progress).
+				for t2 := from; t2 < c.now; t2++ {
+					if r, ok := rec[t2]; ok && r.progressed {
+						t.Fatalf("retry-skipped span [%d,%d) covers progress cycle %d", from, c.now, t2)
+					}
+				}
+			} else {
+				prevDelta, prevValid = delta, true
+			}
+		default:
+			fpArmed = true
+		}
+	}
+	if c.stats.SkippedAhead == 0 {
+		t.Error("cycle skipping never engaged on a memory-bound workload")
+	}
+
+	// Drive the reference to the same committed count, then compare
+	// every statistic the simulator reports.
+	refC, _ := New(cfg, newGen())
+	refC.DisableCycleSkip = true
+	refC.Run(c.stats.Committed)
+
+	skipped := c.stats.SkippedAhead
+	c.stats.SkippedAhead = 0 // the only counter allowed to differ
+	if !reflect.DeepEqual(*refC.stats, *c.stats) {
+		t.Errorf("core stats diverge:\n  ref:  %+v\n  skip: %+v", *refC.stats, *c.stats)
+	}
+	c.stats.SkippedAhead = skipped
+	if refC.now != c.now {
+		t.Errorf("cycle count diverges: ref %d, skip %d", refC.now, c.now)
+	}
+	type pair struct {
+		name      string
+		ref, skip interface{}
+	}
+	for _, p := range []pair{
+		{"L1I", refC.hier.L1I().Stats(), c.hier.L1I().Stats()},
+		{"L1D", refC.hier.L1D().Stats(), c.hier.L1D().Stats()},
+		{"L2", refC.hier.L2().Stats(), c.hier.L2().Stats()},
+		{"L3", refC.hier.L3().Stats(), c.hier.L3().Stats()},
+		{"DRAM", refC.hier.DRAM().Stats(), c.hier.DRAM().Stats()},
+		{"fetch", refC.fetch.Stats(), c.fetch.Stats()},
+		{"SST", refC.sst.Stats(), c.sst.Stats()},
+		{"PRDQ", refC.prdq.Stats(), c.prdq.Stats()},
+		{"EMQ", refC.emq.Stats(), c.emq.Stats()},
+		{"rename", refC.ren.Stats(), c.ren.Stats()},
+	} {
+		if !reflect.DeepEqual(p.ref, p.skip) {
+			t.Errorf("%s stats diverge:\n  ref:  %+v\n  skip: %+v", p.name, p.ref, p.skip)
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/internal/workload/synth"
 )
 
 // Point is one configuration point of a sweep: a named override applied
@@ -57,6 +58,10 @@ type Matrix struct {
 	// Points are the sweep's configuration points; empty means a single
 	// default point.
 	Points []Point
+	// Population, when non-nil, appends Count seeded synthetic scenarios
+	// sampled from Space to the workload axis — the stochastic complement
+	// to the fixed Workloads list (either may be empty, not both).
+	Population *Population
 	// Options sets the warmup/measurement window. Options.Configure, if
 	// non-nil, applies before each Point's Apply.
 	Options sim.Options
@@ -84,6 +89,13 @@ type uniqueRun struct {
 type Plan struct {
 	m      Matrix
 	points []Point
+	// workloads is the full workload axis: Matrix.Workloads plus the
+	// expanded Population scenarios.
+	workloads []workload.Workload
+	// synth holds the sampled scenario parameters per workload (nil for
+	// fixed workloads) — recorded per cell in the results document so any
+	// population run is reproducible from the artifact alone.
+	synth []*synth.Params
 	// cells maps cell index (point-major, then workload, then mode) to a
 	// unique-run index.
 	cells []int
@@ -93,9 +105,20 @@ type Plan struct {
 	unique []uniqueRun
 }
 
-// Expand validates the matrix and builds the deduplicated run plan.
+// Expand validates the matrix and builds the deduplicated run plan,
+// sampling the Population scenarios (if any) onto the workload axis.
 func (m Matrix) Expand() (*Plan, error) {
-	if len(m.Workloads) == 0 {
+	workloads := append([]workload.Workload(nil), m.Workloads...)
+	synthParams := make([]*synth.Params, len(workloads))
+	if m.Population != nil {
+		pws, pps, err := m.Population.expand()
+		if err != nil {
+			return nil, err
+		}
+		workloads = append(workloads, pws...)
+		synthParams = append(synthParams, pps...)
+	}
+	if len(workloads) == 0 {
 		return nil, fmt.Errorf("exp: matrix has no workloads")
 	}
 	if len(m.Modes) == 0 {
@@ -118,8 +141,8 @@ func (m Matrix) Expand() (*Plan, error) {
 		}
 		seenPoints[pt.Name] = true
 	}
-	seenWs := make(map[string]bool, len(m.Workloads))
-	for _, w := range m.Workloads {
+	seenWs := make(map[string]bool, len(workloads))
+	for _, w := range workloads {
 		if seenWs[w.Name] {
 			return nil, fmt.Errorf("exp: duplicate workload %q", w.Name)
 		}
@@ -127,10 +150,12 @@ func (m Matrix) Expand() (*Plan, error) {
 	}
 
 	p := &Plan{
-		m:      m,
-		points: points,
-		cells:  make([]int, 0, len(points)*len(m.Workloads)*len(m.Modes)),
-		base:   make([]int, 0, len(points)*len(m.Workloads)),
+		m:         m,
+		points:    points,
+		workloads: workloads,
+		synth:     synthParams,
+		cells:     make([]int, 0, len(points)*len(workloads)*len(m.Modes)),
+		base:      make([]int, 0, len(points)*len(workloads)),
 	}
 	index := make(map[string]int) // key -> unique index
 
@@ -147,9 +172,9 @@ func (m Matrix) Expand() (*Plan, error) {
 		cfg.Mode = mode
 		if err := cfg.Validate(); err != nil {
 			return 0, fmt.Errorf("exp: point %q, workload %q, mode %v: %w",
-				pt.Name, m.Workloads[wi].Name, mode, err)
+				pt.Name, p.workloads[wi].Name, mode, err)
 		}
-		key := runKey(m.Workloads[wi].Name, m.Options, cfg)
+		key := runKey(p.workloads[wi].Name, m.Options, cfg)
 		if ui, ok := index[key]; ok {
 			return ui, nil
 		}
@@ -168,7 +193,7 @@ func (m Matrix) Expand() (*Plan, error) {
 		}
 	}
 	for _, pt := range points {
-		for wi := range m.Workloads {
+		for wi := range p.workloads {
 			for _, mode := range m.Modes {
 				ui, err := intern(wi, mode, pt)
 				if err != nil {
@@ -208,6 +233,16 @@ func (p *Plan) Points() []string {
 	return names
 }
 
+// Workloads returns the plan's full workload axis — the matrix's fixed
+// workloads followed by the expanded population scenarios.
+func (p *Plan) Workloads() []workload.Workload {
+	return append([]workload.Workload(nil), p.workloads...)
+}
+
+// SynthParams returns the sampled scenario parameters of workload wi, or
+// nil for a fixed (non-population) workload.
+func (p *Plan) SynthParams(wi int) *synth.Params { return p.synth[wi] }
+
 // Seed returns the deterministic per-run seed of unique run ui. Seeds
 // derive from the run's identity, so they are stable across worker
 // counts, process runs, and plan rebuilds.
@@ -228,7 +263,7 @@ func (p *Plan) Run(workers int) (*Set, error) {
 		opt := p.m.Options
 		cfg := u.cfg
 		opt.Configure = func(c *core.Config) { *c = cfg }
-		res[i], errs[i] = sim.Run(p.m.Workloads[u.wi], u.mode, opt)
+		res[i], errs[i] = sim.Run(p.workloads[u.wi], u.mode, opt)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -264,7 +299,7 @@ func (s *Set) Plan() *Plan { return s.plan }
 
 // cellIndex flattens (point, workload, mode) indices.
 func (s *Set) cellIndex(pi, wi, mi int) int {
-	nw, nm := len(s.plan.m.Workloads), len(s.plan.m.Modes)
+	nw, nm := len(s.plan.workloads), len(s.plan.m.Modes)
 	return (pi*nw+wi)*nm + mi
 }
 
@@ -276,7 +311,7 @@ func (s *Set) Result(pi, wi, mi int) sim.Result {
 // Baseline returns the baseline run shared by (point, workload), and
 // whether one exists.
 func (s *Set) Baseline(pi, wi int) (sim.Result, bool) {
-	ui := s.plan.base[pi*len(s.plan.m.Workloads)+wi]
+	ui := s.plan.base[pi*len(s.plan.workloads)+wi]
 	if ui < 0 {
 		return sim.Result{}, false
 	}
@@ -301,8 +336,8 @@ func (s *Set) Speedup(pi, wi, mi int) float64 {
 func (s *Set) GeoMeanSpeedups(pi int) []float64 {
 	out := make([]float64, len(s.plan.m.Modes))
 	for mi := range s.plan.m.Modes {
-		xs := make([]float64, 0, len(s.plan.m.Workloads))
-		for wi := range s.plan.m.Workloads {
+		xs := make([]float64, 0, len(s.plan.workloads))
+		for wi := range s.plan.workloads {
 			if _, ok := s.Baseline(pi, wi); !ok {
 				continue
 			}
@@ -316,7 +351,7 @@ func (s *Set) GeoMeanSpeedups(pi int) []float64 {
 // Grid returns one point's results indexed [workload][mode] — the shape
 // the report package consumes.
 func (s *Set) Grid(pi int) [][]sim.Result {
-	grid := make([][]sim.Result, len(s.plan.m.Workloads))
+	grid := make([][]sim.Result, len(s.plan.workloads))
 	for wi := range grid {
 		row := make([]sim.Result, len(s.plan.m.Modes))
 		for mi := range row {

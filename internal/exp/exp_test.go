@@ -13,6 +13,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/internal/workload/synth"
 )
 
 // testOpt keeps windows small: these tests run whole matrices.
@@ -444,5 +445,174 @@ func TestDocumentRecordsImplicitBaselines(t *testing.T) {
 	}
 	if doc2 := set2.Document(); len(doc2.Baselines) != 0 {
 		t.Errorf("Baselines populated (%d) with baseline mode in Modes", len(doc2.Baselines))
+	}
+}
+
+// populationMatrix is a small population sweep: sampled scenarios only,
+// OoO baseline in the modes axis.
+func populationMatrix(count int) Matrix {
+	return Matrix{
+		Name:  "pop",
+		Modes: []core.Mode{core.ModeOoO, core.ModePRE},
+		Population: &Population{
+			Space: synth.DefaultSpace(),
+			Count: count,
+		},
+		Options: testOpt(),
+	}
+}
+
+// TestPopulationExpand verifies the sampled axis: Count scenarios appear
+// after the fixed workloads, each carrying its sampled parameters.
+func TestPopulationExpand(t *testing.T) {
+	m := populationMatrix(4)
+	m.Workloads = testWorkloads(t) // mixed fixed + sampled axis
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := plan.Workloads()
+	if len(ws) != 2+4 {
+		t.Fatalf("expanded workload axis has %d entries, want 6", len(ws))
+	}
+	if got, want := plan.NumCells(), 6*2; got != want {
+		t.Errorf("NumCells = %d, want %d", got, want)
+	}
+	for wi, w := range ws {
+		params := plan.SynthParams(wi)
+		if wi < 2 {
+			if params != nil {
+				t.Errorf("fixed workload %s has synth params", w.Name)
+			}
+			continue
+		}
+		if params == nil {
+			t.Fatalf("population workload %s missing synth params", w.Name)
+		}
+		if w.Name != "s"+params.Seed {
+			t.Errorf("scenario name %q does not encode its seed %q", w.Name, params.Seed)
+		}
+		if w.Class != "synth" || len(params.Phases) == 0 {
+			t.Errorf("scenario %s malformed: class %q, %d phases", w.Name, w.Class, len(params.Phases))
+		}
+	}
+	// Re-expansion must sample the identical population.
+	plan2, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi := range ws {
+		if !reflect.DeepEqual(plan.SynthParams(wi), plan2.SynthParams(wi)) {
+			t.Errorf("workload %d: params differ across expansions", wi)
+		}
+	}
+}
+
+// TestPopulationDeterministicJSON extends the byte-identical contract to
+// population sweeps, and requires every population cell to record its
+// sampled parameters — the reproducibility fix: a failing CI seed must be
+// reconstructible from the artifact alone.
+func TestPopulationDeterministicJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full matrices")
+	}
+	var reference []byte
+	for _, workers := range []int{1, 4} {
+		plan, err := populationMatrix(4).Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := plan.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = buf.Bytes()
+			doc := set.Document()
+			if doc.Population == nil || doc.Population.Count != 4 {
+				t.Fatal("population block missing from document")
+			}
+			if doc.Population.Space.Name != "default" || len(doc.Population.Space.Strides) == 0 {
+				t.Error("sampling space not serialized into the artifact")
+			}
+			if len(doc.Population.Stats) != 1 || len(doc.Population.Stats[0]) != 2 {
+				t.Errorf("population stats shape wrong: %+v", doc.Population.Stats)
+			}
+			for _, c := range doc.Cells {
+				if c.Synth == nil {
+					t.Fatalf("population cell %s/%s has no synth params", c.Workload, c.Mode)
+				}
+				if got := len(c.Synth.Phases); got == 0 {
+					t.Errorf("cell %s records empty phases", c.Workload)
+				}
+			}
+			continue
+		}
+		if !bytes.Equal(reference, buf.Bytes()) {
+			t.Fatalf("population results JSON differs at %d workers", workers)
+		}
+	}
+}
+
+// TestPopulationStats pins the aggregation: Min is the true minimum of
+// the per-seed speedups, WorstSeed names its scenario, and the summary
+// orderings hold.
+func TestPopulationStats(t *testing.T) {
+	plan, err := populationMatrix(5).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := set.PopulationStats(0)
+	if len(ps) != 2 {
+		t.Fatalf("PopulationStats returned %d modes, want 2", len(ps))
+	}
+	for mi, st := range ps {
+		if st.Count != 5 {
+			t.Errorf("%v: count %d, want 5", st.Mode, st.Count)
+		}
+		xs := set.SeedSpeedups(0, mi)
+		if len(xs) != 5 {
+			t.Fatalf("%v: %d seed speedups, want 5", st.Mode, len(xs))
+		}
+		min, argmin := xs[0], 0
+		for i, x := range xs {
+			if x < min {
+				min, argmin = x, i
+			}
+		}
+		if st.Min != min {
+			t.Errorf("%v: Min %v != true minimum %v", st.Mode, st.Min, min)
+		}
+		if want := plan.Workloads()[argmin].Name; st.WorstSeed != want {
+			t.Errorf("%v: WorstSeed %q, want %q", st.Mode, st.WorstSeed, want)
+		}
+		if st.Median < st.Min || st.GeoMean < st.Min {
+			t.Errorf("%v: summary below minimum: %+v", st.Mode, st)
+		}
+	}
+	// The OoO row is the baseline: identically 1.
+	if ps[0].Mode != core.ModeOoO || ps[0].Min != 1 || ps[0].GeoMean != 1 {
+		t.Errorf("baseline population stats not unity: %+v", ps[0])
+	}
+}
+
+// TestPopulationErrors covers population validation.
+func TestPopulationErrors(t *testing.T) {
+	bad := populationMatrix(0)
+	if _, err := bad.Expand(); err == nil {
+		t.Error("zero-count population expanded")
+	}
+	invalid := populationMatrix(2)
+	invalid.Population.Space.Strides = nil
+	if _, err := invalid.Expand(); err == nil {
+		t.Error("invalid space expanded")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/sim"
+	"repro/internal/workload/synth"
 )
 
 // SchemaVersion identifies the results-document layout. Bump it on any
@@ -20,7 +21,12 @@ import (
 // v2: sim.Result gained the per-level hit breakdown and the
 // hardware-prefetcher counters/metrics; the sink gained the sibling
 // metadata document (RunMeta).
-const SchemaVersion = 2
+//
+// v3: population sweeps — cells carry the sampled synth scenario
+// parameters ("synth", reconstructible via synth.FromParams), and the
+// document gains the "population" block (space, count, base seed,
+// per-point speedup-distribution stats).
+const SchemaVersion = 3
 
 // RunMeta records how a Set was produced: wall-clock, requested and
 // effective pool width, and GOMAXPROCS. It is deliberately a SEPARATE
@@ -69,6 +75,10 @@ type Document struct {
 	TotalCells int `json:"total_cells"`
 	// Summary holds per-point geomean speedups, indexed [point][mode].
 	Summary [][]float64 `json:"summary_geomean_speedups"`
+	// Population describes the sampled workload axis, when the matrix had
+	// one: the full sampling space (so the artifact alone reproduces the
+	// population) and the per-point speedup-distribution summaries.
+	Population *PopulationDoc `json:"population,omitempty"`
 	// Baselines lists the implicit baseline runs per (point, workload)
 	// when the baseline mode is not a matrix axis (AddBaseline sweeps);
 	// when it is, the baselines already appear in Cells. Recording them
@@ -94,8 +104,35 @@ type Cell struct {
 	// Speedup is IPC normalized to the (point, workload) baseline; 0
 	// when the plan has no baseline.
 	Speedup float64 `json:"speedup"`
+	// Synth records the sampled scenario parameters for population
+	// workloads (nil for fixed workloads): a failing seed is reproducible
+	// from the artifact alone via synth.FromParams.
+	Synth *synth.Params `json:"synth,omitempty"`
 	// Result is the full simulation outcome.
 	Result sim.Result `json:"result"`
+}
+
+// PopulationDoc is the serialized population block.
+type PopulationDoc struct {
+	// Space is the full sampling space.
+	Space synth.Space `json:"space"`
+	// Count is the number of sampled scenarios.
+	Count int `json:"count"`
+	// BaseSeed roots the scenario seed sequence (hex).
+	BaseSeed string `json:"base_seed"`
+	// Stats holds the per-point, per-mode speedup-distribution summaries
+	// (indexed [point], modes in matrix order; omitted without baselines).
+	Stats [][]PopulationStatDoc `json:"stats,omitempty"`
+}
+
+// PopulationStatDoc is one mode's serialized speedup-distribution summary.
+type PopulationStatDoc struct {
+	Mode      string  `json:"mode"`
+	Count     int     `json:"count"`
+	Min       float64 `json:"min"`
+	Median    float64 `json:"median"`
+	GeoMean   float64 `json:"geomean"`
+	WorstSeed string  `json:"worst_seed"`
 }
 
 // Document builds the serializable form of the result set.
@@ -110,13 +147,37 @@ func (s *Set) Document() *Document {
 		UniqueRuns:  p.NumUnique(),
 		TotalCells:  p.NumCells(),
 	}
-	for _, w := range p.m.Workloads {
+	for _, w := range p.workloads {
 		doc.Workloads = append(doc.Workloads, w.Name)
 	}
 	for _, m := range p.m.Modes {
 		doc.Modes = append(doc.Modes, m.String())
 	}
 	doc.Points = p.Points()
+	if p.m.Population != nil {
+		pop := &PopulationDoc{
+			Space:    p.m.Population.Space,
+			Count:    p.m.Population.Count,
+			BaseSeed: fmt.Sprintf("%016x", p.m.Population.baseSeed()),
+		}
+		for pi := range p.points {
+			ps := s.PopulationStats(pi)
+			if ps == nil {
+				pop.Stats = nil
+				break
+			}
+			row := make([]PopulationStatDoc, len(ps))
+			for i, st := range ps {
+				row[i] = PopulationStatDoc{
+					Mode: st.Mode.String(), Count: st.Count,
+					Min: st.Min, Median: st.Median, GeoMean: st.GeoMean,
+					WorstSeed: st.WorstSeed,
+				}
+			}
+			pop.Stats = append(pop.Stats, row)
+		}
+		doc.Population = pop
+	}
 
 	baselineInModes := false
 	for _, m := range p.m.Modes {
@@ -129,33 +190,35 @@ func (s *Set) Document() *Document {
 	cell := 0
 	for pi, pt := range p.points {
 		doc.Summary = append(doc.Summary, s.GeoMeanSpeedups(pi))
-		for wi := range p.m.Workloads {
+		for wi := range p.workloads {
 			for mi, mode := range p.m.Modes {
 				ui := p.cells[cell]
 				shared := firstCellOf[ui]
 				firstCellOf[ui] = true
 				doc.Cells = append(doc.Cells, Cell{
 					Point:    pt.Name,
-					Workload: p.m.Workloads[wi].Name,
+					Workload: p.workloads[wi].Name,
 					Mode:     mode.String(),
 					Seed:     fmt.Sprintf("%016x", p.unique[ui].seed),
 					Shared:   shared,
 					Speedup:  s.Speedup(pi, wi, mi),
+					Synth:    p.synth[wi],
 					Result:   s.res[ui],
 				})
 				cell++
 			}
 			if !baselineInModes {
-				if ui := p.base[pi*len(p.m.Workloads)+wi]; ui >= 0 {
+				if ui := p.base[pi*len(p.workloads)+wi]; ui >= 0 {
 					shared := firstCellOf[ui]
 					firstCellOf[ui] = true
 					doc.Baselines = append(doc.Baselines, Cell{
 						Point:    pt.Name,
-						Workload: p.m.Workloads[wi].Name,
+						Workload: p.workloads[wi].Name,
 						Mode:     p.m.Baseline.String(),
 						Seed:     fmt.Sprintf("%016x", p.unique[ui].seed),
 						Shared:   shared,
 						Speedup:  1,
+						Synth:    p.synth[wi],
 						Result:   s.res[ui],
 					})
 				}

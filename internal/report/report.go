@@ -211,6 +211,37 @@ func PFGrid(points []string, modes []core.Mode, summary [][]float64) *Table {
 	return t
 }
 
+// PopulationRow is one mode's speedup-distribution summary over a seeded
+// scenario population (see exp.PopulationStat).
+type PopulationRow struct {
+	Mode                 string
+	Count                int
+	Min, Median, GeoMean float64
+	WorstSeed            string
+}
+
+// PopulationGrid builds the population-robustness table: per point and
+// mechanism, the min / median / geomean of the per-seed speedup
+// distribution and the worst-case scenario's seed. Where the fixed-suite
+// tables answer "how fast on these 13 kernels", this answers "how robust
+// over the sampled population — and which seed breaks it". rows is
+// indexed [point][mode].
+func PopulationGrid(points []string, rows [][]PopulationRow) *Table {
+	t := NewTable("Population sweep: per-seed speedup distribution over the baseline",
+		"point", "mode", "seeds", "min", "median", "geomean", "worst seed")
+	for pi, p := range points {
+		for _, r := range rows[pi] {
+			t.AddRow(p, r.Mode,
+				fmt.Sprintf("%d", r.Count),
+				fmt.Sprintf("%.3f", r.Min),
+				fmt.Sprintf("%.3f", r.Median),
+				fmt.Sprintf("%.3f", r.GeoMean),
+				r.WorstSeed)
+		}
+	}
+	return t
+}
+
 // PrefetchDetail builds the per-workload hardware-prefetcher diagnostic
 // table: issue counts and the accuracy/coverage/timeliness triple, per
 // mechanism. Rows for runs without an enabled prefetcher are skipped.

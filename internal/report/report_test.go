@@ -114,3 +114,23 @@ func TestRunaheadDetailSkipsBaseline(t *testing.T) {
 		t.Errorf("expected 2 rows, got %d", len(tab.Rows))
 	}
 }
+
+func TestPopulationGrid(t *testing.T) {
+	rows := [][]PopulationRow{{
+		{Mode: "OoO", Count: 8, Min: 1, Median: 1, GeoMean: 1, WorstSeed: "s01"},
+		{Mode: "PRE", Count: 8, Min: 0.98, Median: 1.21, GeoMean: 1.18, WorstSeed: "s07"},
+	}}
+	tab := PopulationGrid([]string{"default"}, rows)
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"PRE", "0.980", "1.210", "s07", "worst seed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("population grid missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two mode rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}

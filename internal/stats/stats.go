@@ -227,6 +227,21 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(len(xs)))
 }
 
+// Median returns the middle value of xs (the mean of the two middle
+// values for even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	mid := len(ys) / 2
+	if len(ys)%2 == 1 {
+		return ys[mid]
+	}
+	return (ys[mid-1] + ys[mid]) / 2
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -180,3 +180,21 @@ func TestMean(t *testing.T) {
 		t.Error("Mean(2,4,6) != 4")
 	}
 }
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty Median must be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median(3,1,2) = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("Median(4,1,2,3) = %v, want 2.5", got)
+	}
+	// The input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}

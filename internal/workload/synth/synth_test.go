@@ -1,0 +1,298 @@
+package synth
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// sample materializes one default-space scenario or fails the test.
+func sample(t testing.TB, seed uint64) Scenario {
+	t.Helper()
+	sc, err := DefaultSpace().Sample(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// fuzzSeeds is a spread of test seeds derived from the date-pinned base.
+func fuzzSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = NthSeed(DefaultBaseSeed, i)
+	}
+	return seeds
+}
+
+// TestSampleDeterminism is the core property: Sample is a pure function
+// of (Space, seed) — equal params and byte-equal µop streams on every
+// call, including across independently-sampled scenarios.
+func TestSampleDeterminism(t *testing.T) {
+	for _, seed := range fuzzSeeds(8) {
+		a, b := sample(t, seed), sample(t, seed)
+		if !reflect.DeepEqual(a.Params, b.Params) {
+			t.Fatalf("seed %016x: params differ across samples:\n%+v\n%+v", seed, a.Params, b.Params)
+		}
+		ua := workload.Drain(a.NewGenerator(), 30000)
+		ub := workload.Drain(b.NewGenerator(), 30000)
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("seed %016x: µop %d differs between fresh generators:\n%v\n%v",
+					seed, i, &ua[i], &ub[i])
+			}
+		}
+	}
+}
+
+// TestSampleDistinctSeeds guards against a degenerate sampler: distinct
+// seeds must (at least sometimes) produce distinct scenarios.
+func TestSampleDistinctSeeds(t *testing.T) {
+	seen := map[string]bool{}
+	distinct := 0
+	for _, seed := range fuzzSeeds(16) {
+		sc := sample(t, seed)
+		raw, err := json.Marshal(sc.Params.Phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[string(raw)] {
+			seen[string(raw)] = true
+			distinct++
+		}
+	}
+	if distinct < 12 {
+		t.Errorf("only %d/16 seeds produced distinct phase sets; sampler is degenerate", distinct)
+	}
+}
+
+// TestSampleWellFormed reuses the suite's structural verification on
+// sampled scenarios: every generated µop must satisfy the same contract
+// the hand-built proxies do, across phase boundaries included.
+func TestSampleWellFormed(t *testing.T) {
+	for _, seed := range fuzzSeeds(10) {
+		sc := sample(t, seed)
+		uops := workload.Drain(sc.NewGenerator(), 60000)
+		if err := workload.VerifyUops(uops); err != nil {
+			t.Errorf("seed %016x: %v (params %+v)", seed, err, sc.Params)
+		}
+		if err := workload.VerifyStablePCs(uops); err != nil {
+			t.Errorf("seed %016x: %v (params %+v)", seed, err, sc.Params)
+		}
+	}
+}
+
+// TestSampleWithinBounds checks every sampled parameter lands inside the
+// configured distribution: phase counts, phase lengths, MLP clamped to
+// each archetype's legal bound, and only positively-weighted archetypes.
+func TestSampleWithinBounds(t *testing.T) {
+	s := DefaultSpace()
+	counts := map[string]int{}
+	for _, seed := range fuzzSeeds(40) {
+		sc, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(sc.Params.Phases)
+		if n < s.Phases.Min || n > s.Phases.Max {
+			t.Fatalf("seed %016x: %d phases outside [%d,%d]", seed, n, s.Phases.Min, s.Phases.Max)
+		}
+		for _, ph := range sc.Params.Phases {
+			counts[ph.Archetype]++
+			if ph.Uops < s.PhaseUops.Min || ph.Uops > s.PhaseUops.Max {
+				t.Errorf("seed %016x: phase length %d outside [%d,%d]",
+					seed, ph.Uops, s.PhaseUops.Min, s.PhaseUops.Max)
+			}
+			if ph.Lanes < 1 || ph.Lanes > s.MLP.Max {
+				t.Errorf("seed %016x: %s lanes %d outside [1,%d]", seed, ph.Archetype, ph.Lanes, s.MLP.Max)
+			}
+			if (ph.Archetype == ArchIndirect || ph.Archetype == ArchHashWalk) && ph.Lanes > 3 {
+				t.Errorf("seed %016x: %s lanes %d above archetype bound 3", seed, ph.Archetype, ph.Lanes)
+			}
+			if err := ph.validate(); err != nil {
+				t.Errorf("seed %016x: sampled invalid phase: %v", seed, err)
+			}
+		}
+	}
+	for arch, c := range counts {
+		if c == 0 {
+			t.Errorf("archetype %s never sampled over 40 seeds", arch)
+		}
+	}
+
+	// A single-archetype space must only ever produce that archetype.
+	only := s
+	only.Weights = Weights{Stream: 1}
+	for _, seed := range fuzzSeeds(12) {
+		sc, err := only.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range sc.Params.Phases {
+			if ph.Archetype != ArchStream {
+				t.Fatalf("seed %016x: zero-weight archetype %s sampled", seed, ph.Archetype)
+			}
+		}
+	}
+}
+
+// TestFromParamsRoundTrip pins the artifact-reproducibility contract: the
+// params recorded in a results document rebuild a generator whose stream
+// is byte-identical to the originally sampled scenario's.
+func TestFromParamsRoundTrip(t *testing.T) {
+	sc := sample(t, NthSeed(DefaultBaseSeed, 3))
+	raw, err := json.Marshal(sc.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Params
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := FromParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Name() != sc.Name() {
+		t.Errorf("rebuilt name %q != original %q", rebuilt.Name(), sc.Name())
+	}
+	ua := workload.Drain(sc.NewGenerator(), 40000)
+	ub := workload.Drain(rebuilt.NewGenerator(), 40000)
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("µop %d differs after JSON round-trip:\n%v\n%v", i, &ua[i], &ub[i])
+		}
+	}
+}
+
+// TestPhasesActuallyAlternate verifies the phased composition switches
+// kernels: a multi-phase scenario must emit µops from more than one
+// disjoint PC region within a modest window.
+func TestPhasesActuallyAlternate(t *testing.T) {
+	s := DefaultSpace()
+	s.Phases = Range{Min: 3, Max: 3}
+	s.PhaseUops = Range{Min: 2_000, Max: 2_000}
+	sc, err := s.Sample(NthSeed(DefaultBaseSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uops := workload.Drain(sc.NewGenerator(), 13_000)
+	regions := map[uint64]bool{}
+	for i := range uops {
+		regions[uops[i].PC>>16] = true
+	}
+	if len(regions) < 3 {
+		t.Errorf("3-phase scenario touched %d PC regions over 13k µops, want 3", len(regions))
+	}
+	// And the round-robin must return to phase 0: µop 3*2000 is phase 0's
+	// 2001st µop, identical to running phase 0's kernel alone.
+	solo := Scenario{Params: Params{Seed: sc.Params.Seed, Phases: sc.Params.Phases[:1]}}
+	ref := workload.Drain(solo.NewGenerator(), 2_001)
+	if uops[3*2000] != ref[2000] {
+		t.Errorf("phase 0 did not resume where it left off:\n%v\n%v", &uops[3*2000], &ref[2000])
+	}
+}
+
+// TestValidateRejects covers space validation.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Space)
+	}{
+		{"zero weights", func(s *Space) { s.Weights = Weights{} }},
+		{"negative weight", func(s *Space) { s.Weights.Stream = -1 }},
+		{"inverted range", func(s *Space) { s.Phases = Range{Min: 3, Max: 1} }},
+		{"zero phases", func(s *Space) { s.Phases = Range{Min: 0, Max: 2} }},
+		{"tiny phase", func(s *Space) { s.PhaseUops = Range{Min: 10, Max: 500} }},
+		{"mlp zero", func(s *Space) { s.MLP = Range{Min: 0, Max: 4} }},
+		{"mlp huge", func(s *Space) { s.MLP = Range{Min: 1, Max: 32} }},
+		{"footprint huge", func(s *Space) { s.FootprintLog2 = Range{Min: 14, Max: 40} }},
+		{"no strides", func(s *Space) { s.Strides = nil }},
+		{"bad stride", func(s *Space) { s.Strides = []int{0} }},
+		{"mispredict rate", func(s *Space) { s.MispredictPermille = Range{Min: 0, Max: 900} }},
+	}
+	for _, tc := range cases {
+		s := DefaultSpace()
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid space", tc.name)
+		}
+		if _, err := s.Sample(1); err == nil {
+			t.Errorf("%s: Sample accepted an invalid space", tc.name)
+		}
+	}
+	if err := DefaultSpace().Validate(); err != nil {
+		t.Errorf("DefaultSpace invalid: %v", err)
+	}
+}
+
+// TestFromParamsRejects covers params validation: the artifact path must
+// reject corrupted records rather than panic inside the constructors.
+func TestFromParamsRejects(t *testing.T) {
+	good := sample(t, NthSeed(DefaultBaseSeed, 1)).Params
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"no phases", func(p *Params) { p.Phases = nil }},
+		{"unknown archetype", func(p *Params) { p.Phases[0].Archetype = "gather" }},
+		{"zero length", func(p *Params) { p.Phases[0].Uops = 0 }},
+		{"lanes over bound", func(p *Params) { p.Phases[0].Lanes = 9 }},
+		{"duplicate kernel", func(p *Params) {
+			p.Phases = append(p.Phases, p.Phases[0])
+		}},
+	}
+	for _, tc := range cases {
+		p := Params{Space: good.Space, Seed: good.Seed}
+		p.Phases = append([]Phase(nil), good.Phases...)
+		tc.mutate(&p)
+		if _, err := FromParams(p); err == nil {
+			t.Errorf("%s: FromParams accepted corrupt params", tc.name)
+		}
+	}
+}
+
+// TestNthSeedSequence pins the population seed derivation: stable,
+// prefix-preserving, and collision-free over any practical count.
+func TestNthSeedSequence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := NthSeed(DefaultBaseSeed, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+		if s != NthSeed(DefaultBaseSeed, i) {
+			t.Fatalf("NthSeed not stable at index %d", i)
+		}
+	}
+}
+
+// TestPointerHeavySpaceNeedsNoStrides: a space whose weights exclude the
+// stride-consuming archetypes must validate and sample without stride or
+// plane-stride choices (the pointer-heavy population axis).
+func TestPointerHeavySpaceNeedsNoStrides(t *testing.T) {
+	s := DefaultSpace()
+	s.Weights = Weights{PtrChase: 1, HashWalk: 2}
+	s.Strides = nil
+	s.PlaneStrideLog2 = Range{}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("pointer-heavy space rejected: %v", err)
+	}
+	for _, seed := range fuzzSeeds(6) {
+		sc, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range sc.Params.Phases {
+			if ph.Archetype != ArchPtrChase && ph.Archetype != ArchHashWalk {
+				t.Fatalf("seed %016x: unexpected archetype %s", seed, ph.Archetype)
+			}
+		}
+		if err := workload.VerifyUops(workload.Drain(sc.NewGenerator(), 20000)); err != nil {
+			t.Errorf("seed %016x: %v", seed, err)
+		}
+	}
+}

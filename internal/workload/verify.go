@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Stream-verification helpers shared by the suite's structural tests and
+// the synth scenario engine's property tests: every generator — hand-built
+// proxy or sampled scenario — must satisfy the same well-formedness
+// contract before the core will time it meaningfully.
+
+// Drain pulls n µops from a generator.
+func Drain(g trace.Generator, n int) []uarch.Uop {
+	out := make([]uarch.Uop, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+// VerifyUops checks structural well-formedness: non-zero PCs, known
+// classes, addressed memory ops, loads with destinations, stores without,
+// and valid register operands. It returns the first violation.
+func VerifyUops(uops []uarch.Uop) error {
+	for i := range uops {
+		u := &uops[i]
+		if u.PC == 0 {
+			return fmt.Errorf("µop %d has zero PC", i)
+		}
+		if u.Class >= uarch.NumClasses {
+			return fmt.Errorf("µop %d has bad class %d", i, u.Class)
+		}
+		if u.Class.IsMem() && u.Addr == 0 {
+			return fmt.Errorf("memory µop %d has zero address", i)
+		}
+		if u.Class == uarch.ClassLoad && !u.Dst.Valid() {
+			return fmt.Errorf("load %d without destination", i)
+		}
+		if u.Class == uarch.ClassStore && u.Dst != uarch.RegNone {
+			return fmt.Errorf("store %d with destination", i)
+		}
+		for _, r := range []uarch.Reg{u.Src1, u.Src2, u.Dst} {
+			if r != uarch.RegNone && !r.Valid() {
+				return fmt.Errorf("µop %d has invalid register %d", i, r)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyStablePCs checks that each static PC always carries the same
+// class and register shape; the SST and the branch predictor rely on PC
+// identity.
+func VerifyStablePCs(uops []uarch.Uop) error {
+	type shape struct {
+		class     uarch.Class
+		s1, s2, d uarch.Reg
+	}
+	shapes := map[uint64]shape{}
+	for i := range uops {
+		u := &uops[i]
+		sh := shape{u.Class, u.Src1, u.Src2, u.Dst}
+		if prev, ok := shapes[u.PC]; ok {
+			if prev != sh {
+				return fmt.Errorf("PC %#x changes shape: %+v vs %+v", u.PC, prev, sh)
+			}
+		} else {
+			shapes[u.PC] = sh
+		}
+	}
+	return nil
+}

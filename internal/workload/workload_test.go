@@ -7,14 +7,8 @@ import (
 	"repro/internal/uarch"
 )
 
-// drain pulls n µops from a generator.
-func drain(g trace.Generator, n int) []uarch.Uop {
-	out := make([]uarch.Uop, n)
-	for i := range out {
-		g.Next(&out[i])
-	}
-	return out
-}
+// drain pulls n µops from a generator (see Drain in verify.go).
+func drain(g trace.Generator, n int) []uarch.Uop { return Drain(g, n) }
 
 func TestSuiteShape(t *testing.T) {
 	ws := Suite()
@@ -61,29 +55,8 @@ func TestDeterminism(t *testing.T) {
 
 func TestAllUopsWellFormed(t *testing.T) {
 	for _, w := range Suite() {
-		uops := drain(w.New(), 20000)
-		for i := range uops {
-			u := &uops[i]
-			if u.PC == 0 {
-				t.Fatalf("%s: µop %d has zero PC", w.Name, i)
-			}
-			if u.Class >= uarch.NumClasses {
-				t.Fatalf("%s: µop %d bad class", w.Name, i)
-			}
-			if u.Class.IsMem() && u.Addr == 0 {
-				t.Fatalf("%s: memory µop %d has zero address", w.Name, i)
-			}
-			if u.Class == uarch.ClassLoad && !u.Dst.Valid() {
-				t.Fatalf("%s: load %d without destination", w.Name, i)
-			}
-			if u.Class == uarch.ClassStore && u.Dst != uarch.RegNone {
-				t.Fatalf("%s: store %d with destination", w.Name, i)
-			}
-			for _, r := range []uarch.Reg{u.Src1, u.Src2, u.Dst} {
-				if r != uarch.RegNone && !r.Valid() {
-					t.Fatalf("%s: µop %d has invalid register %d", w.Name, i, r)
-				}
-			}
+		if err := VerifyUops(drain(w.New(), 20000)); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
 		}
 	}
 }
@@ -92,22 +65,8 @@ func TestStablePCsAcrossIterations(t *testing.T) {
 	// Each static PC must always carry the same class and register shape;
 	// the SST and the branch predictor rely on PC identity.
 	for _, w := range Suite() {
-		type shape struct {
-			class     uarch.Class
-			s1, s2, d uarch.Reg
-		}
-		shapes := map[uint64]shape{}
-		uops := drain(w.New(), 30000)
-		for i := range uops {
-			u := &uops[i]
-			sh := shape{u.Class, u.Src1, u.Src2, u.Dst}
-			if prev, ok := shapes[u.PC]; ok {
-				if prev != sh {
-					t.Fatalf("%s: PC %#x changes shape: %+v vs %+v", w.Name, u.PC, prev, sh)
-				}
-			} else {
-				shapes[u.PC] = sh
-			}
+		if err := VerifyStablePCs(drain(w.New(), 30000)); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
 		}
 	}
 }

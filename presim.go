@@ -36,6 +36,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/internal/workload/synth"
 )
 
 // Mode selects the runahead mechanism.
@@ -169,6 +170,62 @@ func PrefetchPoints() []ExperimentPoint {
 		pts[i] = ExperimentPoint{Name: v.Name, Apply: func(c *core.Config) { c.ApplyPrefetch(v) }}
 	}
 	return pts
+}
+
+// Stochastic scenario engine (internal/workload/synth): seed-driven
+// workload populations sampled from a parameterized distribution, the
+// scale-out complement to the fixed 13-proxy suite.
+type (
+	// SynthSpace describes a scenario distribution (archetype mix,
+	// footprint, MLP, phase structure).
+	SynthSpace = synth.Space
+	// SynthRange is an inclusive integer sampling interval.
+	SynthRange = synth.Range
+	// SynthWeights is the archetype mix of a SynthSpace.
+	SynthWeights = synth.Weights
+	// SynthParams is the fully-sampled description of one scenario, as
+	// recorded per run in population results JSON.
+	SynthParams = synth.Params
+	// SynthScenario is a materialized sample (params + generator).
+	SynthScenario = synth.Scenario
+)
+
+// SynthDefaultBaseSeed is the date-pinned base seed population sweeps and
+// the CI scenario-fuzz gate default to.
+const SynthDefaultBaseSeed = synth.DefaultBaseSeed
+
+// DefaultSynthSpace returns the standard scenario distribution.
+func DefaultSynthSpace() SynthSpace { return synth.DefaultSpace() }
+
+// SynthFromParams rebuilds a scenario from recorded parameters — the
+// reproduce-a-failing-CI-seed path; see Cell.Synth in the results JSON.
+func SynthFromParams(p SynthParams) (SynthScenario, error) { return synth.FromParams(p) }
+
+// SynthNthSeed derives the i-th scenario seed of a population.
+func SynthNthSeed(base uint64, i int) uint64 { return synth.NthSeed(base, i) }
+
+// Population declares a sampled workload axis for an Experiment: Count
+// scenarios drawn from Space (seeded by BaseSeed, default date-pinned).
+type Population = exp.Population
+
+// PopulationStat summarizes one mode's per-seed speedup distribution.
+type PopulationStat = exp.PopulationStat
+
+// PopulationGridTable renders per-point population-robustness stats (from
+// an ExperimentSet's PopulationStats) as the min/median/geomean grid with
+// worst-case-seed identification.
+func PopulationGridTable(points []string, stats [][]PopulationStat) *Table {
+	rows := make([][]report.PopulationRow, len(stats))
+	for pi, ss := range stats {
+		for _, st := range ss {
+			rows[pi] = append(rows[pi], report.PopulationRow{
+				Mode: st.Mode.String(), Count: st.Count,
+				Min: st.Min, Median: st.Median, GeoMean: st.GeoMean,
+				WorstSeed: st.WorstSeed,
+			})
+		}
+	}
+	return report.PopulationGrid(points, rows)
 }
 
 // Experiment declares a (points x workloads x modes) design-space sweep
