@@ -121,12 +121,13 @@ func main() {
 		emit("e9_invocations", e9Table(results, modes))
 	}
 	if want("pf") {
-		grid, detail, err := pfTables(opt, *workers, *jsonDir)
+		grid, detail, interference, err := pfTables(opt, *workers, *jsonDir)
 		if err != nil {
 			fatal(err)
 		}
 		emit("pf_grid", grid)
 		emit("pf_detail", detail)
+		emit("pf_interference", interference)
 	}
 	if want("synth") {
 		t, err := synthTable(opt, *workers, *jsonDir, *seeds)
@@ -176,8 +177,9 @@ func synthTable(opt presim.Options, workers int, jsonDir string, seeds int) (*pr
 
 // pfTables runs the PF-augmented grid (every mechanism x every hardware-
 // prefetcher variant) and renders the speedup summary plus the combined
-// variant's per-workload prefetcher diagnostics.
-func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *presim.Table, error) {
+// variant's per-workload prefetcher diagnostics and the runahead/HW
+// interference view of the filtered variant.
+func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *presim.Table, *presim.Table, error) {
 	m := exp.Matrix{
 		Name:      "pf_grid",
 		Workloads: presim.Workloads(),
@@ -187,15 +189,15 @@ func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *
 	}
 	plan, err := m.Expand()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	set, err := plan.Run(workers)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if jsonDir != "" {
 		if err := set.WriteFile(jsonDir, "pf_grid"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	points := plan.Points()
@@ -204,9 +206,12 @@ func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *
 		summary[pi] = set.GeoMeanSpeedups(pi)
 	}
 	grid := presim.PFGridTable(points, presim.Modes(), summary)
-	// Diagnostics for the combined variant (the last point, stride+bo).
+	// Diagnostics for the most-combined variant (the last point: the full
+	// adaptive L1I+throttle+filter stack), plus the interference view of
+	// the same point (filtered-RA is only non-zero with the filter on).
 	detail := presim.PrefetchDetailTable(set.Grid(len(points)-1), presim.Modes())
-	return grid, detail, nil
+	interference := presim.PFInterferenceTable(set.Grid(len(points)-1), presim.Modes())
+	return grid, detail, interference, nil
 }
 
 // printTable1 dumps the baseline configuration (paper Table 1).

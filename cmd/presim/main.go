@@ -21,7 +21,7 @@ import (
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
 	mode := flag.String("mode", "PRE", "mechanism: OoO, RA, RA-buffer, PRE, PRE+EMQ")
-	pf := flag.String("pf", "no-pf", "hardware prefetchers: no-pf, stride, best-offset, stride+bo")
+	pf := flag.String("pf", "no-pf", "hardware prefetchers: no-pf, stride, best-offset, stride+bo, l1i-nl, throttled, filtered, adaptive")
 	all := flag.Bool("all", false, "run every mechanism and compare")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops")

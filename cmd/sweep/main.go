@@ -10,9 +10,10 @@
 // Each sweep reports the geometric-mean speedup over the OoO baseline
 // across the whole suite for each parameter value. The -pf grid is the
 // PRE-vs-prefetch-vs-combined comparison: {OoO, RA, RA-buffer, PRE,
-// PRE+EMQ} x {no-pf, stride, best-offset, stride+bo} over the
-// 13-workload suite, with per-run prefetch accuracy/coverage/timeliness
-// in the results JSON.
+// PRE+EMQ} x the eight standard prefetcher variants (no-pf, stride,
+// best-offset, stride+bo, l1i-nl, throttled, filtered, adaptive) over
+// the 13-workload suite, with per-run prefetch accuracy/coverage/
+// timeliness in the results JSON.
 //
 // The -synth sweep replaces the fixed suite with a seeded scenario
 // population (internal/workload/synth): -seeds scenarios sampled from the
@@ -67,6 +68,17 @@ func main() {
 	if *serial && (*jsonDir != "" || *workers != 0) {
 		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports neither -json nor -workers")
 		os.Exit(2)
+	}
+
+	// Population knobs only act under -synth; silently ignoring an
+	// explicit -seeds/-synthseed would drop the requested population run.
+	if !*doSynth {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seeds" || f.Name == "synthseed" {
+				fmt.Fprintf(os.Stderr, "sweep: -%s only applies to -synth (add -synth or drop the flag)\n", f.Name)
+				os.Exit(2)
+			}
+		})
 	}
 
 	// Profiling hooks (after flag validation, so a usage exit never

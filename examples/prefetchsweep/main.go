@@ -70,7 +70,7 @@ func main() {
 	}
 
 	fmt.Println()
-	fmt.Println("Prefetcher quality under PRE (stride+bo variant):")
+	fmt.Printf("Prefetcher quality under PRE (%s variant):\n", points[len(points)-1])
 	last := len(points) - 1
 	for wi, w := range workloads {
 		r := set.Result(last, wi, 1)

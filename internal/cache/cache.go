@@ -82,11 +82,15 @@ type line struct {
 	src       Source // who filled the line; demanded lines revert to SrcDemand
 }
 
-// mshr tracks one outstanding miss.
+// mshr tracks one outstanding miss. src records who started the fill
+// (demand, runahead, hardware prefetch) so the PRE-aware prefetch filter
+// can recognize lines the runahead mechanism is already fetching;
+// secondary misses merge without retagging.
 type mshr struct {
 	tag       uint64
 	fillReady int64
 	valid     bool
+	src       Source
 }
 
 // Stats aggregates the per-level counters.
@@ -112,6 +116,13 @@ type Cache struct {
 	lruClock uint64
 	mshrs    []mshr
 	stats    Stats
+
+	// Lifetime hardware-prefetch usefulness counters: the same events as
+	// the HWPref* stats fields but never reset by ResetStats. The adaptive
+	// throttle's feedback loop reads these — machine behavior must not
+	// change when a measurement window opens.
+	lifeHWUseful int64
+	lifeHWLate   int64
 }
 
 // New builds a cache from cfg, panicking on invalid geometry (configuration
@@ -173,8 +184,10 @@ func (c *Cache) Lookup(addr uint64, now int64, demand bool) (hit bool, ready int
 					c.stats.PrefetchUseful++
 				case SrcHW:
 					c.stats.HWPrefUseful++
+					c.lifeHWUseful++
 					if ln.fillReady > now {
 						c.stats.HWPrefLate++
+						c.lifeHWLate++
 					}
 				}
 				ln.src = SrcDemand
@@ -317,18 +330,51 @@ func (c *Cache) MSHRLookup(addr uint64, now int64) (fillReady int64, ok bool) {
 }
 
 // MSHRAlloc reserves an MSHR for a new miss on addr's line, which will
-// complete at fillReady. It returns false when all MSHRs are busy, in
-// which case the access must be retried later (modelled as an MSHR stall).
-func (c *Cache) MSHRAlloc(addr uint64, now, fillReady int64) bool {
+// complete at fillReady, tagged with the source that started the fill.
+// It returns false when all MSHRs are busy, in which case the access must
+// be retried later (modelled as an MSHR stall).
+func (c *Cache) MSHRAlloc(addr uint64, now, fillReady int64, src Source) bool {
 	for i := range c.mshrs {
 		m := &c.mshrs[i]
 		if !m.valid || m.fillReady <= now {
-			*m = mshr{tag: addr >> 6, fillReady: fillReady, valid: true}
+			*m = mshr{tag: addr >> 6, fillReady: fillReady, valid: true, src: src}
 			return true
 		}
 	}
 	c.stats.MSHRStalls++
 	return false
+}
+
+// MSHRSource returns the fill source of the outstanding miss on addr's
+// line at cycle now, if one exists. Unlike MSHRLookup it does not retire
+// completed entries (it is a pure probe used by the PRE-aware prefetch
+// filter, which must not perturb state).
+func (c *Cache) MSHRSource(addr uint64, now int64) (Source, bool) {
+	tag := addr >> 6
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.tag == tag && m.fillReady > now {
+			return m.src, true
+		}
+	}
+	return SrcDemand, false
+}
+
+// InFlightSource returns the fill source of addr's line when the line is
+// tag-present but its data has not yet arrived (fillReady > now), without
+// touching LRU or statistics. The resource-reservation timing model
+// installs lines at miss issue, so "who is currently fetching this line"
+// lives on the line itself; the PRE-aware prefetch filter probes it to
+// recognize in-flight runahead fills.
+func (c *Cache) InFlightSource(addr uint64, now int64) (Source, bool) {
+	tag := addr >> 6
+	for i := range c.set(tag) {
+		ln := &c.set(tag)[i]
+		if ln.valid && ln.tag == tag && ln.fillReady > now {
+			return ln.src, true
+		}
+	}
+	return SrcDemand, false
 }
 
 // NextMSHRRelease returns the earliest cycle strictly after now at which
@@ -363,8 +409,17 @@ func (c *Cache) AddStats(d Stats) {
 	c.stats.HWPrefFills += d.HWPrefFills
 	c.stats.HWPrefUseful += d.HWPrefUseful
 	c.stats.HWPrefLate += d.HWPrefLate
+	c.lifeHWUseful += d.HWPrefUseful
+	c.lifeHWLate += d.HWPrefLate
 	c.stats.Evictions += d.Evictions
 	c.stats.Writebacks += d.Writebacks
+}
+
+// LifetimeHWPref returns the never-reset hardware-prefetch usefulness
+// counters (demand hits on HW-prefetched lines, and how many of those
+// still waited on the fill) — the throttle feedback inputs.
+func (c *Cache) LifetimeHWPref() (useful, late int64) {
+	return c.lifeHWUseful, c.lifeHWLate
 }
 
 // MSHRFree counts the MSHRs available at cycle now.

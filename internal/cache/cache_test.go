@@ -193,7 +193,7 @@ func TestPrefetchLookupNotCountedAsDemand(t *testing.T) {
 
 func TestMSHRAllocAndMerge(t *testing.T) {
 	c := smallCache() // 4 MSHRs
-	if !c.MSHRAlloc(0x1000, 0, 100) {
+	if !c.MSHRAlloc(0x1000, 0, 100, SrcDemand) {
 		t.Fatal("first alloc must succeed")
 	}
 	fill, ok := c.MSHRLookup(0x1040, 0)
@@ -209,11 +209,11 @@ func TestMSHRAllocAndMerge(t *testing.T) {
 func TestMSHRExhaustionAndRecycle(t *testing.T) {
 	c := smallCache() // 4 MSHRs
 	for i := 0; i < 4; i++ {
-		if !c.MSHRAlloc(uint64(i)*0x1000, 0, 100) {
+		if !c.MSHRAlloc(uint64(i)*0x1000, 0, 100, SrcDemand) {
 			t.Fatalf("alloc %d must succeed", i)
 		}
 	}
-	if c.MSHRAlloc(0x9000, 0, 100) {
+	if c.MSHRAlloc(0x9000, 0, 100, SrcDemand) {
 		t.Fatal("fifth alloc must fail")
 	}
 	if c.Stats().MSHRStalls != 1 {
@@ -226,14 +226,14 @@ func TestMSHRExhaustionAndRecycle(t *testing.T) {
 	if c.MSHRFree(100) != 4 {
 		t.Errorf("free at t=100: %d, want 4", c.MSHRFree(100))
 	}
-	if !c.MSHRAlloc(0x9000, 150, 300) {
+	if !c.MSHRAlloc(0x9000, 150, 300, SrcDemand) {
 		t.Fatal("alloc after recycle must succeed")
 	}
 }
 
 func TestMSHRLookupExpired(t *testing.T) {
 	c := smallCache()
-	c.MSHRAlloc(0x1000, 0, 100)
+	c.MSHRAlloc(0x1000, 0, 100, SrcDemand)
 	if _, ok := c.MSHRLookup(0x1000, 100); ok {
 		t.Error("completed MSHR must not match")
 	}
@@ -331,4 +331,67 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 		}
 	}()
 	New(Config{Name: "bad", SizeBytes: 7, Assoc: 1, HitLatency: 1, MSHRs: 1})
+}
+
+// TestMSHRSourceTracksRequester: MSHRs carry the fill source of the
+// access that allocated them, visible only while the fill is in flight.
+func TestMSHRSourceTracksRequester(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Assoc: 4, HitLatency: 1, MSHRs: 4})
+	c.MSHRAlloc(0x1000, 0, 100, SrcRunahead)
+	c.MSHRAlloc(0x2000, 0, 100, SrcHW)
+	if src, ok := c.MSHRSource(0x1000, 50); !ok || src != SrcRunahead {
+		t.Errorf("MSHRSource(0x1000) = %v,%v, want SrcRunahead,true", src, ok)
+	}
+	if src, ok := c.MSHRSource(0x2000, 50); !ok || src != SrcHW {
+		t.Errorf("MSHRSource(0x2000) = %v,%v, want SrcHW,true", src, ok)
+	}
+	if _, ok := c.MSHRSource(0x3000, 50); ok {
+		t.Error("MSHRSource found a miss that was never allocated")
+	}
+	// Completed fills stop reporting.
+	if _, ok := c.MSHRSource(0x1000, 100); ok {
+		t.Error("MSHRSource reported a completed fill as in flight")
+	}
+}
+
+// TestInFlightSource: a tag-present line reports its fill source until
+// the data arrives, without touching LRU or statistics.
+func TestInFlightSource(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Assoc: 4, HitLatency: 1, MSHRs: 4})
+	c.Insert(0x1000, 200, SrcRunahead)
+	before := c.Stats()
+	if src, ok := c.InFlightSource(0x1000, 100); !ok || src != SrcRunahead {
+		t.Errorf("InFlightSource = %v,%v, want SrcRunahead,true", src, ok)
+	}
+	if _, ok := c.InFlightSource(0x1000, 200); ok {
+		t.Error("InFlightSource reported an arrived line as in flight")
+	}
+	if c.Stats() != before {
+		t.Error("InFlightSource perturbed statistics")
+	}
+	// A demand hit clears the tag: the line no longer filters.
+	c.Insert(0x2000, 300, SrcRunahead)
+	c.Lookup(0x2000, 100, true)
+	if src, ok := c.InFlightSource(0x2000, 150); ok && src == SrcRunahead {
+		t.Error("demanded line still reports SrcRunahead")
+	}
+}
+
+// TestLifetimeHWPrefSurvivesReset: the throttle feedback counters must
+// not reset with the measurement window.
+func TestLifetimeHWPrefSurvivesReset(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Assoc: 4, HitLatency: 1, MSHRs: 4})
+	c.Insert(0x1000, 50, SrcHW)
+	c.Lookup(0x1000, 10, true) // useful and late
+	u, l := c.LifetimeHWPref()
+	if u != 1 || l != 1 {
+		t.Fatalf("lifetime counters = %d,%d, want 1,1", u, l)
+	}
+	c.ResetStats()
+	if c.Stats().HWPrefUseful != 0 {
+		t.Error("window stats survived reset")
+	}
+	if u, l = c.LifetimeHWPref(); u != 1 || l != 1 {
+		t.Errorf("lifetime counters reset with the window: %d,%d", u, l)
+	}
 }

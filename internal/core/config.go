@@ -156,10 +156,13 @@ func Default(mode Mode) Config {
 // ApplyPrefetch installs a hardware-prefetcher variant into the memory
 // configuration — the hook every PF-augmented simulation mode uses. Any
 // runahead mode composes with any variant: "OoO + stride" and "PRE +
-// best-offset" are both just Default(mode) plus ApplyPrefetch.
+// adaptive" are both just Default(mode) plus ApplyPrefetch. The variant
+// carries all three per-level engines plus the PRE-aware filter switch.
 func (c *Config) ApplyPrefetch(v prefetch.Variant) {
+	c.Mem.L1IPrefetch = v.L1I
 	c.Mem.L1DPrefetch = v.L1D
 	c.Mem.L2Prefetch = v.L2
+	c.Mem.RunaheadFilter = v.Filter
 }
 
 // Validate checks the configuration for consistency.

@@ -30,6 +30,12 @@ var skipTestCases = []struct {
 	{"milc", ModePREEMQ, ""},
 	{"lbm", ModePREEMQ, "best-offset"},
 	{"libquantum", ModeOoO, "stride+bo"},
+	// The adaptive layer: throttled degrees change on feedback epochs
+	// (training-guarded), the PRE-aware filter probes MSHR/line sources,
+	// and lbm's deep stencil misses keep runahead fills in flight when
+	// the HW engines drain — the interference case the filter exists for.
+	{"lbm", ModePRE, "adaptive"},
+	{"milc", ModePRE, "filtered"},
 }
 
 // TestCycleSkipLockstep is the strongest skip-correctness check: a
@@ -81,6 +87,27 @@ func TestCycleSkipLockstepSynth(t *testing.T) {
 		t.Run(sc.Name()+"/"+mode.String(), func(t *testing.T) {
 			t.Parallel()
 			lockstepCompare(t, Default(mode), sc.NewGenerator)
+		})
+	}
+
+	// Front-end-bound scenario under the full adaptive PF stack: the L1I
+	// engine trains and drains on the fetch path, so fetch-side retry
+	// spans now have prefetch wake-up/guard sources too.
+	fe, err := synth.FrontEndSpace().Sample(synth.NthSeed(synth.DefaultBaseSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := prefetch.VariantByName("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeOoO, ModePRE} {
+		mode := mode
+		t.Run(fe.Name()+"/frontend/"+mode.String()+"+adaptive", func(t *testing.T) {
+			t.Parallel()
+			cfg := Default(mode)
+			cfg.ApplyPrefetch(adaptive)
+			lockstepCompare(t, cfg, fe.NewGenerator)
 		})
 	}
 }

@@ -387,7 +387,11 @@ func canonicalConfig(cfg core.Config) core.Config {
 	var keep knobs
 	switch c.Mode {
 	case core.ModeOoO:
-		// The baseline reads none of the runahead machinery.
+		// The baseline reads none of the runahead machinery. The
+		// PRE-aware prefetch filter is also inert here — it only drops
+		// duplicates of runahead-tagged fills, which a baseline never
+		// creates — so filtered and unfiltered variants share a baseline.
+		c.Mem.RunaheadFilter = false
 	case core.ModeRA:
 		keep = knobs{minCycles: true, freeExit: true}
 	case core.ModeRABuffer:

@@ -218,6 +218,37 @@ func TestPFPointsStayDistinct(t *testing.T) {
 			t.Errorf("%v: no-pf and stride configurations deduplicated", mode)
 		}
 	}
+	// The adaptive layer's knobs are behavioral too: every standard
+	// variant — including the ones differing only in the filter bit or a
+	// throttle epoch — must fingerprint distinctly under a runahead mode.
+	seen := map[string]string{}
+	for _, v := range prefetch.Variants() {
+		cfg := core.Default(core.ModePRE)
+		cfg.ApplyPrefetch(v)
+		key := runKey("w", testOpt(), cfg)
+		if prev, ok := seen[key]; ok {
+			t.Errorf("variants %q and %q share a dedup key", prev, v.Name)
+		}
+		seen[key] = v.Name
+	}
+	// Under the OoO baseline, though, the PRE-aware filter is inert (no
+	// runahead-tagged fills exist), so a filtered variant must dedup onto
+	// its unfiltered twin's baseline.
+	combined, err := prefetch.VariantByName("stride+bo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := prefetch.VariantByName("filtered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := core.Default(core.ModeOoO)
+	cfgA.ApplyPrefetch(combined)
+	cfgB := core.Default(core.ModeOoO)
+	cfgB.ApplyPrefetch(filtered)
+	if runKey("w", testOpt(), cfgA) != runKey("w", testOpt(), cfgB) {
+		t.Error("OoO baselines of stride+bo and filtered did not dedup (the filter cannot act without runahead)")
+	}
 }
 
 // TestWriteFileEmitsMetaSibling verifies the sink writes the execution

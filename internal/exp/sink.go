@@ -26,7 +26,13 @@ import (
 // parameters ("synth", reconstructible via synth.FromParams), and the
 // document gains the "population" block (space, count, base seed,
 // per-point speedup-distribution stats).
-const SchemaVersion = 3
+//
+// v4: the adaptive prefetching layer — sim.Result gained
+// HWPrefFilteredRA (requests the PRE-aware filter dropped as duplicates
+// of in-flight runahead fills) and HWPrefOverflowed (requests lost to
+// engine queue overflow); the issue counters now also sum the L1I
+// fetch-stream engine when one is configured.
+const SchemaVersion = 4
 
 // RunMeta records how a Set was produced: wall-clock, requested and
 // effective pool width, and GOMAXPROCS. It is deliberately a SEPARATE

@@ -9,13 +9,24 @@
 // and bus resources — the contention that bounds runahead's usable MLP)
 // but are tagged so coverage statistics can distinguish them.
 //
-// Hardware prefetchers (internal/prefetch) hang off the L1D and the L2:
-// the L1D prefetcher observes the demand-load stream, the L2 prefetcher
+// Hardware prefetchers (internal/prefetch) hang off the L1I, the L1D and
+// the L2: the L1I prefetcher observes the instruction-fetch stream, the
+// L1D prefetcher observes the demand-load stream, the L2 prefetcher
 // observes the data traffic that reaches the L2. Their requests walk the
 // same multi-level path as demand and runahead traffic — consuming the
 // same MSHRs, DRAM banks and bus slots — but carry their own fill tag
 // (cache.SrcHW), so runahead coverage and hardware-prefetch accuracy are
 // separately attributable.
+//
+// Two adaptive pieces close the loop between the engines and the rest of
+// the machine. The PRE-aware filter (Config.RunaheadFilter) drops
+// hardware prefetch requests whose line already has an in-flight
+// runahead-tagged MSHR at any level, counting them separately
+// (PFStats.FilteredRA) — the direct measurement of the interference term
+// between runahead requests and HW prefetch traffic. And engines
+// configured with a ThrottleEpoch receive epoch-sampled accuracy/late
+// feedback (prefetch.Adaptive) from their fill level's lifetime counters,
+// which drives their effective-degree throttling.
 //
 // Latency convention: a hit at level k costs the sum of the hit latencies
 // of levels 1..k (L1 4, L2 4+8, L3 4+8+30 for data), matching how Sniper
@@ -67,12 +78,22 @@ type Config struct {
 	L1I, L1D, L2, L3 cache.Config
 	DRAM             dram.Config
 
+	// L1IPrefetch configures the hardware prefetcher observing the
+	// instruction-fetch stream at the L1I (prefetch.KindNone disables it,
+	// the default) — front-end-bound workloads' PF coverage.
+	L1IPrefetch prefetch.Config
 	// L1DPrefetch configures the hardware prefetcher observing demand
 	// loads at the L1D (prefetch.KindNone disables it, the default).
 	L1DPrefetch prefetch.Config
 	// L2Prefetch configures the hardware prefetcher observing data
 	// traffic at the L2; its fills stop at the L2/L3.
 	L2Prefetch prefetch.Config
+	// RunaheadFilter enables the PRE-aware prefetch filter: hardware
+	// prefetch requests whose line already has an in-flight
+	// runahead-tagged MSHR (at the engine's level or deeper) are dropped
+	// and counted in PFStats.FilteredRA instead of being issued or lumped
+	// into Redundant.
+	RunaheadFilter bool
 }
 
 // Default returns the paper's Table 1 memory hierarchy. MSHR counts are
@@ -99,11 +120,10 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
-	if err := c.L1DPrefetch.Validate(); err != nil {
-		return err
-	}
-	if err := c.L2Prefetch.Validate(); err != nil {
-		return err
+	for _, pc := range []*prefetch.Config{&c.L1IPrefetch, &c.L1DPrefetch, &c.L2Prefetch} {
+		if err := pc.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.DRAM.Validate()
 }
@@ -128,8 +148,19 @@ type PFStats struct {
 	// Dropped counts requests rejected because no MSHR was free.
 	Dropped int64
 	// Redundant counts requests whose target line was already cached or
-	// in flight.
+	// in flight (other than runahead-in-flight when the filter is on).
 	Redundant int64
+	// FilteredRA counts requests dropped by the PRE-aware filter because
+	// their line already had an in-flight runahead-tagged MSHR — the
+	// directly-measured interference term between HW prefetch traffic and
+	// runahead requests. Zero when Config.RunaheadFilter is off (such
+	// duplicates then issue or land in Redundant, as hardware without the
+	// filter would behave).
+	FilteredRA int64
+	// Overflowed counts requests the engine generated but discarded
+	// because its pending queue was full — coverage lost before the
+	// hierarchy ever saw the request.
+	Overflowed int64
 	// Fills counts lines the prefetcher installed at its fill level.
 	Fills int64
 	// Useful counts demand hits on prefetched lines.
@@ -147,6 +178,8 @@ func (s PFStats) Add(o PFStats) PFStats {
 		Issued:       s.Issued + o.Issued,
 		Dropped:      s.Dropped + o.Dropped,
 		Redundant:    s.Redundant + o.Redundant,
+		FilteredRA:   s.FilteredRA + o.FilteredRA,
+		Overflowed:   s.Overflowed + o.Overflowed,
 		Fills:        s.Fills + o.Fills,
 		Useful:       s.Useful + o.Useful,
 		Late:         s.Late + o.Late,
@@ -173,7 +206,70 @@ func (s PFStats) Timeliness() float64 {
 
 // pfCounters is the mutable issue-side counter block per prefetcher.
 type pfCounters struct {
-	issued, dropped, redundant int64
+	issued, dropped, redundant, filteredRA int64
+}
+
+// engine binds one hardware prefetcher to its level: the prefetcher, its
+// measurement-window issue counters, and the never-reset feedback state
+// the adaptive throttle consumes. pf is nil when the level has no engine.
+type engine struct {
+	pf prefetch.Prefetcher
+	ad prefetch.Adaptive // non-nil when pf adapts to feedback
+	// epoch is the feedback sampling interval in training observations
+	// (Config.ThrottleEpoch; 0 = never sample).
+	epoch int64
+	cnt   pfCounters
+	// overflowBase is the engine's cumulative overflow count at the last
+	// stats reset; the window's Overflowed is the difference.
+	overflowBase int64
+	// lifeObserves and lifeIssued are lifetime counters (never reset —
+	// adaptation must be oblivious to measurement windows).
+	lifeObserves, lifeIssued int64
+}
+
+func newEngine(cfg prefetch.Config) engine {
+	e := engine{pf: cfg.New(), epoch: int64(cfg.ThrottleEpoch)}
+	e.ad, _ = e.pf.(prefetch.Adaptive)
+	return e
+}
+
+// observed accounts one training observation and, on an epoch boundary,
+// pushes the cumulative feedback sample (issue counts plus the fill
+// level's lifetime usefulness counters) to an adaptive engine.
+func (e *engine) observed(h *Hierarchy, fillLevel *cache.Cache) {
+	h.pfObserves++
+	e.lifeObserves++
+	if e.epoch > 0 && e.ad != nil && e.lifeObserves%e.epoch == 0 {
+		useful, late := fillLevel.LifetimeHWPref()
+		e.ad.Feedback(prefetch.Feedback{Issued: e.lifeIssued, Useful: useful, Late: late})
+	}
+}
+
+// windowStats assembles the engine's measurement-window PFStats against
+// its fill level's counters. With no engine configured the issue-side
+// counters are zero and only the level's own demand/fill statistics
+// carry through (the historical per-level behavior).
+func (e *engine) windowStats(fillLevel *cache.Cache) PFStats {
+	cs := fillLevel.Stats()
+	s := PFStats{
+		Issued: e.cnt.issued, Dropped: e.cnt.dropped,
+		Redundant: e.cnt.redundant, FilteredRA: e.cnt.filteredRA,
+		Fills: cs.HWPrefFills, Useful: cs.HWPrefUseful, Late: cs.HWPrefLate,
+		DemandMisses: cs.Misses,
+	}
+	if e.pf != nil {
+		s.Overflowed = e.pf.Overflowed() - e.overflowBase
+	}
+	return s
+}
+
+// resetWindow opens a new measurement window: issue counters restart and
+// the overflow baseline re-anchors; lifetime feedback state survives.
+func (e *engine) resetWindow() {
+	e.cnt = pfCounters{}
+	if e.pf != nil {
+		e.overflowBase = e.pf.Overflowed()
+	}
 }
 
 // Hierarchy is the assembled memory system. Not safe for concurrent use.
@@ -185,16 +281,17 @@ type Hierarchy struct {
 	l3  *cache.Cache
 	ram *dram.DRAM
 
-	// Hardware prefetchers (nil when disabled) and their issue counters.
-	l1dpf, l2pf prefetch.Prefetcher
-	pfL1D, pfL2 pfCounters
+	// Hardware prefetch engines per observing level (pf nil when
+	// disabled).
+	pfI, pfD, pf2 engine
 
-	// pfObserves counts every Observe fed to either prefetcher. It is
+	// pfObserves counts every Observe fed to any prefetcher. It is
 	// engineering bookkeeping, not a reported statistic: the core's
 	// retry-span amortizer treats any training during a candidate span
 	// as hidden state change and refuses to fast-forward (the L2
 	// prefetcher trains *before* the L2/L3 MSHR rejection, so a blocked
-	// retry can still be a training event).
+	// retry can still be a training event). Feedback-driven degree
+	// changes ride the same guard: they only ever happen on an Observe.
 	pfObserves int64
 }
 
@@ -205,14 +302,15 @@ func New(cfg Config) *Hierarchy {
 		panic(err)
 	}
 	return &Hierarchy{
-		cfg:   cfg,
-		l1i:   cache.New(cfg.L1I),
-		l1d:   cache.New(cfg.L1D),
-		l2:    cache.New(cfg.L2),
-		l3:    cache.New(cfg.L3),
-		ram:   dram.New(cfg.DRAM),
-		l1dpf: cfg.L1DPrefetch.New(),
-		l2pf:  cfg.L2Prefetch.New(),
+		cfg: cfg,
+		l1i: cache.New(cfg.L1I),
+		l1d: cache.New(cfg.L1D),
+		l2:  cache.New(cfg.L2),
+		l3:  cache.New(cfg.L3),
+		ram: dram.New(cfg.DRAM),
+		pfI: newEngine(cfg.L1IPrefetch),
+		pfD: newEngine(cfg.L1DPrefetch),
+		pf2: newEngine(cfg.L2Prefetch),
 	}
 }
 
@@ -231,37 +329,29 @@ func (h *Hierarchy) L3() *cache.Cache { return h.l3 }
 // DRAM returns the memory model (stats access).
 func (h *Hierarchy) DRAM() *dram.DRAM { return h.ram }
 
+// PFStatsL1I returns the L1I hardware prefetcher's aggregated statistics.
+func (h *Hierarchy) PFStatsL1I() PFStats { return h.pfI.windowStats(h.l1i) }
+
 // PFStatsL1D returns the L1D hardware prefetcher's aggregated statistics.
-func (h *Hierarchy) PFStatsL1D() PFStats {
-	cs := h.l1d.Stats()
-	return PFStats{
-		Issued: h.pfL1D.issued, Dropped: h.pfL1D.dropped, Redundant: h.pfL1D.redundant,
-		Fills: cs.HWPrefFills, Useful: cs.HWPrefUseful, Late: cs.HWPrefLate,
-		DemandMisses: cs.Misses,
-	}
-}
+func (h *Hierarchy) PFStatsL1D() PFStats { return h.pfD.windowStats(h.l1d) }
 
 // PFStatsL2 returns the L2 hardware prefetcher's aggregated statistics.
-func (h *Hierarchy) PFStatsL2() PFStats {
-	cs := h.l2.Stats()
-	return PFStats{
-		Issued: h.pfL2.issued, Dropped: h.pfL2.dropped, Redundant: h.pfL2.redundant,
-		Fills: cs.HWPrefFills, Useful: cs.HWPrefUseful, Late: cs.HWPrefLate,
-		DemandMisses: cs.Misses,
-	}
-}
+func (h *Hierarchy) PFStatsL2() PFStats { return h.pf2.windowStats(h.l2) }
 
 // PFStats returns the combined hardware-prefetch statistics — the
 // headline accuracy/coverage/timeliness numbers of a PF-augmented run.
 // Only levels with an enabled engine contribute: with a single engine
-// the combined numbers are exactly that engine's, and with both the
+// the combined numbers are exactly that engine's, and with several the
 // coverage denominator pools each engine's own miss stream.
 func (h *Hierarchy) PFStats() PFStats {
 	var s PFStats
-	if h.l1dpf != nil {
+	if h.pfI.pf != nil {
+		s = s.Add(h.PFStatsL1I())
+	}
+	if h.pfD.pf != nil {
 		s = s.Add(h.PFStatsL1D())
 	}
-	if h.l2pf != nil {
+	if h.pf2.pf != nil {
 		s = s.Add(h.PFStatsL2())
 	}
 	return s
@@ -269,15 +359,18 @@ func (h *Hierarchy) PFStats() PFStats {
 
 // ResetStats opens a measurement window across all levels. Prefetcher
 // prediction state (like cache contents) deliberately survives: warmup
-// trains the tables.
+// trains the tables. The adaptive throttles' feedback state also
+// survives — machine behavior must not depend on where the measurement
+// window opens.
 func (h *Hierarchy) ResetStats() {
 	h.l1i.ResetStats()
 	h.l1d.ResetStats()
 	h.l2.ResetStats()
 	h.l3.ResetStats()
 	h.ram.ResetStats()
-	h.pfL1D = pfCounters{}
-	h.pfL2 = pfCounters{}
+	h.pfI.resetWindow()
+	h.pfD.resetWindow()
+	h.pf2.resetWindow()
 }
 
 // writeback pushes a dirty victim from level k into level k+1. It costs no
@@ -324,7 +417,7 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand bool,
 		return Result{Ready: fill, Level: LevelMem}, true
 	}
 	if l1.MSHRFree(now) == 0 {
-		l1.MSHRAlloc(addr, now, 0) // records the stall; allocation fails
+		l1.MSHRAlloc(addr, now, 0, src) // records the stall; allocation fails
 		return Result{}, false
 	}
 	t := now + int64(l1.HitLatency())
@@ -351,9 +444,9 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand bool,
 // prefetcher (demand data traffic only). The caller owns the L1 fill.
 func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache.Source) (Result, bool) {
 	hit, ready := h.l2.Lookup(addr, t, demand)
-	if train && h.l2pf != nil {
-		h.l2pf.Observe(prefetch.Access{Addr: addr, Hit: hit, Cycle: t})
-		h.pfObserves++
+	if train && h.pf2.pf != nil {
+		h.pf2.pf.Observe(prefetch.Access{Addr: addr, Hit: hit, Cycle: t})
+		h.pf2.observed(h, h.l2)
 	}
 	if hit {
 		return Result{Ready: ready, Level: LevelL2}, true
@@ -362,7 +455,7 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 		return Result{Ready: fill, Level: LevelMem}, true
 	}
 	if h.l2.MSHRFree(t) == 0 {
-		h.l2.MSHRAlloc(addr, t, 0)
+		h.l2.MSHRAlloc(addr, t, 0, src)
 		return Result{}, false
 	}
 	t2 := t + int64(h.l2.HitLatency())
@@ -370,16 +463,16 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 	// L3.
 	if hit, ready := h.l3.Lookup(addr, t2, demand); hit {
 		h.fillL2(addr, ready, src, t)
-		h.l2.MSHRAlloc(addr, t, ready)
+		h.l2.MSHRAlloc(addr, t, ready, src)
 		return Result{Ready: ready, Level: LevelL3}, true
 	}
 	if fill, ok := h.l3.MSHRLookup(addr, t2); ok {
 		h.fillL2(addr, fill, src, t)
-		h.l2.MSHRAlloc(addr, t, fill)
+		h.l2.MSHRAlloc(addr, t, fill, src)
 		return Result{Ready: fill, Level: LevelMem}, true
 	}
 	if h.l3.MSHRFree(t2) == 0 {
-		h.l3.MSHRAlloc(addr, t2, 0)
+		h.l3.MSHRAlloc(addr, t2, 0, src)
 		return Result{}, false
 	}
 	t3 := t2 + int64(h.l3.HitLatency())
@@ -395,9 +488,9 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 	}
 	ev3 := h.l3.Insert(addr, done, l3Src)
 	h.writeback(LevelL3, ev3, done)
-	h.l3.MSHRAlloc(addr, t2, done)
+	h.l3.MSHRAlloc(addr, t2, done, src)
 	h.fillL2(addr, done, src, t)
-	h.l2.MSHRAlloc(addr, t, done)
+	h.l2.MSHRAlloc(addr, t, done, src)
 	return Result{Ready: done, Level: LevelMem}, true
 }
 
@@ -406,7 +499,7 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 func (h *Hierarchy) fill(l1 *cache.Cache, addr uint64, ready int64, src cache.Source, now int64) {
 	ev := l1.Insert(addr, ready, src)
 	h.writeback(LevelL1, ev, ready)
-	l1.MSHRAlloc(addr, now, ready)
+	l1.MSHRAlloc(addr, now, ready, src)
 }
 
 // fillL2 installs a line into the L2 on its way up.
@@ -431,9 +524,9 @@ func (h *Hierarchy) Load(addr uint64, now int64) (Result, bool) {
 func (h *Hierarchy) LoadPC(addr, pc uint64, now int64) (Result, bool) {
 	res, ok := h.access(h.l1d, addr, now, true, cache.SrcDemand)
 	if ok {
-		if h.l1dpf != nil {
-			h.l1dpf.Observe(prefetch.Access{Addr: addr, PC: pc, Hit: res.Level == LevelL1, Cycle: now})
-			h.pfObserves++
+		if h.pfD.pf != nil {
+			h.pfD.pf.Observe(prefetch.Access{Addr: addr, PC: pc, Hit: res.Level == LevelL1, Cycle: now})
+			h.pfD.observed(h, h.l1d)
 		}
 		h.drainPrefetchers(now)
 	}
@@ -454,9 +547,17 @@ func (h *Hierarchy) Prefetch(addr uint64, now int64) (Result, bool) {
 	return h.access(h.l1d, addr, now, false, cache.SrcRunahead)
 }
 
-// Fetch issues an instruction fetch for the line containing addr.
+// Fetch issues an instruction fetch for the line containing addr. The
+// access trains the L1I hardware prefetcher on the fetch stream and
+// drains its request queue into the hierarchy.
 func (h *Hierarchy) Fetch(addr uint64, now int64) (Result, bool) {
-	return h.access(h.l1i, addr, now, true, cache.SrcDemand)
+	res, ok := h.access(h.l1i, addr, now, true, cache.SrcDemand)
+	if ok && h.pfI.pf != nil {
+		h.pfI.pf.Observe(prefetch.Access{Addr: addr, Hit: res.Level == LevelL1, Cycle: now})
+		h.pfI.observed(h, h.l1i)
+		h.drainL1(&h.pfI, h.l1i, now)
+	}
+	return res, ok
 }
 
 // StoreCommit retires a store to the line containing addr. A hit marks the
@@ -476,44 +577,84 @@ func (h *Hierarchy) StoreCommit(addr uint64, now int64) (Result, bool) {
 	return res, ok
 }
 
-// drainPrefetchers empties both request queues into the hierarchy. Each
-// request walks the real multi-level path — consuming MSHRs, DRAM banks
-// and bus slots exactly like demand and runahead traffic — or is dropped
-// (never retried) when its level's MSHRs are exhausted, the standard
-// drop-on-contention policy of hardware prefetch engines.
+// drainPrefetchers empties the data-side request queues into the
+// hierarchy. Each request walks the real multi-level path — consuming
+// MSHRs, DRAM banks and bus slots exactly like demand and runahead
+// traffic — or is dropped (never retried) when its level's MSHRs are
+// exhausted, the standard drop-on-contention policy of hardware prefetch
+// engines. (The L1I engine drains on the fetch path, see Fetch.)
 func (h *Hierarchy) drainPrefetchers(now int64) {
-	if h.l1dpf != nil {
-		for _, addr := range h.l1dpf.Requests() {
-			switch {
-			case h.l1d.Contains(addr):
-				h.pfL1D.redundant++
-			case h.inFlight(h.l1d, addr, now):
-				h.pfL1D.redundant++
-			default:
-				if _, ok := h.access(h.l1d, addr, now, false, cache.SrcHW); ok {
-					h.pfL1D.issued++
-				} else {
-					h.pfL1D.dropped++
-				}
-			}
-		}
+	if h.pfD.pf != nil {
+		h.drainL1(&h.pfD, h.l1d, now)
 	}
-	if h.l2pf != nil {
-		for _, addr := range h.l2pf.Requests() {
+	if h.pf2.pf != nil {
+		for _, addr := range h.pf2.pf.Requests() {
 			switch {
+			case h.filteredByRunahead(addr, now, h.l2, h.l3):
+				h.pf2.cnt.filteredRA++
 			case h.l2.Contains(addr) || h.l3.Contains(addr):
-				h.pfL2.redundant++
+				h.pf2.cnt.redundant++
 			case h.inFlight(h.l2, addr, now):
-				h.pfL2.redundant++
+				h.pf2.cnt.redundant++
 			default:
 				if _, ok := h.accessL2(addr, now, false, false, cache.SrcHW); ok {
-					h.pfL2.issued++
+					h.pf2.cnt.issued++
+					h.pf2.lifeIssued++
 				} else {
-					h.pfL2.dropped++
+					h.pf2.cnt.dropped++
 				}
 			}
 		}
 	}
+}
+
+// drainL1 empties one first-level engine's request queue through the full
+// multi-level path starting at its L1 (the L1D data path or the L1I fetch
+// path).
+func (h *Hierarchy) drainL1(e *engine, l1 *cache.Cache, now int64) {
+	for _, addr := range e.pf.Requests() {
+		switch {
+		case h.filteredByRunahead(addr, now, l1, h.l2, h.l3):
+			e.cnt.filteredRA++
+		case l1.Contains(addr):
+			e.cnt.redundant++
+		case h.inFlight(l1, addr, now):
+			e.cnt.redundant++
+		default:
+			if _, ok := h.access(l1, addr, now, false, cache.SrcHW); ok {
+				e.cnt.issued++
+				e.lifeIssued++
+			} else {
+				e.cnt.dropped++
+			}
+		}
+	}
+}
+
+// filteredByRunahead implements the PRE-aware filter: it reports whether
+// a hardware prefetch request should be dropped as a duplicate of an
+// in-flight runahead fill at the engine's own level or any deeper one. A
+// runahead fill in flight is visible two ways — as a tag-present line
+// whose data has not arrived (the resource-reservation model installs
+// lines at miss issue) or, after an eviction, as a bare runahead-tagged
+// MSHR — and both probes are side-effect free. Counting these separately
+// from Redundant is what makes the runahead/HW-prefetch interference
+// term directly measurable; checking the deeper levels additionally
+// stops requests that would otherwise issue and tie up the engine
+// level's MSHR merging into a fill runahead already started.
+func (h *Hierarchy) filteredByRunahead(addr uint64, now int64, levels ...*cache.Cache) bool {
+	if !h.cfg.RunaheadFilter {
+		return false
+	}
+	for _, c := range levels {
+		if src, ok := c.InFlightSource(addr, now); ok && src == cache.SrcRunahead {
+			return true
+		}
+		if src, ok := c.MSHRSource(addr, now); ok && src == cache.SrcRunahead {
+			return true
+		}
+	}
+	return false
 }
 
 // inFlight reports whether a fill for addr's line is already outstanding

@@ -26,6 +26,16 @@
 //     winning offset drives prefetches until the next learning phase
 //     re-elects it. Covers strided streams whose L1 stride is sub-line
 //     (the offset is learned in line units, independent of PC).
+//
+// Any engine composes with the accuracy-driven degree throttle
+// (Config.ThrottleEpoch > 0): a feedback controller in the style of
+// Srinath's feedback-directed prefetching that scales the engine's
+// effective degree between 1 and its configured maximum from
+// epoch-sampled accuracy and late-ratio feedback (the hierarchy pushes
+// mem.PFStats-derived counters via the Adaptive interface). Open-loop
+// engines run at fixed degree, which is exactly what the throttle exists
+// to fix: useless prefetches on irregular phases waste MSHRs and DRAM
+// bandwidth the runahead mechanisms need.
 package prefetch
 
 import (
@@ -58,6 +68,32 @@ type Prefetcher interface {
 	// Requests drains the queued prefetch requests: line-aligned byte
 	// addresses, in generation order. The queue is empty afterwards.
 	Requests() []uint64
+	// Overflowed returns the cumulative count of generated requests that
+	// were discarded because the pending queue was full. The counter never
+	// resets (the hierarchy differences it across measurement windows);
+	// surfacing it is what keeps queue-capacity coverage loss visible
+	// instead of silently vanishing.
+	Overflowed() int64
+}
+
+// Feedback carries the cumulative usefulness counters the hierarchy
+// samples for an adaptive prefetcher: how many requests the engine
+// actually injected, how many of its fills were consumed by demand, and
+// how many of those consumers still waited on the in-flight fill. All
+// three are lifetime values (never reset by measurement windows); the
+// receiver differences consecutive samples to get per-epoch ratios.
+type Feedback struct {
+	Issued int64
+	Useful int64
+	Late   int64
+}
+
+// Adaptive is implemented by prefetchers that close the loop on their own
+// effectiveness. The memory hierarchy calls Feedback every
+// Config.ThrottleEpoch training observations with that engine's
+// cumulative counters.
+type Adaptive interface {
+	Feedback(f Feedback)
 }
 
 // Kind selects a prefetcher implementation.
@@ -127,6 +163,13 @@ type Config struct {
 	// offset scored at or below it (the access stream has no usable
 	// offset pattern).
 	BadScore int
+	// ThrottleEpoch enables accuracy-driven degree throttling: every
+	// ThrottleEpoch training observations the hierarchy feeds the engine
+	// its cumulative issued/useful/late counters, and the throttle scales
+	// the effective degree between 1 and Degree (high accuracy or mostly
+	// late-but-useful fills step it up, low accuracy steps it down).
+	// 0 disables throttling (open-loop fixed degree).
+	ThrottleEpoch int
 }
 
 // Enabled reports whether the configuration names a real prefetcher.
@@ -135,6 +178,50 @@ func (c Config) Enabled() bool { return c.Kind != KindNone }
 // DefaultNextLine returns a degree-2 sequential prefetcher configuration.
 func DefaultNextLine() Config {
 	return Config{Kind: KindNextLine, Degree: 2, Distance: 1}
+}
+
+// DefaultL1INextLine returns the L1I fetch-stream prefetcher. Instruction
+// fetch is almost perfectly sequential between taken branches, so the
+// standard next-line configuration is exactly right for the front end
+// too — delegating keeps the two baselines from silently diverging.
+func DefaultL1INextLine() Config {
+	return DefaultNextLine()
+}
+
+// throttleEpochDefault is the adaptation interval of the Throttled*
+// configurations, in training observations. Small enough to re-converge
+// within one synth phase (8k µops minimum), large enough that per-epoch
+// accuracy is not shot noise.
+const throttleEpochDefault = 256
+
+// ThrottledStride returns the adaptive L1D stride configuration: the
+// DefaultStride table and distance with the maximum degree raised to 4
+// and the feedback throttle scaling the effective degree from accuracy.
+func ThrottledStride() Config {
+	c := DefaultStride()
+	c.Degree = 4
+	c.ThrottleEpoch = throttleEpochDefault
+	return c
+}
+
+// ThrottledBestOffset returns the adaptive L2 best-offset configuration:
+// DefaultBestOffset with a maximum degree of 2 under feedback control.
+func ThrottledBestOffset() Config {
+	c := DefaultBestOffset()
+	c.Degree = 2
+	c.ThrottleEpoch = throttleEpochDefault
+	return c
+}
+
+// ThrottledL1INextLine returns the adaptive L1I configuration: next-line
+// with a maximum degree of 4 under feedback control — deep sequential
+// look-ahead on code sweeps, degree 1 on loop-resident phases where
+// almost every prefetch is redundant.
+func ThrottledL1INextLine() Config {
+	c := DefaultL1INextLine()
+	c.Degree = 4
+	c.ThrottleEpoch = throttleEpochDefault
+	return c
 }
 
 // DefaultStride returns the L1D stride prefetcher configuration: a
@@ -183,6 +270,9 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("prefetch: invalid kind %d", c.Kind)
 	}
+	if c.ThrottleEpoch < 0 {
+		return fmt.Errorf("prefetch: negative ThrottleEpoch %d", c.ThrottleEpoch)
+	}
 	return nil
 }
 
@@ -193,35 +283,46 @@ func (c Config) New() Prefetcher {
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
+	var p Prefetcher
 	switch c.Kind {
 	case KindNone:
 		return nil
 	case KindNextLine:
-		return &nextLine{cfg: c}
+		p = &nextLine{cfg: c}
 	case KindStride:
-		return &stride{cfg: c, table: make([]strideEntry, c.TableSize), mask: uint64(c.TableSize - 1)}
+		p = &stride{cfg: c, table: make([]strideEntry, c.TableSize), mask: uint64(c.TableSize - 1)}
 	case KindBestOffset:
-		return newBestOffset(c)
+		p = newBestOffset(c)
+	default:
+		panic("unreachable")
 	}
-	panic("unreachable")
+	if c.ThrottleEpoch > 0 {
+		p = newThrottled(p, c.Degree)
+	}
+	return p
 }
 
 // reqQueue is the shared bounded request queue.
 type reqQueue struct {
 	q []uint64
+	// overflowed counts pushes discarded at queueCap — lost coverage that
+	// every engine surfaces through Prefetcher.Overflowed (duplicate
+	// pushes are not overflow: they represent no lost coverage).
+	overflowed int64
 }
 
 // push queues a line-aligned request, dropping duplicates of the current
-// queue contents and everything past the cap.
+// queue contents and counting everything past the cap as overflow.
 func (r *reqQueue) push(addr uint64) {
 	addr = uarch.LineAddr(addr)
-	if len(r.q) >= queueCap {
-		return
-	}
 	for _, a := range r.q {
 		if a == addr {
-			return
+			return // already pending: no coverage lost
 		}
+	}
+	if len(r.q) >= queueCap {
+		r.overflowed++
+		return
 	}
 	r.q = append(r.q, addr)
 }
@@ -240,6 +341,10 @@ func (r *reqQueue) Requests() []uint64 {
 	return out
 }
 
+// Overflowed returns the cumulative count of requests dropped at the
+// queue cap.
+func (r *reqQueue) Overflowed() int64 { return r.overflowed }
+
 // --- next-line ---------------------------------------------------------------
 
 type nextLine struct {
@@ -249,10 +354,15 @@ type nextLine struct {
 
 func (p *nextLine) Name() string { return "next-line" }
 
+// Observe queues the Degree sequential lines starting Distance lines
+// ahead of the access — lines Distance .. Distance+Degree-1 — matching
+// the Distance > 0 requirement Validate enforces (Distance 1 is classic
+// next-line; larger distances trade pollution for timeliness on fast
+// sweeps).
 func (p *nextLine) Observe(a Access) {
 	base := uarch.LineAddr(a.Addr)
-	for i := 1; i <= p.cfg.Degree; i++ {
-		p.push(base + uint64(p.cfg.Distance+i-1)*uarch.LineSize)
+	for i := 0; i < p.cfg.Degree; i++ {
+		p.push(base + uint64(p.cfg.Distance+i)*uarch.LineSize)
 	}
 }
 
@@ -428,21 +538,123 @@ func (p *bestOffset) rrInsert(line uint64) {
 	p.rr[line&p.rrMask] = line
 }
 
+// --- accuracy-driven degree throttle -----------------------------------------
+
+// Throttle response thresholds (feedback-directed-prefetching style):
+// epoch accuracy at or above throttleAccHigh steps the degree up, below
+// throttleAccLow steps it down; in between, a mostly-late epoch (useful
+// fills that demand still waited on) also steps up — the engine is
+// predicting the right lines too late, so more look-ahead volume helps.
+// Epochs with fewer than throttleMinIssued injected requests carry no
+// signal and leave the degree unchanged.
+const (
+	throttleAccHigh   = 0.70
+	throttleAccLow    = 0.35
+	throttleLateHigh  = 0.5
+	throttleMinIssued = 8
+)
+
+// throttled wraps any engine with the accuracy-driven degree controller:
+// the inner engine generates at its configured (maximum) degree and the
+// wrapper forwards at most `deg` of each observation's requests, so the
+// effective degree moves between 1 and the maximum without the engine
+// knowing. Feedback samples arrive from the hierarchy as cumulative
+// counters (see Adaptive); the wrapper differences consecutive samples.
+type throttled struct {
+	inner Prefetcher
+	max   int
+	deg   int
+	last  Feedback
+	reqQueue
+}
+
+func newThrottled(inner Prefetcher, maxDegree int) *throttled {
+	// Start at the maximum: identical to the open-loop engine until the
+	// first epoch proves the traffic useless, so regular streams never
+	// pay a warmup penalty.
+	return &throttled{inner: inner, max: maxDegree, deg: maxDegree}
+}
+
+func (t *throttled) Name() string { return "throttled(" + t.inner.Name() + ")" }
+
+// Observe trains the inner engine and forwards at most the effective
+// degree of the requests it generated for this observation.
+func (t *throttled) Observe(a Access) {
+	t.inner.Observe(a)
+	for i, addr := range t.inner.Requests() {
+		if i >= t.deg {
+			break
+		}
+		t.push(addr)
+	}
+}
+
+// Overflowed combines the wrapper's own queue overflow with the inner
+// engine's (the inner queue is drained every observation, so its share is
+// normally zero).
+func (t *throttled) Overflowed() int64 {
+	return t.reqQueue.Overflowed() + t.inner.Overflowed()
+}
+
+// Degree returns the current effective degree (tests and diagnostics).
+func (t *throttled) Degree() int { return t.deg }
+
+// Feedback differences the cumulative sample against the previous epoch
+// and moves the effective degree one step.
+func (t *throttled) Feedback(f Feedback) {
+	di := f.Issued - t.last.Issued
+	du := f.Useful - t.last.Useful
+	dl := f.Late - t.last.Late
+	t.last = f
+	if di < throttleMinIssued {
+		return
+	}
+	acc := float64(du) / float64(di)
+	lateRatio := 0.0
+	if du > 0 {
+		lateRatio = float64(dl) / float64(du)
+	}
+	switch {
+	case acc >= throttleAccHigh:
+		if t.deg < t.max {
+			t.deg++
+		}
+	case acc < throttleAccLow:
+		if t.deg > 1 {
+			t.deg--
+		}
+	case lateRatio >= throttleLateHigh:
+		if t.deg < t.max {
+			t.deg++
+		}
+	}
+}
+
 // --- variants ----------------------------------------------------------------
 
-// Variant is a named (L1D, L2) prefetcher pairing — one point of the
-// PF-augmented simulation grid.
+// Variant is a named per-level prefetcher assignment plus the PRE-aware
+// filter switch — one point of the PF-augmented simulation grid.
 type Variant struct {
 	// Name labels the variant in reports and results sinks.
 	Name string
-	// L1D and L2 configure the per-level prefetchers (Kind None disables).
-	L1D, L2 Config
+	// L1I, L1D and L2 configure the per-level prefetchers (Kind None
+	// disables). The L1I engine observes the instruction-fetch stream.
+	L1I, L1D, L2 Config
+	// Filter enables the PRE-aware filter: hardware prefetch requests
+	// whose line is already covered by an in-flight runahead-tagged MSHR
+	// are dropped (and counted separately as FilteredRA), so HW engines
+	// stop duplicating work the runahead mechanism already started.
+	Filter bool
 }
 
-// Variants lists the standard PF grid points: no prefetching, an L1D
-// stride prefetcher, an L2 best-offset prefetcher, and both combined.
-// Every runahead mode crossed with these variants yields the
-// PRE-vs-prefetch-vs-combined comparison the paper frames its result
+// Variants lists the standard PF grid points. The first four are the
+// original open-loop grid: no prefetching, an L1D stride prefetcher, an
+// L2 best-offset prefetcher, and both combined. The adaptive points layer
+// the new machinery on top: an L1I next-line engine for front-end-bound
+// workloads, the accuracy-driven degree throttle, the PRE-aware filter
+// on the open-loop pair (isolating the interference term), and the full
+// adaptive stack. Every runahead mode crossed with these variants yields
+// the PRE-vs-prefetch-vs-combined comparison the paper frames its result
 // against.
 func Variants() []Variant {
 	return []Variant{
@@ -450,6 +662,10 @@ func Variants() []Variant {
 		{Name: "stride", L1D: DefaultStride()},
 		{Name: "best-offset", L2: DefaultBestOffset()},
 		{Name: "stride+bo", L1D: DefaultStride(), L2: DefaultBestOffset()},
+		{Name: "l1i-nl", L1I: DefaultL1INextLine()},
+		{Name: "throttled", L1D: ThrottledStride(), L2: ThrottledBestOffset()},
+		{Name: "filtered", L1D: DefaultStride(), L2: DefaultBestOffset(), Filter: true},
+		{Name: "adaptive", L1I: ThrottledL1INextLine(), L1D: ThrottledStride(), L2: ThrottledBestOffset(), Filter: true},
 	}
 }
 

@@ -227,3 +227,163 @@ func TestVariants(t *testing.T) {
 		t.Error("VariantByName accepted bogus name")
 	}
 }
+
+// TestNextLineHonorsDistance pins the Distance semantics Validate
+// enforces: the engine requests lines Distance..Distance+Degree-1 ahead
+// of the observed line.
+func TestNextLineHonorsDistance(t *testing.T) {
+	p := Config{Kind: KindNextLine, Degree: 2, Distance: 3}.New()
+	p.Observe(Access{Addr: 0x0})
+	got := p.Requests()
+	want := []uint64{3 * 64, 4 * 64}
+	if len(got) != len(want) {
+		t.Fatalf("requests = %x, want %x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request[%d] = %#x, want %#x (Distance not honored)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOverflowCounted: requests generated past the queue cap are counted,
+// not silently discarded; duplicates of queued requests are not overflow.
+func TestOverflowCounted(t *testing.T) {
+	p := Config{Kind: KindNextLine, Degree: 1, Distance: 1}.New()
+	for i := 0; i < 100; i++ {
+		p.Observe(Access{Addr: uint64(i) * 64})
+	}
+	if got := p.Overflowed(); got != 100-queueCap {
+		t.Errorf("Overflowed = %d, want %d", got, 100-queueCap)
+	}
+	// Duplicates of queued entries are dedup, not overflow.
+	p.Requests()
+	p.Observe(Access{Addr: 0})
+	p.Observe(Access{Addr: 0})
+	if got := p.Overflowed(); got != 100-queueCap {
+		t.Errorf("duplicate push counted as overflow: %d", got)
+	}
+}
+
+// TestThrottledAdaptsDegree exercises the feedback controller directly:
+// low-accuracy epochs walk the effective degree down to 1, high-accuracy
+// epochs walk it back to the configured maximum, and per-observation
+// request volume follows.
+func TestThrottledAdaptsDegree(t *testing.T) {
+	cfg := Config{Kind: KindNextLine, Degree: 4, Distance: 1, ThrottleEpoch: 16}
+	p := cfg.New()
+	ad, ok := p.(Adaptive)
+	if !ok {
+		t.Fatal("ThrottleEpoch > 0 did not build an Adaptive engine")
+	}
+	type degreer interface{ Degree() int }
+	d := p.(degreer)
+	if d.Degree() != 4 {
+		t.Fatalf("initial degree %d, want the configured max 4", d.Degree())
+	}
+
+	// Worthless epochs: plenty issued, nothing useful.
+	issued := int64(0)
+	for i := 0; i < 3; i++ {
+		issued += 100
+		ad.Feedback(Feedback{Issued: issued})
+	}
+	if d.Degree() != 1 {
+		t.Errorf("degree %d after three zero-accuracy epochs, want 1", d.Degree())
+	}
+	p.Observe(Access{Addr: 0})
+	if got := len(p.Requests()); got != 1 {
+		t.Errorf("throttled engine forwarded %d requests at degree 1", got)
+	}
+
+	// Perfect epochs: everything issued is useful again.
+	useful := issued
+	for i := 0; i < 3; i++ {
+		issued += 100
+		useful += 100
+		ad.Feedback(Feedback{Issued: issued, Useful: useful})
+	}
+	if d.Degree() != 4 {
+		t.Errorf("degree %d after three perfect epochs, want back at 4", d.Degree())
+	}
+	p.Observe(Access{Addr: 64 * 100})
+	if got := len(p.Requests()); got != 4 {
+		t.Errorf("throttled engine forwarded %d requests at degree 4", got)
+	}
+
+	// Mid accuracy but mostly-late fills also step up (timeliness).
+	for i := 0; i < 2; i++ {
+		issued += 100
+		useful += 50
+		ad.Feedback(Feedback{Issued: issued, Useful: useful})
+	}
+	if d.Degree() != 4 {
+		t.Errorf("degree %d dropped on mid-accuracy epochs without lateness", d.Degree())
+	}
+
+	// Tiny epochs carry no signal: degree must not move.
+	before := d.Degree()
+	ad.Feedback(Feedback{Issued: issued + 2})
+	if d.Degree() != before {
+		t.Errorf("degree moved on a %d-request epoch", 2)
+	}
+}
+
+// TestThrottledName labels the wrapper around its inner engine.
+func TestThrottledName(t *testing.T) {
+	p := ThrottledStride().New()
+	if got := p.Name(); got != "throttled(stride)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// TestVariantsAdaptiveGrid pins the extended grid: unique names, valid
+// configurations, and the structural properties each new point exists
+// for.
+func TestVariantsAdaptiveGrid(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 8 {
+		t.Fatalf("got %d variants, want 8", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Errorf("duplicate variant name %q", v.Name)
+		}
+		seen[v.Name] = true
+		for _, c := range []Config{v.L1I, v.L1D, v.L2} {
+			if err := c.Validate(); err != nil {
+				t.Errorf("variant %q has invalid config: %v", v.Name, err)
+			}
+		}
+		if _, err := VariantByName(v.Name); err != nil {
+			t.Errorf("VariantByName(%q): %v", v.Name, err)
+		}
+	}
+	l1i, _ := VariantByName("l1i-nl")
+	if !l1i.L1I.Enabled() || l1i.L1D.Enabled() || l1i.L2.Enabled() || l1i.Filter {
+		t.Errorf("l1i-nl is not the pure L1I point: %+v", l1i)
+	}
+	throttled, _ := VariantByName("throttled")
+	if throttled.L1D.ThrottleEpoch == 0 || throttled.L2.ThrottleEpoch == 0 || throttled.Filter {
+		t.Errorf("throttled point misconfigured: %+v", throttled)
+	}
+	filtered, _ := VariantByName("filtered")
+	combined, _ := VariantByName("stride+bo")
+	if !filtered.Filter || filtered.L1D != combined.L1D || filtered.L2 != combined.L2 {
+		t.Errorf("filtered must be stride+bo plus the filter bit: %+v", filtered)
+	}
+	adaptive, _ := VariantByName("adaptive")
+	if !adaptive.Filter || !adaptive.L1I.Enabled() || adaptive.L1I.ThrottleEpoch == 0 {
+		t.Errorf("adaptive must stack L1I + throttle + filter: %+v", adaptive)
+	}
+}
+
+// TestThrottleEpochValidation rejects negative epochs for every kind.
+func TestThrottleEpochValidation(t *testing.T) {
+	c := DefaultStride()
+	c.ThrottleEpoch = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative ThrottleEpoch validated")
+	}
+}

@@ -267,6 +267,37 @@ func PrefetchDetail(results [][]sim.Result, modes []core.Mode) *Table {
 	return t
 }
 
+// PFInterference builds the runahead-vs-hardware-prefetch interference
+// table: per workload and mechanism, the HW engines' issued / redundant /
+// filtered-as-runahead-duplicate / MSHR-dropped / queue-overflowed counts
+// next to the runahead mechanism's own prefetch count. "filtered-RA" is
+// the directly-measured interference term: HW prefetch requests that
+// would have duplicated an in-flight runahead fill, dropped by the
+// PRE-aware filter (always zero when the filter is off — those requests
+// then issue or land in "redundant" instead). Rows for runs without any
+// PF activity are skipped.
+func PFInterference(results [][]sim.Result, modes []core.Mode) *Table {
+	t := NewTable("Runahead / hardware-prefetch interference",
+		"benchmark", "mode", "hw-issued", "redundant", "filtered-RA", "dropped", "overflowed", "ra-prefetches")
+	for _, row := range results {
+		for mi, m := range modes {
+			r := row[mi]
+			if r.HWPrefIssued == 0 && r.HWPrefDropped == 0 && r.HWPrefRedundant == 0 &&
+				r.HWPrefFilteredRA == 0 && r.HWPrefOverflowed == 0 {
+				continue
+			}
+			t.AddRow(r.Workload, m.String(),
+				fmt.Sprintf("%d", r.HWPrefIssued),
+				fmt.Sprintf("%d", r.HWPrefRedundant),
+				fmt.Sprintf("%d", r.HWPrefFilteredRA),
+				fmt.Sprintf("%d", r.HWPrefDropped),
+				fmt.Sprintf("%d", r.HWPrefOverflowed),
+				fmt.Sprintf("%d", r.Prefetches))
+		}
+	}
+	return t
+}
+
 // RunaheadDetail builds the per-mechanism diagnostic table used by the
 // in-text experiments (entries, intervals, prefetch coverage, refill
 // penalties).

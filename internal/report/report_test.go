@@ -134,3 +134,26 @@ func TestPopulationGrid(t *testing.T) {
 		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
 	}
 }
+
+func TestPFInterferenceSkipsInactiveAndRendersCounters(t *testing.T) {
+	modes := []core.Mode{core.ModeOoO, core.ModePRE}
+	results := [][]sim.Result{{
+		{Workload: "w", Mode: core.ModeOoO}, // no PF activity: skipped
+		{Workload: "w", Mode: core.ModePRE, HWPrefIssued: 5, HWPrefRedundant: 2,
+			HWPrefFilteredRA: 3, HWPrefOverflowed: 1, Prefetches: 7},
+	}}
+	tbl := PFInterference(results, modes)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (inactive rows skipped)", len(tbl.Rows))
+	}
+	row := tbl.Rows[0]
+	want := []string{"w", "PRE", "5", "2", "3", "0", "1", "7"}
+	if len(row) != len(want) {
+		t.Fatalf("row %v, want %v", row, want)
+	}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, row[i], want[i])
+		}
+	}
+}

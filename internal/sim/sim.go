@@ -61,18 +61,23 @@ type Result struct {
 	L3Hits, L3Misses   int64
 
 	// Hardware-prefetcher behaviour (PF-augmented configurations; all
-	// zero when both prefetchers are disabled). Issue counters sum the
-	// L1D and L2 engines; the derived metrics use the standard
-	// definitions (see mem.PFStats).
-	HWPrefIssued    int64
-	HWPrefDropped   int64
-	HWPrefRedundant int64
-	HWPrefFills     int64
-	HWPrefUseful    int64
-	HWPrefLate      int64
-	HWPFAccuracy    float64
-	HWPFCoverage    float64
-	HWPFTimeliness  float64
+	// zero when every prefetcher is disabled). Issue counters sum the
+	// L1I, L1D and L2 engines; the derived metrics use the standard
+	// definitions (see mem.PFStats). HWPrefFilteredRA counts requests the
+	// PRE-aware filter dropped as duplicates of in-flight runahead fills
+	// (the interference term); HWPrefOverflowed counts requests lost to
+	// engine queue overflow before the hierarchy saw them.
+	HWPrefIssued     int64
+	HWPrefDropped    int64
+	HWPrefRedundant  int64
+	HWPrefFilteredRA int64
+	HWPrefOverflowed int64
+	HWPrefFills      int64
+	HWPrefUseful     int64
+	HWPrefLate       int64
+	HWPFAccuracy     float64
+	HWPFCoverage     float64
+	HWPFTimeliness   float64
 
 	// Runahead behaviour.
 	Entries             int64
@@ -153,7 +158,7 @@ func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
 		RegReads:     2 * (cs.IssuedALU + cs.IssuedFPU + cs.IssuedBranch + cs.IssuedLoad + cs.IssuedStore),
 		RegWrites:    cs.Completed,
 		Committed:    cs.Committed + cs.PseudoRetired,
-		L1Accesses:   l1i.Accesses + cs.IssuedLoad + cs.IssuedStore + l1d.HWPrefFills,
+		L1Accesses:   l1i.Accesses + cs.IssuedLoad + cs.IssuedStore + l1d.HWPrefFills + l1i.HWPrefFills,
 		L2Accesses:   l2.Accesses + l2.PrefetchFills + l2.HWPrefFills + l2.Writebacks,
 		L3Accesses:   l3.Accesses + l3.PrefetchFills + l3.HWPrefFills + l3.Writebacks,
 		DRAMAccesses: dr.Reads + dr.Writes,
@@ -183,6 +188,8 @@ func gather(name string, mode core.Mode, c *core.Core, opt Options) Result {
 		HWPrefIssued:        pf.Issued,
 		HWPrefDropped:       pf.Dropped,
 		HWPrefRedundant:     pf.Redundant,
+		HWPrefFilteredRA:    pf.FilteredRA,
+		HWPrefOverflowed:    pf.Overflowed,
 		HWPrefFills:         pf.Fills,
 		HWPrefUseful:        pf.Useful,
 		HWPrefLate:          pf.Late,

@@ -448,3 +448,93 @@ func NewHashWalk(p HashWalkParams) trace.Generator {
 		iter++
 	}}
 }
+
+// --- code walk ---------------------------------------------------------------
+
+// CodeWalkParams configures the front-end-bound archetype: straight-line
+// code sweeping an instruction footprint far larger than the L1I, so the
+// bottleneck is the fetch stream, not the data stream. Each basic block
+// is mostly integer filler; every LoadPeriod-th block adds one strided
+// data load (rotating over Lanes independent streams) so the memory
+// hierarchy sees light, prefetchable data traffic. The sweep is perfectly
+// sequential — the pattern an L1I next-line prefetcher exists for — and
+// ends in a single always-taken jump back to the top.
+type CodeWalkParams struct {
+	KernelID int
+	// CodeLines is the instruction footprint in cache lines; the 32 KB
+	// L1I holds 512.
+	CodeLines int
+	// Lanes is the number of independent data streams fed by the sparse
+	// loads.
+	Lanes int
+	// LoadPeriod emits one strided data load every N blocks (0 = pure
+	// code, no data traffic).
+	LoadPeriod int
+	// ALUWork is the integer filler per block (the block "body").
+	ALUWork int
+	// HotLoads per block hit a small L1-resident array.
+	HotLoads int
+}
+
+// codeBase assigns codewalk kernels a disjoint, wide code region: the
+// shared pcBase scheme spaces kernels 64 KB apart, which a code-footprint
+// archetype would overrun.
+func codeBase(kernelID int) uint64 { return 0x10000000 + uint64(kernelID)<<24 }
+
+// NewCodeWalk builds a front-end-bound generator.
+func NewCodeWalk(p CodeWalkParams) trace.Generator {
+	if p.Lanes < 1 || p.Lanes > 3 {
+		panic("workload: codewalk Lanes must be in [1,3]")
+	}
+	if p.ALUWork < 1 {
+		panic("workload: codewalk needs ALUWork >= 1")
+	}
+	// Fixed block geometry: every PC must carry the same µop shape across
+	// sweeps (the SST, stride prefetcher and BTB key on PC identity), so
+	// a block's content depends only on its position in the code region,
+	// never on elapsed iterations.
+	blockUops := p.ALUWork
+	if p.LoadPeriod > 0 {
+		blockUops += 2 // index advance + load in the load-carrying blocks
+	}
+	if p.HotLoads > 0 {
+		blockUops += 1 + p.HotLoads
+	}
+	blockBytes := uint64(blockUops+1) * 4 // +1: the final block's jump slot
+	numBlocks := uint64(p.CodeLines) * uarch.LineSize / blockBytes
+	if numBlocks < 2 {
+		panic("workload: codewalk CodeLines too small for its block size")
+	}
+	base := codeBase(p.KernelID)
+	hotBase := dataBase(p.KernelID, 0)
+	streamBase := make([]uint64, p.Lanes)
+	for s := range streamBase {
+		streamBase[s] = dataBase(p.KernelID, 2+s)
+	}
+	pos := make([]uint64, p.Lanes)
+	var block uint64
+
+	return &kernelGen{name: "codewalk", emit: func(e *emitQ) {
+		pc := base + block*blockBytes
+		if p.LoadPeriod > 0 && block%uint64(p.LoadPeriod) == 0 {
+			s := int(block/uint64(p.LoadPeriod)) % p.Lanes
+			idx := uarch.IntReg(s)
+			pos[s] += uarch.LineSize
+			e.alu(pc, idx, idx, uarch.RegNone) // index += stride
+			pc += 4
+			e.load(pc, uarch.FPReg(s), idx, streamBase[s]+pos[s])
+			pc += 4
+		} else if p.LoadPeriod > 0 {
+			// Keep the block shape fixed: non-load blocks spend the two
+			// slots on extra filler at their own PCs.
+			pc = e.aluFiller(pc, 2)
+		}
+		pc = e.aluFiller(pc, p.ALUWork)
+		pc = e.hotBlock(pc, p.HotLoads, hotBase, block*64)
+		block++
+		if block == numBlocks {
+			e.jump(pc, base)
+			block = 0
+		}
+	}}
+}

@@ -57,10 +57,14 @@ type Weights struct {
 	Indirect int `json:"indirect"`
 	Stencil  int `json:"stencil"`
 	HashWalk int `json:"hashwalk"`
+	// CodeWalk is appended after the original five so spaces that leave
+	// it zero sample exactly the populations they always did (the pick
+	// order is part of the determinism contract).
+	CodeWalk int `json:"codewalk,omitempty"`
 }
 
 func (w Weights) total() int {
-	return w.Stream + w.PtrChase + w.Indirect + w.Stencil + w.HashWalk
+	return w.Stream + w.PtrChase + w.Indirect + w.Stencil + w.HashWalk + w.CodeWalk
 }
 
 // pick samples an archetype name proportionally to its weight.
@@ -75,6 +79,7 @@ func (w Weights) pick(g *rng) string {
 		{ArchIndirect, w.Indirect},
 		{ArchStencil, w.Stencil},
 		{ArchHashWalk, w.HashWalk},
+		{ArchCodeWalk, w.CodeWalk},
 	} {
 		if roll < c.w {
 			return c.name
@@ -91,6 +96,7 @@ const (
 	ArchIndirect = "indirect"
 	ArchStencil  = "stencil"
 	ArchHashWalk = "hashwalk"
+	ArchCodeWalk = "codewalk"
 )
 
 // Space describes the scenario distribution. All fields are plain data:
@@ -133,6 +139,10 @@ type Space struct {
 	// every N iterations) for stream/stencil; 0 = no outer loop. Empty
 	// means always 0.
 	PhaseIters []int `json:"phase_iters"`
+	// CodeFootprintLog2 is the codewalk instruction footprint in log2
+	// cache lines (the 32 KB L1I holds 2^9); only consulted when the
+	// codewalk weight is non-zero.
+	CodeFootprintLog2 Range `json:"code_footprint_log2"`
 }
 
 // DefaultSpace is the standard population: every archetype represented,
@@ -154,7 +164,23 @@ func DefaultSpace() Space {
 		PlaneStrideLog2:    Range{Min: 12, Max: 16},
 		Strides:            []int{8, 16, 32, 64},
 		PhaseIters:         []int{0, 32, 64, 128},
+		CodeFootprintLog2:  Range{Min: 9, Max: 12},
 	}
+}
+
+// FrontEndSpace returns the front-end-bound population: codewalk-heavy
+// scenarios whose instruction footprints (32 KB - 256 KB) thrash the L1I,
+// mixed with enough data-side phases that runahead and the data
+// prefetchers still matter. This is the population the L1I fetch-stream
+// prefetcher exists for — and the first sampled space where the PF axis
+// touches the front end.
+func FrontEndSpace() Space {
+	s := DefaultSpace()
+	s.Name = "front-end-bound"
+	s.Weights = Weights{Stream: 1, Indirect: 1, HashWalk: 1, CodeWalk: 5}
+	s.Phases = Range{Min: 2, Max: 4}
+	s.CodeFootprintLog2 = Range{Min: 9, Max: 12}
+	return s
 }
 
 // Validate checks the space describes a samplable, simulator-safe
@@ -166,7 +192,7 @@ func (s Space) Validate() error {
 		v    int
 	}{
 		{"stream", w.Stream}, {"ptrchase", w.PtrChase}, {"indirect", w.Indirect},
-		{"stencil", w.Stencil}, {"hashwalk", w.HashWalk},
+		{"stencil", w.Stencil}, {"hashwalk", w.HashWalk}, {"codewalk", w.CodeWalk},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("synth: negative %s weight %d", c.name, c.v)
@@ -219,6 +245,9 @@ func (s Space) Validate() error {
 	}
 	if w.Stencil > 0 && (s.PlaneStrideLog2.Min < 8 || s.PlaneStrideLog2.Max > 18) {
 		return fmt.Errorf("synth: PlaneStrideLog2 [%d,%d] outside [8,18]", s.PlaneStrideLog2.Min, s.PlaneStrideLog2.Max)
+	}
+	if w.CodeWalk > 0 && (s.CodeFootprintLog2.Min < 8 || s.CodeFootprintLog2.Max > 14) {
+		return fmt.Errorf("synth: CodeFootprintLog2 [%d,%d] outside [8,14]", s.CodeFootprintLog2.Min, s.CodeFootprintLog2.Max)
 	}
 	for _, pi := range s.PhaseIters {
 		if pi < 0 || pi > 4096 {
@@ -280,6 +309,7 @@ func (p Phase) validate() error {
 	}
 	laneBound := map[string]int{
 		ArchStream: 6, ArchPtrChase: 6, ArchIndirect: 3, ArchStencil: 6, ArchHashWalk: 3,
+		ArchCodeWalk: 3,
 	}
 	bound, ok := laneBound[p.Archetype]
 	if !ok {
@@ -292,6 +322,22 @@ func (p Phase) validate() error {
 	case ArchStream, ArchStencil:
 		if p.StrideBytes < 1 || p.StrideBytes > 4096 {
 			return fmt.Errorf("synth: %s stride %d outside [1,4096]", p.Archetype, p.StrideBytes)
+		}
+	case ArchCodeWalk:
+		// FootprintLog2 is the instruction footprint here; the blocks of
+		// a tiny region could not fit even one iteration's µops. The
+		// per-block work caps match the sampling bounds and keep
+		// NewCodeWalk's >= 2-blocks geometry satisfiable at the minimum
+		// footprint, upholding validate's no-panic contract on the
+		// artifact-reproduction path.
+		if p.FootprintLog2 < 8 || p.FootprintLog2 > 14 {
+			return fmt.Errorf("synth: codewalk footprint log2 %d outside [8,14]", p.FootprintLog2)
+		}
+		if p.ALUWork < 1 || p.ALUWork > 64 {
+			return fmt.Errorf("synth: codewalk ALUWork %d outside [1,64]", p.ALUWork)
+		}
+		if p.HotLoads > 64 {
+			return fmt.Errorf("synth: codewalk HotLoads %d above 64", p.HotLoads)
 		}
 	default:
 		if p.FootprintLog2 < 4 || p.FootprintLog2 > 30 {
@@ -343,6 +389,15 @@ func (p Phase) generator() trace.Generator {
 			ALUWork: p.ALUWork, HotLoads: p.HotLoads,
 			MispredictPermille: uint64(p.MispredictPermille),
 			StorePeriod:        p.StorePeriod,
+		})
+	case ArchCodeWalk:
+		// FootprintLog2 is the instruction footprint; StorePeriod doubles
+		// as the sparse data-load period (codewalk emits no stores).
+		return workload.NewCodeWalk(workload.CodeWalkParams{
+			KernelID: p.KernelID, Lanes: p.Lanes,
+			CodeLines:  1 << p.FootprintLog2,
+			LoadPeriod: p.StorePeriod,
+			ALUWork:    p.ALUWork, HotLoads: p.HotLoads,
 		})
 	}
 	panic("synth: generator on unvalidated phase") // validate() gates every path here
@@ -506,6 +561,11 @@ func (s Space) samplePhase(g *rng, idx int) Phase {
 		ph.FootprintLog2 = s.FootprintLog2.sample(g)
 		ph.MispredictPermille = s.MispredictPermille.sample(g)
 		ph.StorePeriod = s.StorePeriod.sample(g)
+	case ArchCodeWalk:
+		ph.Lanes = clamp(mlp, 1, 3)
+		ph.FootprintLog2 = s.CodeFootprintLog2.sample(g)
+		ph.StorePeriod = s.StorePeriod.sample(g) // data-load period
+		ph.ALUWork = clamp(ph.ALUWork, 1, 64)    // blocks need a body
 	}
 	return ph
 }

@@ -296,3 +296,107 @@ func TestPointerHeavySpaceNeedsNoStrides(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontEndSpaceSamplesCodewalk: the front-end-bound space validates,
+// draws codewalk phases with in-bounds instruction footprints, and its
+// scenarios generate well-formed, PC-stable streams.
+func TestFrontEndSpaceSamplesCodewalk(t *testing.T) {
+	s := FrontEndSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("front-end space rejected: %v", err)
+	}
+	sawCodewalk := false
+	for _, seed := range fuzzSeeds(8) {
+		sc, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range sc.Params.Phases {
+			if ph.Archetype != ArchCodeWalk {
+				continue
+			}
+			sawCodewalk = true
+			if ph.FootprintLog2 < s.CodeFootprintLog2.Min || ph.FootprintLog2 > s.CodeFootprintLog2.Max {
+				t.Errorf("seed %016x: codewalk footprint log2 %d outside sampled range", seed, ph.FootprintLog2)
+			}
+			if ph.ALUWork < 1 {
+				t.Errorf("seed %016x: codewalk ALUWork %d", seed, ph.ALUWork)
+			}
+		}
+		uops := workload.Drain(sc.NewGenerator(), 20000)
+		if err := workload.VerifyUops(uops); err != nil {
+			t.Errorf("seed %016x: %v", seed, err)
+		}
+		if err := workload.VerifyStablePCs(uops); err != nil {
+			t.Errorf("seed %016x: %v", seed, err)
+		}
+	}
+	if !sawCodewalk {
+		t.Error("8 front-end-bound seeds never drew a codewalk phase")
+	}
+}
+
+// TestCodewalkRoundTripsThroughParams: a front-end scenario rebuilt from
+// its recorded params alone regenerates the identical stream (the
+// artifact-reproduction contract for the new archetype).
+func TestCodewalkRoundTripsThroughParams(t *testing.T) {
+	sc, err := FrontEndSpace().Sample(NthSeed(DefaultBaseSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := FromParams(sc.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := workload.Drain(sc.NewGenerator(), 30000)
+	b := workload.Drain(rebuilt.NewGenerator(), 30000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rebuilt scenario diverges at µop %d", i)
+		}
+	}
+}
+
+// TestDefaultSpaceSamplingUnchangedByCodewalk: the codewalk weight is
+// appended with weight zero, so spaces that never enable it must sample
+// the exact populations they always did — pick order is part of the
+// determinism contract. (Guarded structurally: zero weight must never
+// draw the archetype.)
+func TestDefaultSpaceSamplingUnchangedByCodewalk(t *testing.T) {
+	for _, seed := range fuzzSeeds(16) {
+		sc, err := DefaultSpace().Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range sc.Params.Phases {
+			if ph.Archetype == ArchCodeWalk {
+				t.Fatalf("seed %016x drew codewalk from a zero-weight space", seed)
+			}
+		}
+	}
+}
+
+// TestFromParamsRejectsUnbuildableCodewalk: validate must reject codewalk
+// params the constructor would panic on — the artifact-reproduction path
+// returns errors, never crashes.
+func TestFromParamsRejectsUnbuildableCodewalk(t *testing.T) {
+	for name, ph := range map[string]Phase{
+		"alu-high":  {Archetype: ArchCodeWalk, Uops: 1000, KernelID: 1, Lanes: 1, FootprintLog2: 8, ALUWork: 5000},
+		"alu-zero":  {Archetype: ArchCodeWalk, Uops: 1000, KernelID: 1, Lanes: 1, FootprintLog2: 8, ALUWork: 0},
+		"hot-high":  {Archetype: ArchCodeWalk, Uops: 1000, KernelID: 1, Lanes: 1, FootprintLog2: 8, ALUWork: 8, HotLoads: 900},
+		"footprint": {Archetype: ArchCodeWalk, Uops: 1000, KernelID: 1, Lanes: 1, FootprintLog2: 4, ALUWork: 8},
+	} {
+		if _, err := FromParams(Params{Seed: "0", Phases: []Phase{ph}}); err == nil {
+			t.Errorf("%s: unbuildable codewalk params validated", name)
+		}
+	}
+	// The accepted extreme must actually build.
+	ph := Phase{Archetype: ArchCodeWalk, Uops: 1000, KernelID: 1, Lanes: 3, FootprintLog2: 8, ALUWork: 64, HotLoads: 64, StorePeriod: 1}
+	sc, err := FromParams(Params{Seed: "0", Phases: []Phase{ph}})
+	if err != nil {
+		t.Fatalf("maximal valid codewalk rejected: %v", err)
+	}
+	if err := workload.VerifyUops(workload.Drain(sc.NewGenerator(), 5000)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -231,3 +231,76 @@ func TestDisjointAddressSpaces(t *testing.T) {
 		}
 	}
 }
+
+// --- codewalk ----------------------------------------------------------------
+
+// TestCodeWalkFrontEndShape pins the front-end-bound archetype's defining
+// properties: a deterministic stream, stable PC shapes, an instruction
+// footprint matching CodeLines, and a strictly sequential line walk
+// closed by a single backward jump.
+func TestCodeWalkFrontEndShape(t *testing.T) {
+	p := CodeWalkParams{KernelID: 90, CodeLines: 1 << 9, Lanes: 2, LoadPeriod: 5, ALUWork: 8, HotLoads: 3}
+	a := Drain(NewCodeWalk(p), 60_000)
+	b := Drain(NewCodeWalk(p), 60_000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("codewalk non-deterministic at µop %d", i)
+		}
+	}
+	if err := VerifyUops(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyStablePCs(a); err != nil {
+		t.Fatal(err)
+	}
+	lines := map[uint64]bool{}
+	jumps, loads := 0, 0
+	var prevLine uint64
+	for i := range a {
+		u := &a[i]
+		line := u.PC >> 6
+		if i > 0 && line != prevLine && line != a[0].PC>>6 && line != prevLine+1 {
+			t.Fatalf("non-sequential line transition %#x -> %#x at µop %d", prevLine, line, i)
+		}
+		prevLine = line
+		lines[line] = true
+		switch u.Class {
+		case uarch.ClassJump:
+			jumps++
+			if u.Target != a[0].PC {
+				t.Fatalf("jump target %#x, want region base %#x", u.Target, a[0].PC)
+			}
+		case uarch.ClassLoad:
+			loads++
+		}
+	}
+	// The walk must cover (most of) the configured footprint — far more
+	// than the 512 lines of a 32 KB L1I would hold of a small loop.
+	if len(lines) < p.CodeLines*3/4 {
+		t.Errorf("instruction footprint %d lines, want >= %d", len(lines), p.CodeLines*3/4)
+	}
+	if jumps == 0 {
+		t.Error("sweep never wrapped")
+	}
+	if loads == 0 {
+		t.Error("codewalk with LoadPeriod emitted no data loads")
+	}
+}
+
+// TestCodeWalkValidation pins the constructor's parameter gates.
+func TestCodeWalkValidation(t *testing.T) {
+	for name, p := range map[string]CodeWalkParams{
+		"lanes":     {KernelID: 91, CodeLines: 512, Lanes: 4, ALUWork: 8},
+		"alu":       {KernelID: 91, CodeLines: 512, Lanes: 1, ALUWork: 0},
+		"footprint": {KernelID: 91, CodeLines: 1, Lanes: 1, ALUWork: 60, HotLoads: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid params did not panic", name)
+				}
+			}()
+			NewCodeWalk(p)
+		}()
+	}
+}

@@ -150,8 +150,11 @@ type (
 	PrefetchVariant = prefetch.Variant
 )
 
-// PrefetchVariants lists the standard PF grid points: no-pf, stride (L1D),
-// best-offset (L2), and stride+bo combined.
+// PrefetchVariants lists the standard PF grid points: the open-loop
+// no-pf / stride (L1D) / best-offset (L2) / stride+bo quartet plus the
+// adaptive points — l1i-nl (L1I fetch-stream next-line), throttled
+// (accuracy-driven degree control), filtered (the PRE-aware duplicate
+// filter) and adaptive (all three combined).
 func PrefetchVariants() []PrefetchVariant { return prefetch.Variants() }
 
 // PrefetchVariantByName looks up a standard PF grid point.
@@ -196,6 +199,11 @@ const SynthDefaultBaseSeed = synth.DefaultBaseSeed
 
 // DefaultSynthSpace returns the standard scenario distribution.
 func DefaultSynthSpace() SynthSpace { return synth.DefaultSpace() }
+
+// FrontEndSynthSpace returns the front-end-bound scenario distribution:
+// codewalk-heavy populations whose instruction footprints thrash the L1I
+// — the population the L1I fetch-stream prefetcher targets.
+func FrontEndSynthSpace() SynthSpace { return synth.FrontEndSpace() }
 
 // SynthFromParams rebuilds a scenario from recorded parameters — the
 // reproduce-a-failing-CI-seed path; see Cell.Synth in the results JSON.
@@ -272,6 +280,15 @@ func PFGridTable(points []string, modes []Mode, summary [][]float64) *Table {
 // diagnostics (issue counts, accuracy, coverage, timeliness).
 func PrefetchDetailTable(results [][]Result, modes []Mode) *Table {
 	return report.PrefetchDetail(results, modes)
+}
+
+// PFInterferenceTable renders the runahead-vs-hardware-prefetch
+// interference diagnostics: per workload and mechanism, the HW engines'
+// issued/redundant/filtered-RA/dropped/overflowed counts beside the
+// runahead prefetch count. filtered-RA is the interference term the
+// PRE-aware filter measures directly.
+func PFInterferenceTable(results [][]Result, modes []Mode) *Table {
+	return report.PFInterference(results, modes)
 }
 
 // AverageSpeedups returns per-mode geometric-mean speedups over OoO.

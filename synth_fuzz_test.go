@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	presim "repro"
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
@@ -195,5 +196,118 @@ func TestScenarioFuzzCycleSkipDifferential(t *testing.T) {
 	slow.DisableCycleSkip = true
 	if !bytes.Equal(fast, run(slow)) {
 		t.Fatal("sampled-scenario results JSON differs with cycle skipping on vs off")
+	}
+}
+
+// frontEndScenarios samples the date-pinned front-end-bound population —
+// codewalk-heavy instruction footprints, the first scenarios where the
+// PF axis touches the L1I.
+func frontEndScenarios(t testing.TB, n int) []presim.Workload {
+	t.Helper()
+	space := presim.FrontEndSynthSpace()
+	ws := make([]presim.Workload, 0, n)
+	for i := 0; i < n; i++ {
+		sc, err := space.Sample(presim.SynthNthSeed(presim.SynthDefaultBaseSeed, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, sc.Workload())
+	}
+	return ws
+}
+
+// adaptiveVariants are the adaptive-layer grid points the fuzz gate runs
+// in addition to the open-loop pair the older tests cover.
+var adaptiveVariants = []string{"l1i-nl", "throttled", "filtered", "adaptive"}
+
+// TestScenarioFuzzPFVariantsCommittedInvariance extends the
+// equal-committed-µops invariant matrix to the adaptive prefetching
+// layer: on sampled scenarios from both the default and the
+// front-end-bound populations, every mechanism crossed with the
+// throttled / L1I / filtered / adaptive variants must commit the same
+// architectural µop count — degree feedback, fetch-stream prefetching
+// and the PRE-aware filter only move cycles, never committed state.
+func TestScenarioFuzzPFVariantsCommittedInvariance(t *testing.T) {
+	opt := fuzzOpt()
+	width := int64(presim.DefaultConfig(presim.ModeOoO).Width)
+	// Scenario names encode only the seed, and both populations draw the
+	// same NthSeed sequence — prefix the subtests with the space so a
+	// failing seed names the population that produced it.
+	type popScenario struct {
+		space string
+		w     presim.Workload
+	}
+	var ws []popScenario
+	for _, w := range fuzzScenarios(t)[:2] {
+		ws = append(ws, popScenario{"default", w})
+	}
+	for _, w := range frontEndScenarios(t, 2) {
+		ws = append(ws, popScenario{"frontend", w})
+	}
+	for _, ps := range ws {
+		w := ps.w
+		t.Run(ps.space+"/"+w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []presim.Mode{presim.ModeOoO, presim.ModePRE} {
+				for _, name := range adaptiveVariants {
+					v, err := presim.PrefetchVariantByName(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o := opt
+					o.Configure = func(c *core.Config) { c.ApplyPrefetch(v) }
+					r, err := presim.Run(w, mode, o)
+					if err != nil {
+						t.Fatalf("%v+%s: %v", mode, name, err)
+					}
+					if r.Committed < opt.MeasureUops || r.Committed >= opt.MeasureUops+width {
+						t.Errorf("%v+%s: committed %d µops, want [%d, %d) — adaptive prefetching changed architectural state",
+							mode, name, r.Committed, opt.MeasureUops, opt.MeasureUops+width)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioFuzzFrontEndCycleSkipDifferential pins the byte-identical
+// cycle-skip contract on the new machinery all at once: a sampled
+// front-end-bound scenario under the full throttled+L1I+filtered variant
+// must serialize identically with the skipper forced off.
+func TestScenarioFuzzFrontEndCycleSkipDifferential(t *testing.T) {
+	w := frontEndScenarios(t, 1)[0]
+	adaptive, err := presim.PrefetchVariantByName("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opt presim.Options) []byte {
+		m := presim.Experiment{
+			Name:      "fuzz_frontend_skip",
+			Workloads: []presim.Workload{w},
+			Modes:     []presim.Mode{presim.ModeOoO, presim.ModePRE},
+			Points: []presim.ExperimentPoint{{Name: "adaptive", Apply: func(c *core.Config) {
+				c.ApplyPrefetch(adaptive)
+			}}},
+			Options: opt,
+		}
+		plan, err := m.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := plan.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fast := run(fuzzOpt())
+	slow := fuzzOpt()
+	slow.DisableCycleSkip = true
+	if !bytes.Equal(fast, run(slow)) {
+		t.Fatal("front-end-bound adaptive-PF results JSON differs with cycle skipping on vs off")
 	}
 }
