@@ -1,9 +1,10 @@
-// Coarse wall-clock regression guard: the quickstart sweep must stay
-// within 3x of the recorded BENCH_0.json trajectory point. This is
-// deliberately perf-lab-free — CI runners are noisy, so the threshold
-// only catches order-of-magnitude regressions (a hot-path structure
-// quietly degenerating to O(n), skipping turned off by accident); real
-// measurements belong in BENCH_<n>.json points recorded on a quiet host.
+// Coarse wall-clock regression guard: the quickstart and memory-bound
+// sweeps must stay within 3x of the newest recorded BENCH_<n>.json
+// trajectory point. This is deliberately perf-lab-free — CI runners are
+// noisy, so the threshold only catches order-of-magnitude regressions (a
+// hot-path structure quietly degenerating to O(n), skipping turned off
+// by accident); real measurements belong in BENCH_<n>.json points
+// recorded on a quiet host.
 //
 // Gated behind BENCH_GUARD=1 so ordinary `go test ./...` runs — and
 // laptops under load — never flake on it.
@@ -12,6 +13,9 @@ package presim_test
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,24 +26,57 @@ import (
 // point before the guard fails.
 const benchGuardFactor = 3
 
+// benchRecord is the slice of the BENCH_<n>.json schema the guard reads.
+type benchRecord struct {
+	QuickstartSweep struct {
+		CurrentMS float64 `json:"current_ms"`
+	} `json:"quickstart_sweep"`
+	MemoryBoundSweep struct {
+		CurrentMSTotal float64 `json:"current_ms_total"`
+	} `json:"memory_bound_sweep"`
+}
+
+// newestBenchPoint loads the highest-numbered BENCH_<n>.json so the
+// guard always compares against the most recent trajectory point — a
+// newly recorded point tightens the guard without touching this file.
+func newestBenchPoint(t *testing.T) (string, benchRecord) {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no BENCH_<n>.json trajectory points found: %v", err)
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		num := strings.TrimSuffix(strings.TrimPrefix(m, "BENCH_"), ".json")
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			continue // not a trajectory point (e.g. a stray editor file)
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if bestN < 0 {
+		t.Fatalf("no numbered BENCH_<n>.json among %v", matches)
+	}
+	raw, err := os.ReadFile(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("%s: %v", best, err)
+	}
+	return best, rec
+}
+
 func TestBenchGuard(t *testing.T) {
 	if os.Getenv("BENCH_GUARD") == "" {
 		t.Skip("set BENCH_GUARD=1 to run the wall-clock regression guard")
 	}
-	raw, err := os.ReadFile("BENCH_0.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rec struct {
-		QuickstartSweep struct {
-			CurrentMS float64 `json:"current_ms"`
-		} `json:"quickstart_sweep"`
-	}
-	if err := json.Unmarshal(raw, &rec); err != nil {
-		t.Fatal(err)
-	}
+	name, rec := newestBenchPoint(t)
 	if rec.QuickstartSweep.CurrentMS <= 0 {
-		t.Fatal("BENCH_0.json has no quickstart_sweep.current_ms point")
+		t.Fatalf("%s has no quickstart_sweep.current_ms point", name)
 	}
 
 	// The BenchmarkQuickstartSweep scenario, timed directly: libquantum
@@ -68,10 +105,52 @@ func TestBenchGuard(t *testing.T) {
 	}
 
 	limit := time.Duration(benchGuardFactor * rec.QuickstartSweep.CurrentMS * float64(time.Millisecond))
-	t.Logf("quickstart sweep: best of 3 = %v (recorded %.1fms, limit %v)",
-		best, rec.QuickstartSweep.CurrentMS, limit)
+	t.Logf("quickstart sweep: best of 3 = %v (recorded %.1fms in %s, limit %v)",
+		best, rec.QuickstartSweep.CurrentMS, name, limit)
 	if best > limit {
 		t.Errorf("quickstart sweep took %v, over %dx the recorded %.1fms point: hot-path regression",
 			best, benchGuardFactor, rec.QuickstartSweep.CurrentMS)
+	}
+}
+
+// TestBenchGuardMemoryBound guards the aggregate memory-bound sweep the
+// same way: the full {libquantum, mcf, milc, lbm, omnetpp} x {OoO, PRE}
+// grid must finish within the factor of the newest recorded total. The
+// wider grid catches regressions a single-workload guard misses — e.g. a
+// replay- or pointer-chase-specific slowdown that barely moves
+// libquantum.
+func TestBenchGuardMemoryBound(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the wall-clock regression guard")
+	}
+	name, rec := newestBenchPoint(t)
+	if rec.MemoryBoundSweep.CurrentMSTotal <= 0 {
+		t.Fatalf("%s has no memory_bound_sweep.current_ms_total point", name)
+	}
+
+	opt := presim.DefaultOptions()
+	opt.MeasureUops = 200_000
+	workloads := []string{"libquantum", "mcf", "milc", "lbm", "omnetpp"}
+
+	start := time.Now()
+	for _, wl := range workloads {
+		w, err := presim.WorkloadByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []presim.Mode{presim.ModeOoO, presim.ModePRE} {
+			if _, err := presim.Run(w, mode, opt); err != nil {
+				t.Fatalf("%s/%v: %v", wl, mode, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	limit := time.Duration(benchGuardFactor * rec.MemoryBoundSweep.CurrentMSTotal * float64(time.Millisecond))
+	t.Logf("memory-bound sweep: %v (recorded %.1fms in %s, limit %v)",
+		elapsed, rec.MemoryBoundSweep.CurrentMSTotal, name, limit)
+	if elapsed > limit {
+		t.Errorf("memory-bound sweep took %v, over %dx the recorded %.1fms total: hot-path regression",
+			elapsed, benchGuardFactor, rec.MemoryBoundSweep.CurrentMSTotal)
 	}
 }

@@ -70,6 +70,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A zero or negative window is always an invocation mistake: -n 0
+	// would make every run fail deep inside the orchestrator with a
+	// confusing per-cell error, and -warmup 0 would report cold-start
+	// numbers (empty caches, untrained predictor) as if they were steady
+	// state.
+	if *measure <= 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -n must be positive (got %d)\n", *measure)
+		os.Exit(2)
+	}
+	if *warmup <= 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -warmup must be positive (got %d)\n", *warmup)
+		os.Exit(2)
+	}
+
 	// Population knobs only act under -synth; silently ignoring an
 	// explicit -seeds/-synthseed would drop the requested population run.
 	if !*doSynth {

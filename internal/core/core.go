@@ -115,6 +115,10 @@ type Core struct {
 	sqDrainFn func(*sqEntry) bool
 	renFree   func(rename.PReg)
 
+	// dispatchRun is the reusable per-cycle buffer the decode-pipe head
+	// run is copied into (one fetch-queue scan per cycle).
+	dispatchRun []frontend.Slot
+
 	// Reusable per-episode buffers (zero-allocation steady state).
 	cpFullBuf   rename.Checkpoint
 	cpSpecBuf   rename.Checkpoint
@@ -140,6 +144,17 @@ func New(cfg Config, gen trace.Generator) (*Core, error) {
 		return nil, err
 	}
 	stream := trace.NewStream(gen)
+	if cfg.Mode == ModeRABuffer {
+		// The replay engine's cursor keeps moving forward within an
+		// episode, and each prepared iteration scans ReplayLookahead µops
+		// past it, all while commit (and hence trace release) is stalled on
+		// the blocking load. The live span of the trace ring is therefore
+		// several lookahead windows deep on long DRAM stalls. Pre-size the
+		// ring generously so the steady state never triggers a grow — the
+		// last allocation on the hot path.
+		window := 8*int(cfg.ReplayLookahead) + cfg.ROBSize + cfg.Fetch.QueueSize
+		stream = trace.NewStreamSized(gen, window)
+	}
 	hier := mem.New(cfg.Mem)
 	pred := frontend.NewPredictor(cfg.Predictor)
 	c := &Core{
@@ -163,14 +178,19 @@ func New(cfg Config, gen trace.Generator) (*Core, error) {
 		chainWindow:  make([]uarch.Uop, 0, cfg.ROBSize),
 		iqDirty:      true,
 	}
+	c.dispatchRun = make([]frontend.Slot, cfg.Width)
 	// Far (DRAM-latency) completions are bounded by the number of
 	// outstanding misses the MSHRs allow; pre-sizing the heap keeps the
 	// steady state allocation-free.
 	c.events.far = make(eventHeap, 0, 256)
+	// Per-preg waiter lists: sized so the deterministic test workloads
+	// never outgrow them post-warmup (lists are drained to length 0 on
+	// wake-up but keep their capacity, so growth is a high-water effect).
+	const waiterCap = 64
 	c.waiters = make([][]wakeRef, 1+cfg.Rename.IntPRF+cfg.Rename.FPPRF)
-	waiterBacking := make([]wakeRef, len(c.waiters)*8)
+	waiterBacking := make([]wakeRef, len(c.waiters)*waiterCap)
 	for i := range c.waiters {
-		c.waiters[i] = waiterBacking[i*8 : i*8 : (i+1)*8]
+		c.waiters[i] = waiterBacking[i*waiterCap : i*waiterCap : (i+1)*waiterCap]
 	}
 	for i := range c.events.near {
 		c.events.near[i] = make([]completion, 0, 16)
@@ -307,10 +327,11 @@ func (c *Core) Step() {
 	c.completeStage()
 	c.commitStage()
 	c.issueStage()
-	sqBefore := c.sq.size
-	c.sq.drainHead(c.sqDrainFn)
-	if c.sq.size != sqBefore {
-		c.progressed = true
+	if sqBefore := c.sq.size; sqBefore > 0 {
+		c.sq.drainHead(c.sqDrainFn)
+		if c.sq.size != sqBefore {
+			c.progressed = true
+		}
 	}
 	c.dispatchStage()
 	switch c.fetch.Cycle(c.now) {
@@ -329,27 +350,39 @@ func (c *Core) Step() {
 
 // --- completion -----------------------------------------------------------
 
-func (c *Core) resolve(kind recKind, slot int) *uopRec {
+// slotRef returns both halves of a slot's struct-of-arrays record.
+func (c *Core) slotRef(kind recKind, slot int) (*slotMeta, *uopRec) {
 	if kind == kROB {
-		return &c.rob.e[slot]
+		return &c.rob.meta[slot], &c.rob.rec[slot]
 	}
-	return &c.pre.e[slot]
+	return &c.pre.meta[slot], &c.pre.rec[slot]
+}
+
+// meta returns only the hot half — the 8-byte word probes touch.
+func (c *Core) meta(kind recKind, slot int) *slotMeta {
+	if kind == kROB {
+		return &c.rob.meta[slot]
+	}
+	return &c.pre.meta[slot]
 }
 
 // enqueue admits a freshly dispatched µop into the issue queue: its
 // not-yet-ready sources register in the waiter lists; with zero pending
 // sources the entry goes straight onto the ready list.
-func (c *Core) enqueue(kind recKind, slot int, rec *uopRec) {
+func (c *Core) enqueue(kind recKind, slot int, m *slotMeta, r *uopRec) {
 	c.iq.add(kind)
-	rec.srcWait = 0
-	for _, p := range [2]rename.PReg{rec.out.Src1P, rec.out.Src2P} {
-		if p != rename.PRegNone && !c.ren.IsReady(p) {
-			rec.srcWait++
-			c.waiters[p] = append(c.waiters[p], wakeRef{kind: kind, slot: slot, gen: rec.gen})
-		}
+	wait := uint8(0)
+	if p := r.out.Src1P; p != rename.PRegNone && !c.ren.IsReady(p) {
+		wait++
+		c.waiters[p] = append(c.waiters[p], wakeRef{seq: r.seq, kind: kind, slot: int32(slot), gen: m.gen})
 	}
-	if rec.srcWait == 0 {
-		c.iq.markReady(kind, slot, rec.gen, rec.seq)
+	if p := r.out.Src2P; p != rename.PRegNone && !c.ren.IsReady(p) {
+		wait++
+		c.waiters[p] = append(c.waiters[p], wakeRef{seq: r.seq, kind: kind, slot: int32(slot), gen: m.gen})
+	}
+	m.srcWait = wait
+	if wait == 0 {
+		c.iq.markReady(kind, slot, m.gen, r.seq)
 		c.iqDirty = true
 	}
 }
@@ -359,7 +392,8 @@ func (c *Core) enqueue(kind recKind, slot int, rec *uopRec) {
 // While a consumer sits unissued in the window, p cannot be freed and
 // re-allocated (in-order commit and in-order PRDQ drain guarantee it), so
 // readiness is monotone and a single wake per completion suffices; stale
-// entries from squashed µops are rejected by the slot generation.
+// entries from squashed µops are rejected by the slot generation. Only
+// slotMeta is touched per waiter (the wakeRef carries the seq).
 func (c *Core) wake(p rename.PReg) {
 	if p == rename.PRegNone {
 		return
@@ -368,12 +402,13 @@ func (c *Core) wake(p rename.PReg) {
 	if len(ws) == 0 {
 		return
 	}
-	for _, w := range ws {
-		rec := c.resolve(w.kind, w.slot)
-		if rec.gen == w.gen && rec.st == sWaiting && rec.srcWait > 0 {
-			rec.srcWait--
-			if rec.srcWait == 0 {
-				c.iq.markReady(w.kind, w.slot, w.gen, rec.seq)
+	for i := range ws {
+		w := &ws[i]
+		m := c.meta(w.kind, int(w.slot))
+		if m.gen == w.gen && m.st == sWaiting && m.srcWait > 0 {
+			m.srcWait--
+			if m.srcWait == 0 {
+				c.iq.markReady(w.kind, int(w.slot), w.gen, w.seq)
 				c.iqDirty = true
 			}
 		}
@@ -381,57 +416,74 @@ func (c *Core) wake(p rename.PReg) {
 	c.waiters[p] = ws[:0]
 }
 
+// completeStage drains every completion due this cycle. The near-ring
+// bucket for the current cycle is taken wholesale (one slice grab instead
+// of one popDue probe per event plus a final miss), preserving popDue's
+// LIFO-within-bucket order; far-heap events due now follow, as before.
 func (c *Core) completeStage() {
-	for {
-		ev, ok := c.events.popDue(c.now)
-		if !ok {
-			return
+	q := &c.events
+	if q.nearCnt > 0 {
+		bucket := &q.near[c.now&(eventRing-1)]
+		if n := len(*bucket); n > 0 {
+			c.progressed = true
+			evs := *bucket
+			for i := n - 1; i >= 0; i-- {
+				c.completeOne(evs[i])
+			}
+			*bucket = evs[:0]
+			q.nearCnt -= n
 		}
+	}
+	for len(q.far) > 0 && q.far[0].cycle <= c.now {
 		c.progressed = true
-		rec := c.resolve(ev.kind, ev.slot)
-		if rec.gen != ev.gen || rec.st != sIssued {
-			continue // squashed
+		c.completeOne(q.far.pop())
+	}
+}
+
+func (c *Core) completeOne(ev completion) {
+	m, r := c.slotRef(ev.kind, int(ev.slot))
+	if m.gen != ev.gen || m.st != sIssued {
+		return // squashed
+	}
+	m.st = sDone
+	c.stats.Completed++
+	if r.hasDst() {
+		if m.flags&fInvResult != 0 {
+			c.ren.MarkPoisoned(r.out.DstP, true)
+		} else {
+			c.ren.MarkReady(r.out.DstP)
 		}
-		rec.st = sDone
-		c.stats.Completed++
-		if rec.uop.HasDst() {
-			if rec.invResult {
-				c.ren.MarkPoisoned(rec.out.DstP, true)
-			} else {
-				c.ren.MarkReady(rec.out.DstP)
-			}
-			c.wake(rec.out.DstP)
+		c.wake(r.out.DstP)
+	}
+	if r.isStore() && r.sqIdx >= 0 {
+		c.sq.e[r.sqIdx].dataReady = true
+	}
+	if m.flags&fMispredicted != 0 {
+		c.stats.BranchMispredicts++
+		m.flags &^= fMispredicted
+		switch {
+		case c.inRunahead && c.cfg.Mode == ModeRABuffer:
+			// Front-end is power-gated; nothing to redirect.
+		case c.inRunahead && c.pseudoRetire && m.flags&fInvResult != 0:
+			// An INV-source branch cannot actually be resolved:
+			// traditional runahead wanders off the correct path. The
+			// front-end stays frozen (no more useful µop supply) and
+			// any still-queued runahead loads stop prefetching.
+			c.raDiverged = true
+			c.stats.DivergenceStops++
+		default:
+			c.fetch.Redirect(c.now + 1)
 		}
-		if rec.uop.IsStore() && rec.sqIdx >= 0 {
-			c.sq.e[rec.sqIdx].dataReady = true
+	}
+	if ev.kind == kPRE {
+		if r.prdq >= 0 {
+			c.prdq.MarkExecuted(r.prdq)
 		}
-		if rec.mispredicted {
-			c.stats.BranchMispredicts++
-			rec.mispredicted = false
-			switch {
-			case c.inRunahead && c.cfg.Mode == ModeRABuffer:
-				// Front-end is power-gated; nothing to redirect.
-			case c.inRunahead && c.pseudoRetire && rec.invResult:
-				// An INV-source branch cannot actually be resolved:
-				// traditional runahead wanders off the correct path. The
-				// front-end stays frozen (no more useful µop supply) and
-				// any still-queued runahead loads stop prefetching.
-				c.raDiverged = true
-				c.stats.DivergenceStops++
-			default:
-				c.fetch.Redirect(c.now + 1)
-			}
+		if m.flags&fLQHeld != 0 {
+			c.lqPre--
+			m.flags &^= fLQHeld
 		}
-		if ev.kind == kPRE {
-			if rec.prdq >= 0 {
-				c.prdq.MarkExecuted(rec.prdq)
-			}
-			if rec.lqHeld {
-				c.lqPre--
-				rec.lqHeld = false
-			}
-			c.pre.release(ev.slot)
-		}
+		c.pre.release(int(ev.slot))
 	}
 }
 
@@ -441,33 +493,56 @@ func (c *Core) commitStage() {
 	if c.inRunahead && !c.pseudoRetire {
 		return // PRE: no commits during runahead (Section 3.1)
 	}
+	// Batched head scan: measure the commit-eligible run in the hot meta
+	// array (up to Width entries whose state is sDone), then retire it in
+	// one pass over the cold records.
+	n := c.cfg.Width
+	if n > c.rob.size {
+		n = c.rob.size
+	}
+	run := 0
+	idx := c.rob.head
+	for run < n && c.rob.meta[idx].st == sDone {
+		run++
+		idx++
+		if idx == len(c.rob.meta) {
+			idx = 0
+		}
+	}
+	if run == 0 {
+		return
+	}
 	released := int64(-1)
-	for n := 0; n < c.cfg.Width && !c.rob.empty(); n++ {
-		rec := &c.rob.e[c.rob.headIdx()]
-		if rec.st != sDone {
-			break
+	idx = c.rob.head
+	for k := 0; k < run; k++ {
+		m, r := &c.rob.meta[idx], &c.rob.rec[idx]
+		if r.isStore() && r.sqIdx >= 0 {
+			c.sq.e[r.sqIdx].committed = true
 		}
-		if rec.uop.IsStore() && rec.sqIdx >= 0 {
-			c.sq.e[rec.sqIdx].committed = true
-		}
-		if rec.uop.IsLoad() && rec.lqHeld {
+		if r.isLoad() && m.flags&fLQHeld != 0 {
 			c.lqNorm--
-			rec.lqHeld = false
+			m.flags &^= fLQHeld
 		}
-		c.ren.Commit(rec.uop.Dst, rec.out.DstP)
+		c.ren.Commit(r.dst, r.out.DstP)
 		if c.pseudoRetire {
 			c.stats.PseudoRetired++
 		} else {
 			c.stats.Committed++
 			c.lastProgress = c.now
 			if c.OnCommit != nil {
-				c.OnCommit(rec.seq)
+				c.OnCommit(r.seq)
 			}
-			released = rec.seq // older µops are dead; release once below
+			released = r.seq // older µops are dead; release once below
 		}
-		c.rob.pop()
-		c.progressed = true
+		m.gen++ // invalidate stale references (ring pop)
+		idx++
+		if idx == len(c.rob.meta) {
+			idx = 0
+		}
 	}
+	c.rob.head = idx
+	c.rob.size -= run
+	c.progressed = true
 	if released >= 0 {
 		c.stream.Release(released)
 	}
@@ -476,10 +551,12 @@ func (c *Core) commitStage() {
 // --- issue ------------------------------------------------------------------
 
 func (c *Core) issueStage() {
-	c.fu.newCycle()
 	if !c.iqDirty && !c.iqRetry {
 		return // nothing became ready and nothing is retrying: no-op scan
 	}
+	// Per-cycle FU counters reset lazily, at scan time: cycles that skip
+	// the scan issue nothing, so their counters are never read.
+	c.fu.newCycle()
 	c.iqDirty = false
 	c.iqRetry = false
 	// Single program-order pass over the ready list, compacting
@@ -487,12 +564,12 @@ func (c *Core) issueStage() {
 	// their completion wake-up files them here.
 	out := c.iq.ready[:0]
 	for _, ref := range c.iq.ready {
-		rec := c.resolve(ref.kind, ref.slot)
-		if rec.gen != ref.gen || rec.st != sWaiting {
+		m, r := c.slotRef(ref.kind, int(ref.slot))
+		if m.gen != ref.gen || m.st != sWaiting {
 			c.progressed = true // squashed under us; occupancy was reset by the flush
 			continue
 		}
-		if c.tryIssueRec(iqRef{kind: ref.kind, slot: ref.slot, gen: ref.gen}, rec) {
+		if c.tryIssueRec(ref.kind, int(ref.slot), m, r) {
 			c.iq.issued(ref.kind)
 			c.progressed = true
 			continue
@@ -505,30 +582,27 @@ func (c *Core) issueStage() {
 // tryIssueRec attempts to issue one µop whose sources are all ready
 // (srcWait == 0, maintained by the wake-up lists); it returns true when
 // the µop left the IQ.
-func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
-	u := &rec.uop
-
+func (c *Core) tryIssueRec(kind recKind, slot int, m *slotMeta, r *uopRec) bool {
 	// INV propagation (traditional runahead semantics): a runahead µop
 	// with a poisoned source completes immediately with a poisoned result
 	// and performs no memory access.
-	inv := rec.inRunahead &&
-		(c.ren.IsPoisoned(rec.out.Src1P) || c.ren.IsPoisoned(rec.out.Src2P))
+	inv := m.flags&fInRunahead != 0 &&
+		(c.ren.IsPoisoned(r.out.Src1P) || c.ren.IsPoisoned(r.out.Src2P))
 
-	if !c.fu.tryIssue(u.Class, c.now) {
+	if !c.fu.tryIssue(r.class, c.now) {
 		// Ready sources but no unit (per-cycle capacity or a busy
 		// divider): the retry outcome depends on the cycle number.
 		c.retryBlocked = true
 		c.iqRetry = true
 		return false
 	}
-	lat := int64(u.Class.Latency())
 	switch {
 	case inv:
-		rec.invResult = true
-		rec.readyAt = c.now + 1
+		m.flags |= fInvResult
+		r.readyAt = c.now + 1
 		c.stats.RunaheadINV++
-	case u.IsLoad():
-		ready, invLoad, ok := c.issueLoad(rec)
+	case r.isLoad():
+		ready, invLoad, ok := c.issueLoad(m, r)
 		if !ok {
 			// Port consumed but the access could not start (forwarding
 			// data pending or MSHRs full): retry next cycle. The failed
@@ -538,68 +612,67 @@ func (c *Core) tryIssueRec(ref iqRef, rec *uopRec) bool {
 			c.iqRetry = true
 			return false
 		}
-		rec.readyAt = ready
-		rec.invResult = invLoad
-	case u.IsStore():
-		// Address generation + data capture; the memory write happens at
-		// commit via the store queue.
-		rec.readyAt = c.now + lat
+		r.readyAt = ready
+		if invLoad {
+			m.flags |= fInvResult
+		}
 	default:
-		rec.readyAt = c.now + lat
+		// Stores do address generation + data capture here; the memory
+		// write happens at commit via the store queue.
+		r.readyAt = c.now + classLatency[r.class]
 	}
-	rec.st = sIssued
-	c.events.schedule(c.now, completion{cycle: rec.readyAt, kind: ref.kind, slot: ref.slot, gen: rec.gen})
-	c.countIssue(u.Class)
-	if rec.inRunahead {
+	m.st = sIssued
+	c.events.schedule(c.now, completion{cycle: r.readyAt, kind: kind, slot: int32(slot), gen: m.gen})
+	c.countIssue(r.class)
+	if m.flags&fInRunahead != 0 {
 		c.stats.RunaheadExecuted++
 	}
-	if ref.kind == kPRE && rec.prdq >= 0 {
+	if kind == kPRE && r.prdq >= 0 {
 		// The PRDQ "execute" bit guards freeing the µop's PREVIOUS
 		// destination mapping, which only requires that this µop has read
 		// its sources — true once it issues. Waiting for a slice load's
 		// fill instead would head-of-line-block reclamation for the whole
 		// memory latency and strangle runahead's register supply.
-		c.prdq.MarkExecuted(rec.prdq)
+		c.prdq.MarkExecuted(r.prdq)
 	}
 	return true
 }
 
 // issueLoad starts a load's memory access, returning its data-ready cycle
 // and whether the result is INV (runahead load that would wait on DRAM).
-func (c *Core) issueLoad(rec *uopRec) (ready int64, inv, ok bool) {
-	u := &rec.uop
+func (c *Core) issueLoad(m *slotMeta, r *uopRec) (ready int64, inv, ok bool) {
 	// Traditional runahead never waits (Mutlu): in pseudo-retire mode a
 	// load either gets its data quickly, or it starts a prefetch and
 	// completes immediately with an INV result — including when no MSHR is
 	// even available to start one. PRE instead executes slices with real
 	// data (dependent slice loads need loaded values as addresses), so its
 	// runahead loads wait for actual fills and retry on structural hazards.
-	neverWait := c.pseudoRetire && rec.inRunahead
+	inRunahead := m.flags&fInRunahead != 0
+	neverWait := c.pseudoRetire && inRunahead
 
 	// Store-to-load forwarding from older in-flight stores.
-	if found, dataReady := c.sq.forwardFrom(rec.seq, u.Addr, u.Size); found {
+	if found, dataReady := c.sq.forwardFrom(r.seq, r.addr, r.size); found {
 		if !dataReady {
 			if neverWait {
 				return c.now + 1, true, true
 			}
 			return 0, false, false // store data not captured yet; retry
 		}
-		rec.memLevel = mem.LevelL1
 		return c.now + int64(c.hier.L1D().HitLatency()), false, true
 	}
 	var res mem.Result
-	if rec.inRunahead {
+	if inRunahead {
 		if c.raDiverged {
 			// Off the correct path after an unresolvable mispredict:
 			// addresses are no longer trustworthy, so stop prefetching.
 			return c.now + 1, true, true
 		}
-		res, ok = c.hier.Prefetch(u.Addr, c.now)
+		res, ok = c.hier.Prefetch(r.addr, c.now)
 		if ok {
 			c.stats.Prefetches++
 		}
 	} else {
-		res, ok = c.hier.LoadPC(u.Addr, u.PC, c.now)
+		res, ok = c.hier.LoadPC(r.addr, r.pc, c.now)
 	}
 	if !ok {
 		if neverWait {
@@ -607,7 +680,6 @@ func (c *Core) issueLoad(rec *uopRec) (ready int64, inv, ok bool) {
 		}
 		return 0, false, false // MSHRs exhausted; retry
 	}
-	rec.memLevel = res.Level
 	// "Long latency" includes merges onto still-in-flight lines, which
 	// report the level they hit but carry the fill's completion time.
 	if neverWait && res.Ready > c.now+int64(c.cfg.Mem.L3.HitLatency) {
@@ -660,24 +732,30 @@ func (c *Core) dispatchStage() {
 
 // dispatchNormal renames and dispatches from the fetch queue; runahead=true
 // is traditional runahead mode (µops tagged for prefetch semantics and
-// pseudo-retirement).
+// pseudo-retirement). The decode-pipe head run is pulled once per cycle
+// (one ring scan) instead of a Peek/Pop pair per µop.
 func (c *Core) dispatchNormal(inRunahead bool) {
-	for n := 0; n < c.cfg.Width; n++ {
+	if c.rob.full() {
+		if !inRunahead {
+			c.onFullWindow()
+		}
+		return
+	}
+	n := c.fetch.ReadyRun(c.now, c.dispatchRun[:c.cfg.Width])
+	consumed := 0
+	for consumed < n {
+		if !c.dispatchOne(c.dispatchRun[consumed], inRunahead) {
+			break
+		}
+		consumed++
 		if c.rob.full() {
-			if !inRunahead {
+			if consumed < c.cfg.Width && !inRunahead {
 				c.onFullWindow()
 			}
-			return
+			break
 		}
-		slot, ok := c.fetch.Peek(c.now)
-		if !ok {
-			return
-		}
-		if !c.dispatchOne(slot, inRunahead) {
-			return
-		}
-		c.fetch.Pop(c.now)
 	}
+	c.fetch.PopN(consumed)
 }
 
 // dispatchOne admits one µop into the back end (ROB path); it returns
@@ -699,22 +777,32 @@ func (c *Core) dispatchOne(slot frontend.Slot, inRunahead bool) bool {
 		return false
 	}
 	idx := c.rob.push()
-	rec := &c.rob.e[idx]
-	gen := rec.gen
-	*rec = uopRec{
-		seq: u.Seq, uop: *u, out: out, st: sWaiting, gen: gen,
-		prdq: -1, sqIdx: -1,
-		mispredicted: slot.Mispredicted,
-		inRunahead:   inRunahead,
+	m, r := &c.rob.meta[idx], &c.rob.rec[idx]
+	m.st = sWaiting // gen is preserved across slot reuse
+	m.flags = 0
+	if slot.Mispredicted {
+		m.flags = fMispredicted
 	}
+	if inRunahead {
+		m.flags |= fInRunahead
+	}
+	r.seq = u.Seq
+	r.pc = u.PC
+	r.addr = u.Addr
+	r.out = out
+	r.prdq = -1
+	r.sqIdx = -1
+	r.class = u.Class
+	r.dst = u.Dst
+	r.size = u.Size
 	if u.IsLoad() {
 		c.lqNorm++
-		rec.lqHeld = true
+		m.flags |= fLQHeld
 	}
 	if u.IsStore() {
-		rec.sqIdx = c.sq.push(u.Seq, u.Addr, u.Size, inRunahead)
+		r.sqIdx = int32(c.sq.push(u.Seq, u.Addr, u.Size, inRunahead))
 	}
-	c.enqueue(kROB, idx, rec)
+	c.enqueue(kROB, idx, m, r)
 	c.stats.Decoded++
 	c.stats.Renamed++
 	c.stats.Dispatched++
@@ -753,8 +841,8 @@ func (c *Core) learnProducers(u *uarch.Uop) {
 // onFullWindow runs once per cycle when dispatch is blocked by a full ROB;
 // it accounts the stall and may trigger a runahead entry.
 func (c *Core) onFullWindow() {
-	head := &c.rob.e[c.rob.headIdx()]
-	if head.st == sDone {
+	m := &c.rob.meta[c.rob.head]
+	if m.st == sDone {
 		return // commit-bandwidth limited, not a stall
 	}
 	c.stats.FullWindowStallCycles++
@@ -762,5 +850,5 @@ func (c *Core) onFullWindow() {
 	// A stall cycle repeats identically until the head's completion event:
 	// flag it so skipped cycles replicate these counters in bulk.
 	c.stalledFW = true
-	c.maybeEnterRunahead(head)
+	c.maybeEnterRunahead(m, &c.rob.rec[c.rob.head])
 }

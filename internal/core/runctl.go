@@ -7,8 +7,8 @@ import (
 )
 
 // maybeEnterRunahead decides whether the full-window stall at head starts
-// a runahead episode. head must be the (incomplete) ROB head entry.
-func (c *Core) maybeEnterRunahead(head *uopRec) {
+// a runahead episode. (hm, hr) must be the (incomplete) ROB head entry.
+func (c *Core) maybeEnterRunahead(hm *slotMeta, hr *uopRec) {
 	if c.cfg.Mode == ModeOoO || c.inRunahead {
 		return
 	}
@@ -21,10 +21,10 @@ func (c *Core) maybeEnterRunahead(head *uopRec) {
 	// remaining-latency test (rather than the serving level) also covers
 	// demand loads that merged onto a still-in-flight prefetch — they are
 	// outstanding LLC misses in every sense that matters.
-	if head.st != sIssued || !head.uop.IsLoad() {
+	if hm.st != sIssued || !hr.isLoad() {
 		return
 	}
-	remaining := head.readyAt - c.now
+	remaining := hr.readyAt - c.now
 	if remaining <= 2 {
 		return // returning this very moment; nothing to run ahead of
 	}
@@ -35,27 +35,27 @@ func (c *Core) maybeEnterRunahead(head *uopRec) {
 		// such filter: entering costs it nothing, and short intervals are
 		// extra prefetch opportunities (Section 2.4).
 		if remaining < c.cfg.MinRunaheadCycles {
-			if c.lastSkipSeq != head.seq {
+			if c.lastSkipSeq != hr.seq {
 				c.stats.EntriesSkipped++
-				c.lastSkipSeq = head.seq
+				c.lastSkipSeq = hr.seq
 				c.progressed = true
 			}
 			return
 		}
 	}
-	c.enterRunahead(head)
+	c.enterRunahead(hm, hr)
 }
 
 // enterRunahead performs the mode-specific entry sequence.
-func (c *Core) enterRunahead(head *uopRec) {
+func (c *Core) enterRunahead(hm *slotMeta, hr *uopRec) {
 	c.progressed = true
 	c.iqDirty = true
 	c.inRunahead = true
 	c.entryCycle = c.now
-	c.exitCycle = head.readyAt
-	c.stallSeq = head.seq
-	c.stallPC = head.uop.PC
-	c.stallDstP = head.out.DstP
+	c.exitCycle = hr.readyAt
+	c.stallSeq = hr.seq
+	c.stallPC = hr.pc
+	c.stallDstP = hr.out.DstP
 	c.raDiverged = false
 	c.stats.Entries++
 
@@ -76,23 +76,28 @@ func (c *Core) enterRunahead(head *uopRec) {
 		}
 		// The stalling load pseudo-completes with an INV result so the
 		// window drains through pseudo-retirement.
-		c.ren.MarkPoisoned(head.out.DstP, true)
-		c.wake(head.out.DstP)
-		head.st = sDone
-		head.invResult = true
+		c.ren.MarkPoisoned(hr.out.DstP, true)
+		c.wake(hr.out.DstP)
+		hm.st = sDone
+		hm.flags |= fInvResult
 		// Everything in flight is now runahead work: its loads prefetch,
 		// and — Mutlu's runahead semantics — every load already waiting on
 		// a long-latency fill (its own miss or a merge onto one) converts
 		// to an immediate INV completion; the fill keeps warming the
 		// caches in the background.
 		longLat := int64(c.cfg.Mem.L3.HitLatency)
+		idx := c.rob.head
 		for i := 0; i < c.rob.size; i++ {
-			rec := &c.rob.e[c.rob.at(i)]
-			rec.inRunahead = true
-			if rec.st == sIssued && rec.uop.IsLoad() && rec.readyAt > c.now+longLat {
-				rec.invResult = true
-				rec.readyAt = c.now + 1
-				c.events.schedule(c.now, completion{cycle: rec.readyAt, kind: kROB, slot: c.rob.at(i), gen: rec.gen})
+			m, r := &c.rob.meta[idx], &c.rob.rec[idx]
+			m.flags |= fInRunahead
+			if m.st == sIssued && r.isLoad() && r.readyAt > c.now+longLat {
+				m.flags |= fInvResult
+				r.readyAt = c.now + 1
+				c.events.schedule(c.now, completion{cycle: r.readyAt, kind: kROB, slot: int32(idx), gen: m.gen})
+			}
+			idx++
+			if idx == len(c.rob.meta) {
+				idx = 0
 			}
 		}
 		if c.cfg.Mode == ModeRABuffer {
@@ -106,7 +111,7 @@ func (c *Core) enterRunahead(head *uopRec) {
 		c.ren.CheckpointSpecInto(&c.cpSpecBuf)
 		c.cpSpec = &c.cpSpecBuf
 		c.ren.BeginRunahead()
-		c.ren.MarkPoisoned(head.out.DstP, false)
+		c.ren.MarkPoisoned(hr.out.DstP, false)
 		c.sst.Insert(c.stallPC)
 		c.prdq.Clear()
 		if !c.emqDraining {
@@ -306,19 +311,26 @@ func (c *Core) preExecute(u *uarch.Uop, mispredicted bool) bool {
 		return true
 	}
 
-	rec := &c.pre.e[poolIdx]
-	gen := rec.gen
-	*rec = uopRec{
-		seq: u.Seq, uop: *u, out: out, st: sWaiting, gen: gen,
-		prdq: ticket, sqIdx: -1,
-		mispredicted: mispredicted,
-		inRunahead:   true,
+	m, r := &c.pre.meta[poolIdx], &c.pre.rec[poolIdx]
+	m.st = sWaiting // gen is preserved across slot reuse
+	m.flags = fInRunahead
+	if mispredicted {
+		m.flags |= fMispredicted
 	}
+	r.seq = u.Seq
+	r.pc = u.PC
+	r.addr = u.Addr
+	r.out = out
+	r.prdq = ticket
+	r.sqIdx = -1
+	r.class = u.Class
+	r.dst = u.Dst
+	r.size = u.Size
 	if u.IsLoad() {
 		c.lqPre++
-		rec.lqHeld = true
+		m.flags |= fLQHeld
 	}
-	c.enqueue(kPRE, poolIdx, rec)
+	c.enqueue(kPRE, poolIdx, m, r)
 	c.stats.Dispatched++
 	return true
 }
@@ -356,9 +368,17 @@ func (c *Core) dispatchFromEMQ() {
 // cycle ("expensive CAM lookups", Section 3.6), so replay dispatch only
 // begins once the walk has finished.
 func (c *Core) initReplay() {
+	// The ROB no longer retains full µops; the trace stream still holds
+	// every in-flight seq (nothing past the commit head is released), so
+	// the walk window is rebuilt from the stream by seq.
 	c.chainWindow = c.chainWindow[:0]
-	for i := 0; i < c.rob.len(); i++ {
-		c.chainWindow = append(c.chainWindow, c.rob.e[c.rob.at(i)].uop)
+	idx := c.rob.head
+	for i := 0; i < c.rob.size; i++ {
+		c.chainWindow = append(c.chainWindow, *c.stream.At(c.rob.rec[idx].seq))
+		idx++
+		if idx == len(c.rob.meta) {
+			idx = 0
+		}
 	}
 	var walkCycles int
 	c.chain, walkCycles = c.chainX.Extract(c.chainWindow, c.stallPC, c.cfg.ChainMaxLen)
@@ -383,21 +403,28 @@ func (c *Core) prepareReplayIteration() bool {
 	limit := c.replayCursor + c.cfg.ReplayLookahead
 	for _, cu := range c.chain {
 		found := int64(-1)
-		for ; q < limit; q++ {
-			u := c.stream.At(q)
-			if u.Class == uarch.ClassJump {
-				// Outer-loop transition: the frozen chain's address
-				// pattern does not survive the phase change; replay would
-				// extrapolate garbage from here on.
-				c.replayDead = true
-				c.stats.ReplayExhausted++
-				return false
+		// Scan the stream in contiguous spans (bulk-generated blocks)
+		// instead of one At call per µop.
+	scan:
+		for q < limit {
+			span := c.stream.Span(q, limit-q)
+			for i := range span {
+				u := &span[i]
+				if u.Class == uarch.ClassJump {
+					// Outer-loop transition: the frozen chain's address
+					// pattern does not survive the phase change; replay
+					// would extrapolate garbage from here on.
+					c.replayDead = true
+					c.stats.ReplayExhausted++
+					return false
+				}
+				if u.PC == cu.PC {
+					found = q + int64(i)
+					q = found + 1
+					break scan
+				}
 			}
-			if u.PC == cu.PC {
-				found = q
-				q++
-				break
-			}
+			q += int64(len(span))
 		}
 		if found < 0 {
 			c.replayDead = true

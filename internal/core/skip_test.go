@@ -82,7 +82,12 @@ func TestCycleSkipLockstepSynth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, mode := range []Mode{ModeOoO, ModePRE} {
+	// RA-buffer matters here independently: its replay engine scans far
+	// ahead of the stalled window with the front end power-gated, so a
+	// sampled scenario's phase switch can land mid-episode — the replay
+	// cursor crosses the phase boundary (a ClassJump kills the chain) in
+	// ways the fixed suite proxies never schedule.
+	for _, mode := range []Mode{ModeOoO, ModeRABuffer, ModePRE} {
 		mode := mode
 		t.Run(sc.Name()+"/"+mode.String(), func(t *testing.T) {
 			t.Parallel()

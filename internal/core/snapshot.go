@@ -21,7 +21,8 @@ import (
 // the sWaiting records of the snapshotted ROB, from which restoreSnapshot
 // rebuilds occupancy, waiter registrations and the ready list.
 type pipeSnapshot struct {
-	robE    []uopRec
+	robMeta []slotMeta
+	robRec  []uopRec
 	robHead int
 	robSize int
 	sqE     []sqEntry
@@ -36,7 +37,8 @@ type pipeSnapshot struct {
 // (called at RA entry under FreeExit, before the stalling load is
 // poisoned).
 func (c *Core) takeSnapshotInto(s *pipeSnapshot) {
-	s.robE = append(s.robE[:0], c.rob.e...)
+	s.robMeta = append(s.robMeta[:0], c.rob.meta...)
+	s.robRec = append(s.robRec[:0], c.rob.rec...)
 	s.robHead = c.rob.head
 	s.robSize = c.rob.size
 	s.sqE = append(s.sqE[:0], c.sq.e...)
@@ -56,22 +58,24 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 	c.iqDirty = true
 	// Restore ROB contents, advancing every slot generation past both the
 	// snapshot's and the current value so stale events cannot match.
-	for i := range s.robE {
-		cur := c.rob.e[i].gen
-		snap := s.robE[i].gen
-		c.rob.e[i] = s.robE[i]
+	for i := range s.robMeta {
+		cur := c.rob.meta[i].gen
+		snap := s.robMeta[i].gen
+		c.rob.meta[i] = s.robMeta[i]
 		if cur > snap {
-			c.rob.e[i].gen = cur + 1
+			c.rob.meta[i].gen = cur + 1
 		} else {
-			c.rob.e[i].gen = snap + 1
+			c.rob.meta[i].gen = snap + 1
 		}
 	}
+	copy(c.rob.rec, s.robRec)
 	c.rob.head = s.robHead
 	c.rob.size = s.robSize
 
 	c.sq.e = append(c.sq.e[:0], s.sqE...)
 	c.sq.head = s.sqHead
 	c.sq.size = s.sqSize
+	c.sq.rebuildBloom()
 	c.lqNorm = s.lqNorm
 	c.lqPre = 0
 	c.pre.flush()
@@ -88,9 +92,9 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 	c.iq.clear()
 	for i := 0; i < c.rob.size; i++ {
 		idx := c.rob.at(i)
-		rec := &c.rob.e[idx]
-		if rec.st == sWaiting {
-			c.enqueue(kROB, idx, rec)
+		m := &c.rob.meta[idx]
+		if m.st == sWaiting {
+			c.enqueue(kROB, idx, m, &c.rob.rec[idx])
 		}
 	}
 
@@ -101,14 +105,14 @@ func (c *Core) restoreSnapshot(s *pipeSnapshot) {
 	// and cleanly (never poisoned — the snapshot predates the INV mark).
 	for i := 0; i < c.rob.size; i++ {
 		idx := c.rob.at(i)
-		rec := &c.rob.e[idx]
-		if rec.st != sIssued {
+		m := &c.rob.meta[idx]
+		if m.st != sIssued {
 			continue
 		}
-		at := rec.readyAt
+		at := c.rob.rec[idx].readyAt
 		if at <= c.now {
 			at = c.now + 1
 		}
-		c.events.schedule(c.now, completion{cycle: at, kind: kROB, slot: idx, gen: rec.gen})
+		c.events.schedule(c.now, completion{cycle: at, kind: kROB, slot: int32(idx), gen: m.gen})
 	}
 }

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"repro/internal/mem"
+	"math/bits"
+
 	"repro/internal/rename"
 	"repro/internal/uarch"
 )
@@ -31,43 +32,79 @@ const (
 	kPRE
 )
 
-// uopRec is the in-flight record shared by ROB entries and PRE transients.
-type uopRec struct {
-	seq  int64
-	uop  uarch.Uop
-	out  rename.Out
-	st   uopState
-	gen  uint32 // slot generation, guards stale events/IQ refs
-	prdq int64  // PRDQ ticket (kPRE only; -1 = none)
+// uopFlags packs a slot's boolean state into one byte.
+type uopFlags uint8
 
-	mispredicted bool      // fetch-time misprediction flag
-	invResult    bool      // completion publishes poison, not data
-	inRunahead   bool      // executed under any runahead episode
-	srcWait      uint8     // source pregs still pending (0 = issueable)
-	readyAt      int64     // completion cycle once issued
-	memLevel     mem.Level // loads: level that served the access
-	sqIdx        int       // stores: SQ slot; loads: -1
-	lqHeld       bool      // load-queue entry held
+const (
+	// fMispredicted: fetch-time misprediction flag.
+	fMispredicted uopFlags = 1 << iota
+	// fInvResult: completion publishes poison, not data.
+	fInvResult
+	// fInRunahead: executed under any runahead episode.
+	fInRunahead
+	// fLQHeld: load-queue entry held.
+	fLQHeld
+)
+
+// slotMeta is the hot half of a µop slot: the one 8-byte word the wake-up,
+// completion-event and issue-scan probes touch. Keeping it in its own
+// densely packed array (struct-of-arrays with uopRec) means a wake-up or a
+// stale-event check reads 8 bytes instead of a whole record, and bulk
+// scans (commit run, flush, runahead-entry conversion) walk 8 slots per
+// cache line.
+type slotMeta struct {
+	gen     uint32   // slot generation, guards stale events/IQ refs
+	st      uopState // back-end progress
+	srcWait uint8    // source pregs still pending (0 = issueable)
+	flags   uopFlags
+	_       uint8
 }
+
+// uopRec is the cold half of a µop slot: everything the back end needs
+// after dispatch that is not probed per wake-up. The fetched µop itself is
+// not retained — only the fields the issue/complete/commit paths read
+// (the full Uop stays resolvable through the trace stream by seq).
+type uopRec struct {
+	seq     int64
+	pc      uint64
+	addr    uint64 // loads/stores: effective address
+	readyAt int64  // completion cycle once issued
+	prdq    int64  // PRDQ ticket (kPRE only; -1 = none)
+	out     rename.Out
+	sqIdx   int32 // stores: SQ slot; otherwise -1
+	class   uarch.Class
+	dst     uarch.Reg // architectural destination (RegNone if none)
+	size    uint8     // loads/stores: access size
+}
+
+func (r *uopRec) isLoad() bool  { return r.class == uarch.ClassLoad }
+func (r *uopRec) isStore() bool { return r.class == uarch.ClassStore }
+func (r *uopRec) hasDst() bool  { return r.dst != uarch.RegNone }
 
 // --- ROB -----------------------------------------------------------------
 
-// rob is a ring buffer of uopRec.
+// rob is a ring buffer of µop slots in struct-of-arrays layout.
 type rob struct {
-	e          []uopRec
+	meta       []slotMeta
+	rec        []uopRec
 	head, size int
 }
 
-func newROB(n int) *rob { return &rob{e: make([]uopRec, n)} }
+func newROB(n int) *rob {
+	return &rob{meta: make([]slotMeta, n), rec: make([]uopRec, n)}
+}
 
-func (r *rob) full() bool  { return r.size == len(r.e) }
+func (r *rob) full() bool  { return r.size == len(r.meta) }
 func (r *rob) empty() bool { return r.size == 0 }
 func (r *rob) len() int    { return r.size }
-func (r *rob) cap() int    { return len(r.e) }
+func (r *rob) cap() int    { return len(r.meta) }
 
 // push allocates the tail slot and returns its index.
 func (r *rob) push() int {
-	idx := (r.head + r.size) % len(r.e)
+	idx := r.head + r.size
+	if idx >= len(r.meta) {
+		idx -= len(r.meta)
+	}
 	r.size++
 	return idx
 }
@@ -77,18 +114,27 @@ func (r *rob) headIdx() int { return r.head }
 
 // pop releases the head slot.
 func (r *rob) pop() {
-	r.e[r.head].gen++ // invalidate stale references
-	r.head = (r.head + 1) % len(r.e)
+	r.meta[r.head].gen++ // invalidate stale references
+	r.head++
+	if r.head == len(r.meta) {
+		r.head = 0
+	}
 	r.size--
 }
 
 // at returns the i-th oldest entry's index.
-func (r *rob) at(i int) int { return (r.head + i) % len(r.e) }
+func (r *rob) at(i int) int {
+	idx := r.head + i
+	if idx >= len(r.meta) {
+		idx -= len(r.meta)
+	}
+	return idx
+}
 
 // flush drops everything, invalidating all slots.
 func (r *rob) flush() {
-	for i := 0; i < r.size; i++ {
-		r.e[r.at(i)].gen++
+	for i := range r.meta {
+		r.meta[i].gen++
 	}
 	r.head, r.size = 0, 0
 }
@@ -98,14 +144,20 @@ func (r *rob) flush() {
 // prePool holds PRE runahead µops (no ROB slot). Slots are recycled via a
 // free list; generations invalidate stale references on reuse and flush.
 type prePool struct {
-	e     []uopRec
+	meta  []slotMeta
+	rec   []uopRec
 	free  []int
 	inUse []bool
 	live  int
 }
 
 func newPrePool(n int) *prePool {
-	p := &prePool{e: make([]uopRec, n), free: make([]int, 0, n), inUse: make([]bool, n)}
+	p := &prePool{
+		meta:  make([]slotMeta, n),
+		rec:   make([]uopRec, n),
+		free:  make([]int, 0, n),
+		inUse: make([]bool, n),
+	}
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, i)
 	}
@@ -124,7 +176,7 @@ func (p *prePool) alloc() (int, bool) {
 }
 
 func (p *prePool) release(idx int) {
-	p.e[idx].gen++
+	p.meta[idx].gen++
 	p.free = append(p.free, idx)
 	p.inUse[idx] = false
 	p.live--
@@ -135,7 +187,7 @@ func (p *prePool) flush() {
 	if p.live == 0 {
 		return
 	}
-	for i := range p.e {
+	for i := range p.inUse {
 		if p.inUse[i] {
 			p.release(i)
 		}
@@ -144,27 +196,23 @@ func (p *prePool) flush() {
 
 // --- issue queue -----------------------------------------------------------
 
-// iqRef points an issue-queue slot at an in-flight record.
-type iqRef struct {
-	kind recKind
-	slot int
-	gen  uint32
-}
-
-// wakeRef identifies a µop waiting on a physical register's data.
+// wakeRef identifies a µop waiting on a physical register's data. It
+// carries the waiter's seq so a wake-up never has to touch the cold record
+// to file the µop on the ready list.
 type wakeRef struct {
-	kind recKind
-	slot int
+	seq  int64
 	gen  uint32
+	slot int32
+	kind recKind
 }
 
 // readyRef is a waiting µop whose sources have all arrived, keyed by
 // sequence number for program-ordered issue priority.
 type readyRef struct {
-	kind recKind
-	slot int
-	gen  uint32
 	seq  int64
+	gen  uint32
+	slot int32
+	kind recKind
 }
 
 // issueQueue tracks issue-queue occupancy plus the program-ordered list
@@ -206,7 +254,7 @@ func (q *issueQueue) issued(kind recKind) {
 // ready list seq-sorted. Dispatch appends in program order (fast path);
 // wake-ups insert older µops by binary search.
 func (q *issueQueue) markReady(kind recKind, slot int, gen uint32, seq int64) {
-	r := readyRef{kind: kind, slot: slot, gen: gen, seq: seq}
+	r := readyRef{kind: kind, slot: int32(slot), gen: gen, seq: seq}
 	n := len(q.ready)
 	if n == 0 || q.ready[n-1].seq < seq {
 		q.ready = append(q.ready, r)
@@ -259,10 +307,15 @@ type sqEntry struct {
 	runahead  bool // pseudo-retired runahead store: never drains
 }
 
-// storeQueue is a program-ordered ring of stores.
+// storeQueue is a program-ordered ring of stores, with a counting Bloom
+// filter over the cache lines the live stores touch. Most loads alias no
+// in-flight store; the filter rejects them in O(1) instead of the
+// youngest-first overlap scan, which showed up as a flat per-load cost.
 type storeQueue struct {
 	e          []sqEntry
 	head, size int
+	bloomSet   uint64     // bit b set iff bloomCnt[b] > 0
+	bloomCnt   [64]uint16 // live stores hashing to each bucket
 }
 
 func newSQ(n int) *storeQueue { return &storeQueue{e: make([]sqEntry, n)} }
@@ -270,10 +323,48 @@ func newSQ(n int) *storeQueue { return &storeQueue{e: make([]sqEntry, n)} }
 func (s *storeQueue) full() bool { return s.size == len(s.e) }
 func (s *storeQueue) len() int   { return s.size }
 
+// bloomBits returns the filter mask for the cache lines [addr, addr+size)
+// touches. Byte-range overlap implies a shared line, so the filter has no
+// false negatives.
+func bloomBits(addr uint64, size uint8) uint64 {
+	first := addr >> 6
+	last := (addr + uint64(size) - 1) >> 6
+	b := uint64(1) << ((first * 0x9e3779b97f4a7c15) >> 58)
+	if last != first {
+		b |= uint64(1) << ((last * 0x9e3779b97f4a7c15) >> 58)
+	}
+	return b
+}
+
+func (s *storeQueue) bloomAdd(addr uint64, size uint8) {
+	b := bloomBits(addr, size)
+	s.bloomSet |= b
+	for b != 0 {
+		s.bloomCnt[bits.TrailingZeros64(b)]++
+		b &= b - 1
+	}
+}
+
+func (s *storeQueue) bloomRemove(addr uint64, size uint8) {
+	b := bloomBits(addr, size)
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		s.bloomCnt[i]--
+		if s.bloomCnt[i] == 0 {
+			s.bloomSet &^= 1 << i
+		}
+		b &= b - 1
+	}
+}
+
 // push appends a store, returning its slot index.
 func (s *storeQueue) push(seq int64, addr uint64, size uint8, runahead bool) int {
-	idx := (s.head + s.size) % len(s.e)
+	idx := s.head + s.size
+	if idx >= len(s.e) {
+		idx -= len(s.e)
+	}
 	s.e[idx] = sqEntry{valid: true, seq: seq, addr: addr, size: size, runahead: runahead}
+	s.bloomAdd(addr, size)
 	s.size++
 	return idx
 }
@@ -281,13 +372,22 @@ func (s *storeQueue) push(seq int64, addr uint64, size uint8, runahead bool) int
 // forwardFrom finds the youngest store older than seq whose range overlaps
 // [addr, addr+size). It returns (found, dataReady).
 func (s *storeQueue) forwardFrom(seq int64, addr uint64, size uint8) (bool, bool) {
+	if s.size == 0 || s.bloomSet&bloomBits(addr, size) == 0 {
+		return false, false
+	}
+	idx := s.head + s.size - 1
+	if idx >= len(s.e) {
+		idx -= len(s.e)
+	}
 	for i := s.size - 1; i >= 0; i-- {
-		e := &s.e[(s.head+i)%len(s.e)]
-		if !e.valid || e.seq >= seq {
-			continue
-		}
-		if addr < e.addr+uint64(e.size) && e.addr < addr+uint64(size) {
+		e := &s.e[idx]
+		if e.valid && e.seq < seq &&
+			addr < e.addr+uint64(e.size) && e.addr < addr+uint64(size) {
 			return true, e.dataReady
+		}
+		idx--
+		if idx < 0 {
+			idx = len(s.e) - 1
 		}
 	}
 	return false, false
@@ -305,7 +405,11 @@ func (s *storeQueue) drainHead(fn func(*sqEntry) bool) {
 			return
 		}
 		e.valid = false
-		s.head = (s.head + 1) % len(s.e)
+		s.bloomRemove(e.addr, e.size)
+		s.head++
+		if s.head == len(s.e) {
+			s.head = 0
+		}
 		s.size--
 	}
 }
@@ -313,11 +417,15 @@ func (s *storeQueue) drainHead(fn func(*sqEntry) bool) {
 // dropYoungerThan removes all stores with seq >= cutoff (flush).
 func (s *storeQueue) dropYoungerThan(cutoff int64) {
 	for s.size > 0 {
-		tail := (s.head + s.size - 1) % len(s.e)
+		tail := s.head + s.size - 1
+		if tail >= len(s.e) {
+			tail -= len(s.e)
+		}
 		if s.e[tail].seq < cutoff {
 			return
 		}
 		s.e[tail].valid = false
+		s.bloomRemove(s.e[tail].addr, s.e[tail].size)
 		s.size--
 	}
 }
@@ -326,14 +434,31 @@ func (s *storeQueue) clearUncommitted() {
 	s.dropYoungerThan(-1 << 62)
 }
 
+// rebuildBloom recomputes the filter from the live entries (snapshot
+// restore replaces the ring contents wholesale).
+func (s *storeQueue) rebuildBloom() {
+	s.bloomSet = 0
+	s.bloomCnt = [64]uint16{}
+	idx := s.head
+	for i := 0; i < s.size; i++ {
+		if s.e[idx].valid {
+			s.bloomAdd(s.e[idx].addr, s.e[idx].size)
+		}
+		idx++
+		if idx == len(s.e) {
+			idx = 0
+		}
+	}
+}
+
 // --- completion events --------------------------------------------------
 
 // completion schedules a µop's execution finish.
 type completion struct {
 	cycle int64
-	kind  recKind
-	slot  int
 	gen   uint32
+	slot  int32
+	kind  recKind
 }
 
 // eventQueue schedules completions. Nearly every completion is short
@@ -451,24 +576,62 @@ func (h *eventHeap) pop() completion {
 
 // --- functional units -----------------------------------------------------
 
+// Functional-unit pool indices (classPool maps classes onto them).
+const (
+	puALU = iota
+	puFPU
+	puLoad
+	puStore
+	puBranch
+	numPools
+)
+
+// classPool maps every µop class to its issue-port pool, replacing the
+// per-issue class switch with one table load.
+var classPool = [uarch.NumClasses]uint8{
+	uarch.ClassNop:    puALU,
+	uarch.ClassIntAlu: puALU,
+	uarch.ClassIntMul: puALU,
+	uarch.ClassIntDiv: puALU,
+	uarch.ClassFPAdd:  puFPU,
+	uarch.ClassFPMul:  puFPU,
+	uarch.ClassFPDiv:  puFPU,
+	uarch.ClassLoad:   puLoad,
+	uarch.ClassStore:  puStore,
+	uarch.ClassBranch: puBranch,
+	uarch.ClassJump:   puBranch,
+	uarch.ClassCall:   puBranch,
+	uarch.ClassReturn: puBranch,
+}
+
+// classLatency caches Class.Latency as a table (the method is a switch).
+var classLatency = func() (t [uarch.NumClasses]int64) {
+	for c := uarch.Class(0); c < uarch.NumClasses; c++ {
+		t[c] = int64(c.Latency())
+	}
+	return
+}()
+
 // fuPools models per-cycle issue capacity per unit pool, plus unpipelined
 // divide units.
 type fuPools struct {
-	aluCap, fpuCap, loadCap, storeCap, branchCap int
-	alu, fpu, load, store, branch                int
-	idivBusyUntil, fdivBusyUntil                 int64
+	caps                         [numPools]int32
+	use                          [numPools]int32
+	idivBusyUntil, fdivBusyUntil int64
 }
 
 func newFU(cfg *Config) *fuPools {
-	return &fuPools{
-		aluCap: cfg.IntALU, fpuCap: cfg.FPU,
-		loadCap: cfg.LoadPorts, storeCap: cfg.StorePorts,
-		branchCap: cfg.BranchUnits,
-	}
+	f := &fuPools{}
+	f.caps[puALU] = int32(cfg.IntALU)
+	f.caps[puFPU] = int32(cfg.FPU)
+	f.caps[puLoad] = int32(cfg.LoadPorts)
+	f.caps[puStore] = int32(cfg.StorePorts)
+	f.caps[puBranch] = int32(cfg.BranchUnits)
+	return f
 }
 
 // newCycle resets the per-cycle counters.
-func (f *fuPools) newCycle() { f.alu, f.fpu, f.load, f.store, f.branch = 0, 0, 0, 0, 0 }
+func (f *fuPools) newCycle() { f.use = [numPools]int32{} }
 
 // nextDivFree returns the earliest cycle strictly after now at which an
 // unpipelined divide unit frees up (ok=false when both are already free).
@@ -488,46 +651,25 @@ func (f *fuPools) nextDivFree(now int64) (int64, bool) {
 
 // tryIssue consumes capacity for class c at cycle now; reports acceptance.
 func (f *fuPools) tryIssue(c uarch.Class, now int64) bool {
-	switch c {
-	case uarch.ClassIntAlu, uarch.ClassIntMul, uarch.ClassNop:
-		if f.alu >= f.aluCap {
-			return false
-		}
-		f.alu++
-	case uarch.ClassIntDiv:
-		if f.alu >= f.aluCap || f.idivBusyUntil > now {
-			return false
-		}
-		f.alu++
-		f.idivBusyUntil = now + int64(uarch.ClassIntDiv.Latency())
-	case uarch.ClassFPAdd, uarch.ClassFPMul:
-		if f.fpu >= f.fpuCap {
-			return false
-		}
-		f.fpu++
-	case uarch.ClassFPDiv:
-		if f.fpu >= f.fpuCap || f.fdivBusyUntil > now {
-			return false
-		}
-		f.fpu++
-		f.fdivBusyUntil = now + int64(uarch.ClassFPDiv.Latency())
-	case uarch.ClassLoad:
-		if f.load >= f.loadCap {
-			return false
-		}
-		f.load++
-	case uarch.ClassStore:
-		if f.store >= f.storeCap {
-			return false
-		}
-		f.store++
-	case uarch.ClassBranch, uarch.ClassJump, uarch.ClassCall, uarch.ClassReturn:
-		if f.branch >= f.branchCap {
-			return false
-		}
-		f.branch++
-	default:
+	if int(c) >= len(classPool) {
 		return false
 	}
+	p := classPool[c]
+	if f.use[p] >= f.caps[p] {
+		return false
+	}
+	switch c {
+	case uarch.ClassIntDiv:
+		if f.idivBusyUntil > now {
+			return false
+		}
+		f.idivBusyUntil = now + classLatency[uarch.ClassIntDiv]
+	case uarch.ClassFPDiv:
+		if f.fdivBusyUntil > now {
+			return false
+		}
+		f.fdivBusyUntil = now + classLatency[uarch.ClassFPDiv]
+	}
+	f.use[p]++
 	return true
 }

@@ -15,7 +15,7 @@ func TestROBRingLifecycle(t *testing.T) {
 	idx := make([]int, 0, 4)
 	for i := 0; i < 4; i++ {
 		j := r.push()
-		r.e[j].seq = int64(i)
+		r.rec[j].seq = int64(i)
 		idx = append(idx, j)
 	}
 	if !r.full() || r.len() != 4 {
@@ -26,13 +26,13 @@ func TestROBRingLifecycle(t *testing.T) {
 	}
 	// at(i) walks oldest -> youngest.
 	for i := 0; i < 4; i++ {
-		if r.e[r.at(i)].seq != int64(i) {
-			t.Errorf("at(%d).seq = %d", i, r.e[r.at(i)].seq)
+		if r.rec[r.at(i)].seq != int64(i) {
+			t.Errorf("at(%d).seq = %d", i, r.rec[r.at(i)].seq)
 		}
 	}
-	gen := r.e[idx[0]].gen
+	gen := r.meta[idx[0]].gen
 	r.pop()
-	if r.e[idx[0]].gen != gen+1 {
+	if r.meta[idx[0]].gen != gen+1 {
 		t.Error("pop must invalidate the slot generation")
 	}
 	if r.len() != 3 {
@@ -50,14 +50,14 @@ func TestROBFlushInvalidatesAll(t *testing.T) {
 	var gens []uint32
 	for i := 0; i < 5; i++ {
 		j := r.push()
-		gens = append(gens, r.e[j].gen)
+		gens = append(gens, r.meta[j].gen)
 	}
 	r.flush()
 	if !r.empty() {
 		t.Fatal("flush must empty the ROB")
 	}
 	for i := 0; i < 5; i++ {
-		if r.e[i].gen == gens[i] {
+		if r.meta[i].gen == gens[i] {
 			t.Errorf("slot %d generation not bumped by flush", i)
 		}
 	}
@@ -74,9 +74,9 @@ func TestPrePoolAllocReleaseFlush(t *testing.T) {
 	if _, ok := p.alloc(); ok {
 		t.Fatal("pool overflow")
 	}
-	genB := p.e[b].gen
+	genB := p.meta[b].gen
 	p.release(b)
-	if p.e[b].gen != genB+1 {
+	if p.meta[b].gen != genB+1 {
 		t.Error("release must bump generation")
 	}
 	d, ok := p.alloc()
@@ -221,7 +221,7 @@ func TestEventQueueOrdering(t *testing.T) {
 	if _, ok := q.popDue(5); ok {
 		t.Fatal("nothing due at 5")
 	}
-	order := []int{}
+	order := []int32{}
 	for now := int64(0); now <= 200; now++ {
 		for {
 			ev, ok := q.popDue(now)
@@ -249,7 +249,7 @@ func TestEventQueueProperty(t *testing.T) {
 	f := func(cycles []uint16) bool {
 		var q eventQueue
 		for i, c := range cycles {
-			q.schedule(0, completion{cycle: int64(c), slot: i})
+			q.schedule(0, completion{cycle: int64(c), slot: int32(i)})
 		}
 		last := int64(-1)
 		popped := 0

@@ -343,7 +343,10 @@ func (s *Set) GeoMeanSpeedups(pi int) []float64 {
 			}
 			xs = append(xs, s.Speedup(pi, wi, mi))
 		}
-		out[mi] = stats.GeoMean(xs)
+		// Degenerate cells (0/NaN speedup from a near-empty baseline
+		// window) are dropped rather than letting one sampled seed
+		// panic the whole sweep summary.
+		out[mi], _ = stats.GeoMeanPositive(xs)
 	}
 	return out
 }

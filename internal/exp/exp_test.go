@@ -635,6 +635,48 @@ func TestPopulationStats(t *testing.T) {
 	}
 }
 
+// TestPopulationStatsDegenerate pins the degenerate-seed fix: a sampled
+// scenario whose run commits essentially nothing yields a 0 (or NaN)
+// speedup, which previously detonated stats.GeoMean mid-sweep. Such
+// seeds must instead be counted in Degenerate and excluded from
+// Min/Median/GeoMean.
+func TestPopulationStatsDegenerate(t *testing.T) {
+	plan, err := populationMatrix(5).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := plan.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force one non-baseline cell to a dead run (IPC 0 -> speedup 0).
+	set.res[set.plan.cells[set.cellIndex(0, 0, 1)]].IPC = 0
+	ps := set.PopulationStats(0) // must not panic
+	if len(ps) != 2 {
+		t.Fatalf("PopulationStats returned %d modes, want 2", len(ps))
+	}
+	st := ps[1]
+	if st.Degenerate != 1 {
+		t.Errorf("Degenerate = %d, want 1", st.Degenerate)
+	}
+	if st.Count != 4 {
+		t.Errorf("Count = %d, want 4 (degenerate seed excluded)", st.Count)
+	}
+	if st.Min <= 0 || st.GeoMean <= 0 {
+		t.Errorf("summary polluted by degenerate seed: %+v", st)
+	}
+	// The baseline mode is untouched by the dead cell.
+	if ps[0].Degenerate != 0 || ps[0].Count != 5 {
+		t.Errorf("baseline row changed: %+v", ps[0])
+	}
+	// GeoMeanSpeedups over the same point must also survive.
+	for mi, gm := range set.GeoMeanSpeedups(0) {
+		if gm <= 0 {
+			t.Errorf("GeoMeanSpeedups[%d] = %v, want > 0", mi, gm)
+		}
+	}
+}
+
 // TestPopulationErrors covers population validation.
 func TestPopulationErrors(t *testing.T) {
 	bad := populationMatrix(0)

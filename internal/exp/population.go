@@ -10,6 +10,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -65,8 +66,15 @@ func (pop Population) baseSeed() uint64 {
 type PopulationStat struct {
 	// Mode is the summarized mechanism.
 	Mode core.Mode
-	// Count is the number of scenarios with a usable baseline.
+	// Count is the number of scenarios with a usable baseline and a
+	// well-defined (positive, finite) speedup.
 	Count int
+	// Degenerate counts scenarios that had a baseline but produced a
+	// non-positive or NaN speedup — typically a sampled seed whose
+	// baseline commits essentially nothing inside the measurement
+	// window. They are excluded from Min/Median/GeoMean instead of
+	// panicking the aggregation.
+	Degenerate int
 	// Min, Median and GeoMean describe the speedup distribution over the
 	// population.
 	Min, Median, GeoMean float64
@@ -105,6 +113,10 @@ func (s *Set) PopulationStats(pi int) []PopulationStat {
 				continue
 			}
 			sp := s.Speedup(pi, wi, mi)
+			if sp <= 0 || math.IsNaN(sp) || math.IsInf(sp, 0) {
+				st.Degenerate++
+				continue
+			}
 			xs = append(xs, sp)
 			if st.Count == 0 || sp < st.Min {
 				st.Min = sp
@@ -112,7 +124,7 @@ func (s *Set) PopulationStats(pi int) []PopulationStat {
 			}
 			st.Count++
 		}
-		if st.Count == 0 {
+		if st.Count == 0 && st.Degenerate == 0 {
 			continue
 		}
 		st.Median = stats.Median(xs)

@@ -150,41 +150,64 @@ func (f *FetchUnit) Cycle(now int64) CycleStatus {
 		f.stats.ICacheStallCy++
 		return CycleLineWait
 	}
+	budget := f.cfg.Width
+	if room := f.cfg.QueueSize - f.qLen; room < budget {
+		budget = room
+	}
+	if budget <= 0 {
+		return CycleIdle
+	}
+	ready := now + int64(f.cfg.Depth)
+	tail := f.qHead + f.qLen
+	if tail >= len(f.queue) {
+		tail -= len(f.queue)
+	}
 	fetched := false
-	for budget := f.cfg.Width; budget > 0 && f.qLen < f.cfg.QueueSize; budget-- {
-		u := f.stream.At(f.nextSeq)
-		line := uarch.LineAddr(u.PC)
-		if line != f.curLine {
-			res, ok := f.hier.Fetch(line, now)
-			if !ok {
-				// I-cache MSHRs exhausted: retry next cycle.
-				f.stats.ICacheStallCy++
-				return CycleMSHRBlocked
+	for budget > 0 {
+		// One Span call per cycle (two across a ring wrap) replaces one
+		// stream.At per µop. No stream access happens inside the loop, so
+		// the aliased span stays valid.
+		span := f.stream.Span(f.nextSeq, int64(budget))
+		for i := range span {
+			u := &span[i]
+			line := uarch.LineAddr(u.PC)
+			if line != f.curLine {
+				res, ok := f.hier.Fetch(line, now)
+				if !ok {
+					// I-cache MSHRs exhausted: retry next cycle.
+					f.stats.ICacheStallCy++
+					return CycleMSHRBlocked
+				}
+				f.curLine = line
+				if res.Ready > now+int64(f.hier.L1I().HitLatency()) {
+					// Line miss: fetch resumes when the line arrives.
+					f.lineReady = res.Ready
+					return CycleLineMiss
+				}
 			}
-			f.curLine = line
-			if res.Ready > now+int64(f.hier.L1I().HitLatency()) {
-				// Line miss: fetch resumes when the line arrives.
-				f.lineReady = res.Ready
-				return CycleLineMiss
+			correct := true
+			if u.IsBranch() {
+				correct = f.pred.PredictAndTrain(u)
 			}
-		}
-		correct := true
-		if u.IsBranch() {
-			correct = f.pred.PredictAndTrain(u)
-		}
-		f.queue[(f.qHead+f.qLen)%len(f.queue)] = Slot{
-			Seq:          f.nextSeq,
-			Ready:        now + int64(f.cfg.Depth),
-			Mispredicted: !correct,
-		}
-		f.qLen++
-		f.nextSeq++
-		f.stats.FetchedUops++
-		fetched = true
-		if !correct {
-			// Freeze until the core redirects after the branch resolves.
-			f.frozenUntil = neverThaw
-			return CycleFetched
+			f.queue[tail] = Slot{
+				Seq:          f.nextSeq,
+				Ready:        ready,
+				Mispredicted: !correct,
+			}
+			tail++
+			if tail == len(f.queue) {
+				tail = 0
+			}
+			f.qLen++
+			f.nextSeq++
+			f.stats.FetchedUops++
+			fetched = true
+			budget--
+			if !correct {
+				// Freeze until the core redirects after the branch resolves.
+				f.frozenUntil = neverThaw
+				return CycleFetched
+			}
 		}
 	}
 	if fetched {
@@ -259,6 +282,43 @@ func (f *FetchUnit) Peek(now int64) (Slot, bool) {
 		return Slot{}, false
 	}
 	return f.queue[f.qHead], true
+}
+
+// ReadyRun copies into dst the leading run of queued µops that have
+// cleared the decode pipe by cycle now, without removing them, and returns
+// the run length. Ready times are nondecreasing along the queue (fetch
+// cycles are, and the pipe depth is fixed), so the run is exactly the
+// sequence repeated Peek calls would yield. The dispatcher reads the run
+// once per cycle and retires what it consumed with PopN.
+func (f *FetchUnit) ReadyRun(now int64, dst []Slot) int {
+	n := f.qLen
+	if n > len(dst) {
+		n = len(dst)
+	}
+	run := 0
+	idx := f.qHead
+	for run < n && f.queue[idx].Ready <= now {
+		dst[run] = f.queue[idx]
+		run++
+		idx++
+		if idx == len(f.queue) {
+			idx = 0
+		}
+	}
+	return run
+}
+
+// PopN removes the k oldest µops. k must not exceed the length of the
+// run returned by the preceding ReadyRun call.
+func (f *FetchUnit) PopN(k int) {
+	if k <= 0 {
+		return
+	}
+	f.qHead += k
+	if f.qHead >= len(f.queue) {
+		f.qHead -= len(f.queue)
+	}
+	f.qLen -= k
 }
 
 // Redirect unfreezes fetch at the given cycle (mispredicted branch

@@ -77,6 +77,15 @@ type Checkpoint struct {
 	fpFree  []PReg
 }
 
+// pstate is one physical register's scoreboard entry: data availability,
+// the runahead INV mark, and the runahead generation that allocated it
+// (0 = normal mode; see the package comment).
+type pstate struct {
+	ready  bool
+	poison bool
+	gen    uint32
+}
+
 // Stats counts renaming activity for the energy model.
 type Stats struct {
 	Renamed     int64
@@ -96,13 +105,11 @@ type Renamer struct {
 	intFree []PReg
 	fpFree  []PReg
 
-	ready  []bool
-	poison []bool
-
-	// allocGen tags each preg with the runahead generation that allocated
-	// it (0 = normal mode). See package comment.
-	allocGen []uint32
-	curGen   uint32
+	// pregs holds the per-physical-register scoreboard. One packed record
+	// per preg keeps the rename/wake/poison probes — several per simulated
+	// µop — on a single cache line instead of three parallel arrays.
+	pregs  []pstate
+	curGen uint32
 
 	// inUseScratch is RestoreFull's per-call workspace (which pregs the
 	// checkpoint RAT references), kept here so the per-episode exit path
@@ -121,9 +128,7 @@ func New(cfg Config) *Renamer {
 	total := 1 + cfg.IntPRF + cfg.FPPRF // preg 0 unused
 	r := &Renamer{
 		cfg:          cfg,
-		ready:        make([]bool, total),
-		poison:       make([]bool, total),
-		allocGen:     make([]uint32, total),
+		pregs:        make([]pstate, total),
 		inUseScratch: make([]bool, total),
 	}
 	// Int pregs: [1, IntPRF]; FP pregs: [IntPRF+1, IntPRF+FPPRF].
@@ -132,7 +137,7 @@ func New(cfg Config) *Renamer {
 		a := uarch.IntReg(i)
 		r.rat[a] = next
 		r.committed[a] = next
-		r.ready[next] = true
+		r.pregs[next].ready = true
 		next++
 	}
 	for p := next; p <= PReg(cfg.IntPRF); p++ {
@@ -143,7 +148,7 @@ func New(cfg Config) *Renamer {
 		a := uarch.FPReg(i)
 		r.rat[a] = next
 		r.committed[a] = next
-		r.ready[next] = true
+		r.pregs[next].ready = true
 		next++
 	}
 	for p := next; p <= PReg(cfg.IntPRF+cfg.FPPRF); p++ {
@@ -222,13 +227,11 @@ func (r *Renamer) Rename(u *uarch.Uop, inRunahead bool) (Out, bool) {
 		out.DstP = p
 		r.rat[u.Dst] = p
 		r.ratPC[u.Dst] = u.PC
-		r.ready[p] = false
-		r.poison[p] = false
+		gen := uint32(0)
 		if inRunahead {
-			r.allocGen[p] = r.curGen
-		} else {
-			r.allocGen[p] = 0
+			gen = r.curGen
 		}
+		r.pregs[p] = pstate{gen: gen}
 	}
 	r.stats.Renamed++
 	return out, true
@@ -262,13 +265,13 @@ func (r *Renamer) Commit(dst uarch.Reg, dstP PReg) {
 // MarkReady marks p's data available, waking IQ consumers.
 func (r *Renamer) MarkReady(p PReg) {
 	if p != PRegNone {
-		r.ready[p] = true
+		r.pregs[p].ready = true
 	}
 }
 
 // IsReady reports whether p's data is available (sources with PRegNone
 // are trivially ready).
-func (r *Renamer) IsReady(p PReg) bool { return p == PRegNone || r.ready[p] }
+func (r *Renamer) IsReady(p PReg) bool { return p == PRegNone || r.pregs[p].ready }
 
 // MarkPoisoned flags p as INV. makeReady additionally publishes the
 // (invalid) data so dependents drain through the pipeline — traditional
@@ -277,19 +280,19 @@ func (r *Renamer) MarkPoisoned(p PReg, makeReady bool) {
 	if p == PRegNone {
 		return
 	}
-	r.poison[p] = true
+	r.pregs[p].poison = true
 	if makeReady {
-		r.ready[p] = true
+		r.pregs[p].ready = true
 	}
 }
 
 // IsPoisoned reports whether p holds INV data.
-func (r *Renamer) IsPoisoned(p PReg) bool { return p != PRegNone && r.poison[p] }
+func (r *Renamer) IsPoisoned(p PReg) bool { return p != PRegNone && r.pregs[p].poison }
 
 // ClearPoison removes the INV mark (stalling load's data arrived).
 func (r *Renamer) ClearPoison(p PReg) {
 	if p != PRegNone {
-		r.poison[p] = false
+		r.pregs[p].poison = false
 	}
 }
 
@@ -302,7 +305,7 @@ func (r *Renamer) BeginRunahead() { r.curGen++ }
 // IsRunaheadAlloc reports whether p was allocated during the current
 // runahead generation — the PRDQ may recycle only such registers.
 func (r *Renamer) IsRunaheadAlloc(p PReg) bool {
-	return p != PRegNone && r.allocGen[p] == r.curGen && r.curGen != 0
+	return p != PRegNone && r.pregs[p].gen == r.curGen && r.curGen != 0
 }
 
 // --- checkpoints --------------------------------------------------------
@@ -371,8 +374,8 @@ func (r *Renamer) RestoreFull(cp *Checkpoint) {
 	for a := uarch.Reg(0); a < uarch.RegLimit; a++ {
 		if p := cp.rat[a]; p != PRegNone {
 			inUse[p] = true
-			r.ready[p] = true
-			r.poison[p] = false
+			r.pregs[p].ready = true
+			r.pregs[p].poison = false
 		}
 	}
 	r.intFree = r.intFree[:0]
@@ -396,8 +399,7 @@ type FullSnapshot struct {
 	committed [uarch.RegLimit]PReg
 	intFree   []PReg
 	fpFree    []PReg
-	ready     []bool
-	poison    []bool
+	pregs     []pstate
 }
 
 // TakeFullSnapshot deep-copies the renamer state.
@@ -415,8 +417,7 @@ func (r *Renamer) TakeFullSnapshotInto(s *FullSnapshot) {
 	s.committed = r.committed
 	s.intFree = append(s.intFree[:0], r.intFree...)
 	s.fpFree = append(s.fpFree[:0], r.fpFree...)
-	s.ready = append(s.ready[:0], r.ready...)
-	s.poison = append(s.poison[:0], r.poison...)
+	s.pregs = append(s.pregs[:0], r.pregs...)
 }
 
 // RestoreFullSnapshot restores a TakeFullSnapshot copy.
@@ -426,6 +427,5 @@ func (r *Renamer) RestoreFullSnapshot(s *FullSnapshot) {
 	r.committed = s.committed
 	r.intFree = append(r.intFree[:0], s.intFree...)
 	r.fpFree = append(r.fpFree[:0], s.fpFree...)
-	copy(r.ready, s.ready)
-	copy(r.poison, s.poison)
+	copy(r.pregs, s.pregs)
 }

@@ -125,7 +125,12 @@ func Fig2(results [][]sim.Result, modes []core.Mode) *Table {
 	}
 	cells := []string{"gmean"}
 	for mi := range modes {
-		cells = append(cells, fmt.Sprintf("%.3f", stats.GeoMean(gmean[mi])))
+		// Degenerate rows (a baseline that committed essentially nothing
+		// gives a 0 or NaN speedup) are dropped from the summary instead
+		// of panicking the whole report; the per-row cell still shows the
+		// raw value.
+		gm, _ := stats.GeoMeanPositive(gmean[mi])
+		cells = append(cells, fmt.Sprintf("%.3f", gm))
 	}
 	t.AddRow(cells...)
 	return t
@@ -169,7 +174,7 @@ func AverageSpeedups(results [][]sim.Result, modes []core.Mode) []float64 {
 		for _, row := range results {
 			xs = append(xs, row[mi].Speedup(row[base]))
 		}
-		out[mi] = stats.GeoMean(xs)
+		out[mi], _ = stats.GeoMeanPositive(xs)
 	}
 	return out
 }

@@ -102,6 +102,33 @@ func TestAverageHelpers(t *testing.T) {
 	}
 }
 
+// TestFig2DegenerateRow pins the degenerate-seed fix: a workload whose
+// run committed essentially nothing (IPC 0 — a 0/NaN speedup) must not
+// panic the gmean summary row; the degenerate cell is dropped from the
+// aggregate while the healthy rows still summarize.
+func TestFig2DegenerateRow(t *testing.T) {
+	results, modes := fakeResults()
+	dead := []sim.Result{
+		{Workload: "dead", Mode: core.ModeOoO, IPC: 0},
+		{Workload: "dead", Mode: core.ModePRE, IPC: 0},
+	}
+	results = append(results, dead)
+	tab := Fig2(results, modes) // must not panic
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	if !strings.Contains(buf.String(), "gmean") {
+		t.Error("gmean row missing with a degenerate workload present")
+	}
+	sp := AverageSpeedups(results, modes)
+	// gmean over the surviving cells only: {1, 1} and {1.5, 1.2}.
+	if sp[0] != 1.0 {
+		t.Errorf("baseline gmean %v, want 1 (degenerate row dropped)", sp[0])
+	}
+	if sp[1] < 1.3 || sp[1] > 1.4 {
+		t.Errorf("PRE gmean %v, want ~1.342 (degenerate row dropped)", sp[1])
+	}
+}
+
 func TestRunaheadDetailSkipsBaseline(t *testing.T) {
 	results, modes := fakeResults()
 	tab := RunaheadDetail(results, modes)

@@ -227,6 +227,30 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(len(xs)))
 }
 
+// GeoMeanPositive returns the geometric mean of the positive finite
+// values in xs along with the number of values dropped (non-positive,
+// NaN or infinite). Sweeps over sampled scenario populations use it
+// where a degenerate seed — a baseline that commits essentially nothing
+// in the measurement window — produces a 0 or NaN speedup that must not
+// detonate the whole aggregate. Returns (0, len(xs)) when nothing
+// survives the filter.
+func GeoMeanPositive(xs []float64) (gm float64, dropped int) {
+	var logSum float64
+	kept := 0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			dropped++
+			continue
+		}
+		logSum += math.Log(x)
+		kept++
+	}
+	if kept == 0 {
+		return 0, dropped
+	}
+	return math.Exp(logSum / float64(kept)), dropped
+}
+
 // Median returns the middle value of xs (the mean of the two middle
 // values for even lengths), or 0 for an empty slice. xs is not modified.
 func Median(xs []float64) float64 {

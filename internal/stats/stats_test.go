@@ -172,6 +172,22 @@ func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
 	GeoMean([]float64{0})
 }
 
+func TestGeoMeanPositiveFiltersDegenerates(t *testing.T) {
+	gm, dropped := GeoMeanPositive([]float64{1, 0, 4, math.NaN(), -2, math.Inf(1)})
+	if dropped != 4 {
+		t.Errorf("dropped %d degenerate values, want 4", dropped)
+	}
+	if math.Abs(gm-2) > 1e-12 {
+		t.Errorf("GeoMeanPositive over {1,4} = %v, want 2", gm)
+	}
+	if gm, dropped := GeoMeanPositive([]float64{0, math.NaN()}); gm != 0 || dropped != 2 {
+		t.Errorf("all-degenerate input: got (%v, %d), want (0, 2)", gm, dropped)
+	}
+	if gm, dropped := GeoMeanPositive(nil); gm != 0 || dropped != 0 {
+		t.Errorf("empty input: got (%v, %d), want (0, 0)", gm, dropped)
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("empty Mean must be 0")

@@ -33,20 +33,46 @@ type Generator interface {
 	Next(u *uarch.Uop)
 }
 
+// BlockGenerator is an optional Generator extension. Generators that can
+// emit µops in bulk implement NextBlock to amortize the per-µop interface
+// call: the Stream fills its ring in contiguous blocks instead of one
+// Next call per µop. NextBlock must fully overwrite every element of dst,
+// exactly as Next must fully overwrite *u, and must leave the generator
+// in the same state len(dst) Next calls would have.
+type BlockGenerator interface {
+	Generator
+	NextBlock(dst []uarch.Uop)
+}
+
 // Stream adapts a Generator into a random-access sliding window.
 type Stream struct {
 	gen   Generator
-	buf   []uarch.Uop // ring buffer
-	mask  int64       // len(buf)-1 (len is a power of two)
-	start int64       // seq of the oldest retained µop
-	next  int64       // seq of the next µop to be generated
+	block BlockGenerator // gen, if it supports bulk emission (else nil)
+	buf   []uarch.Uop    // ring buffer
+	mask  int64          // len(buf)-1 (len is a power of two)
+	start int64          // seq of the oldest retained µop
+	next  int64          // seq of the next µop to be generated
 }
 
 const initialWindow = 1 << 12
 
 // NewStream wraps gen in a fresh window starting at sequence 0.
 func NewStream(gen Generator) *Stream {
-	return &Stream{gen: gen, buf: make([]uarch.Uop, initialWindow), mask: initialWindow - 1}
+	return NewStreamSized(gen, initialWindow)
+}
+
+// NewStreamSized wraps gen in a fresh window whose ring holds at least
+// window µops before the first amortized doubling. Consumers that read
+// far ahead of the release point (the runahead-buffer replay engine) size
+// the ring up front so the steady state never grows it.
+func NewStreamSized(gen Generator, window int) *Stream {
+	n := initialWindow
+	for n < window {
+		n *= 2
+	}
+	s := &Stream{gen: gen, buf: make([]uarch.Uop, n), mask: int64(n) - 1}
+	s.block, _ = gen.(BlockGenerator)
+	return s
 }
 
 // Name returns the underlying generator's name.
@@ -68,16 +94,64 @@ func (s *Stream) atSlow(seq int64) *uarch.Uop {
 	if seq < s.start {
 		panic(fmt.Sprintf("trace: seq %d already released (window starts at %d)", seq, s.start))
 	}
-	for s.next <= seq {
+	s.extend(seq + 1)
+	return &s.buf[seq&s.mask]
+}
+
+// extend generates forward until want µops exist ([0, want) all valid).
+// With a BlockGenerator the ring fills in contiguous segments — bounded
+// by the request, the ring wrap and the retained-window capacity — so the
+// per-µop interface dispatch is paid once per block, not once per µop.
+func (s *Stream) extend(want int64) {
+	for s.next < want {
 		if s.next-s.start >= int64(len(s.buf)) {
 			s.grow()
 		}
-		u := &s.buf[s.next&s.mask]
-		s.gen.Next(u) // contract: Next fully overwrites *u
-		u.Seq = s.next
-		s.next++
+		if s.block == nil {
+			u := &s.buf[s.next&s.mask]
+			s.gen.Next(u) // contract: Next fully overwrites *u
+			u.Seq = s.next
+			s.next++
+			continue
+		}
+		n := want - s.next
+		if room := int64(len(s.buf)) - (s.next - s.start); n > room {
+			n = room
+		}
+		if wrap := int64(len(s.buf)) - (s.next & s.mask); n > wrap {
+			n = wrap
+		}
+		seg := s.buf[s.next&s.mask:][:n]
+		s.block.NextBlock(seg) // contract: fully overwrites every element
+		for i := range seg {
+			seg[i].Seq = s.next + int64(i)
+		}
+		s.next += n
 	}
-	return &s.buf[seq&s.mask]
+}
+
+// Span returns a contiguous slice of the stream starting at seq, holding
+// at least 1 and at most max µops (the run is cut at the ring wrap),
+// generating forward in bulk as needed. The returned slice aliases the
+// ring: it is invalidated by the next grow (any At/Span that generates).
+// Callers iterate spans instead of issuing one At call per µop on scan
+// paths (fetch, replay chain search).
+func (s *Stream) Span(seq, max int64) []uarch.Uop {
+	if seq < s.start {
+		panic(fmt.Sprintf("trace: seq %d already released (window starts at %d)", seq, s.start))
+	}
+	if max < 1 {
+		max = 1
+	}
+	end := seq + max
+	if end > s.next {
+		s.extend(end)
+	}
+	n := end - seq
+	if wrap := int64(len(s.buf)) - (seq & s.mask); n > wrap {
+		n = wrap
+	}
+	return s.buf[seq&s.mask:][:n]
 }
 
 // grow doubles the ring, preserving the retained window.

@@ -599,6 +599,32 @@ func (g *phasedGen) Next(u *uarch.Uop) {
 	g.left--
 }
 
+// NextBlock implements trace.BlockGenerator: each chunk is bounded by the
+// active phase's remaining budget and delegated in bulk when the phase
+// sub-generator itself supports bulk emission.
+func (g *phasedGen) NextBlock(dst []uarch.Uop) {
+	for len(dst) > 0 {
+		if g.left <= 0 {
+			g.cur = (g.cur + 1) % len(g.gens)
+			g.left = g.budget[g.cur]
+		}
+		n := int64(len(dst))
+		if n > g.left {
+			n = g.left
+		}
+		cur := g.gens[g.cur]
+		if bg, ok := cur.(trace.BlockGenerator); ok {
+			bg.NextBlock(dst[:n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				cur.Next(&dst[i])
+			}
+		}
+		g.left -= n
+		dst = dst[n:]
+	}
+}
+
 // rng is the same splitmix64 sequence the workload package uses.
 type rng struct{ s uint64 }
 

@@ -132,6 +132,21 @@ func (g *kernelGen) Next(u *uarch.Uop) {
 	g.idx++
 }
 
+// NextBlock implements trace.BlockGenerator: the buffered iteration is
+// copied out in bulk instead of one interface call per µop.
+func (g *kernelGen) NextBlock(dst []uarch.Uop) {
+	for len(dst) > 0 {
+		for g.idx >= len(g.eq.q) {
+			g.eq.q = g.eq.q[:0]
+			g.idx = 0
+			g.emit(&g.eq)
+		}
+		n := copy(dst, g.eq.q[g.idx:])
+		g.idx += n
+		dst = dst[n:]
+	}
+}
+
 // pcBase assigns each kernel a disjoint static code region.
 func pcBase(kernelID int) uint64 { return 0x400000 + uint64(kernelID)<<16 }
 

@@ -44,11 +44,14 @@ func fuzzScenarios(t testing.TB) []presim.Workload {
 }
 
 // fuzzMatrix is the population matrix the worker-determinism and
-// artifact-reproduction checks share.
+// artifact-reproduction checks share. RA-buffer rides along because its
+// replay engine interacts with sampled phase boundaries (a mid-episode
+// phase switch kills the frozen chain) in ways the fixed suite never
+// schedules.
 func fuzzMatrix() presim.Experiment {
 	return presim.Experiment{
 		Name:  "scenario_fuzz",
-		Modes: []presim.Mode{presim.ModeOoO, presim.ModePRE},
+		Modes: []presim.Mode{presim.ModeOoO, presim.ModeRABuffer, presim.ModePRE},
 		Population: &presim.Population{
 			Space: presim.DefaultSynthSpace(),
 			Count: fuzzCount,
