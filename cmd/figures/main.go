@@ -37,11 +37,20 @@ func main() {
 	measure := flag.Int64("n", 300_000, "measured µops per run")
 	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
 	seeds := flag.Int("seeds", 16, "population size for the synth artifact")
+	progress := flag.Bool("progress", false, "print live per-run progress to stderr as each sweep advances")
 	flag.Parse()
 
 	opt := presim.DefaultOptions()
 	opt.WarmupUops = *warmup
 	opt.MeasureUops = *measure
+
+	ro := exp.RunOptions{Workers: *workers}
+	if *progress {
+		ro.Progress = func(ev exp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d done  %s/%s  %.2fs (elapsed %.1fs)\n",
+				ev.Done, ev.Total, ev.Workload, ev.Mode, ev.Seconds, ev.ElapsedSeconds)
+		}
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 
@@ -64,7 +73,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		set, err := plan.Run(*workers)
+		set, err := plan.RunOpts(ro)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +114,7 @@ func main() {
 		emit("e5_intervals", e5Table(results, modes))
 	}
 	if want("e6") {
-		t, err := e6Table(opt, *workers, *jsonDir)
+		t, err := e6Table(opt, ro, *jsonDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,7 +130,7 @@ func main() {
 		emit("e9_invocations", e9Table(results, modes))
 	}
 	if want("pf") {
-		grid, detail, interference, err := pfTables(opt, *workers, *jsonDir)
+		grid, detail, interference, err := pfTables(opt, ro, *jsonDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -130,7 +139,7 @@ func main() {
 		emit("pf_interference", interference)
 	}
 	if want("synth") {
-		t, err := synthTable(opt, *workers, *jsonDir, *seeds)
+		t, err := synthTable(opt, ro, *jsonDir, *seeds)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +154,7 @@ func main() {
 // scenario population, rendered as the per-seed speedup-distribution grid
 // (min / median / geomean, worst seed). The -json artifact records each
 // scenario's sampled parameters for artifact-only reproduction.
-func synthTable(opt presim.Options, workers int, jsonDir string, seeds int) (*presim.Table, error) {
+func synthTable(opt presim.Options, ro exp.RunOptions, jsonDir string, seeds int) (*presim.Table, error) {
 	m := exp.Matrix{
 		Name:  "synth_population",
 		Modes: presim.Modes(),
@@ -158,7 +167,7 @@ func synthTable(opt presim.Options, workers int, jsonDir string, seeds int) (*pr
 	if err != nil {
 		return nil, err
 	}
-	set, err := plan.Run(workers)
+	set, err := plan.RunOpts(ro)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +188,7 @@ func synthTable(opt presim.Options, workers int, jsonDir string, seeds int) (*pr
 // prefetcher variant) and renders the speedup summary plus the combined
 // variant's per-workload prefetcher diagnostics and the runahead/HW
 // interference view of the filtered variant.
-func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *presim.Table, *presim.Table, error) {
+func pfTables(opt presim.Options, ro exp.RunOptions, jsonDir string) (*presim.Table, *presim.Table, *presim.Table, error) {
 	m := exp.Matrix{
 		Name:      "pf_grid",
 		Workloads: presim.Workloads(),
@@ -191,7 +200,7 @@ func pfTables(opt presim.Options, workers int, jsonDir string) (*presim.Table, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	set, err := plan.Run(workers)
+	set, err := plan.RunOpts(ro)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -280,7 +289,7 @@ func e5Table(results [][]presim.Result, modes []presim.Mode) *presim.Table {
 // "20.6% if the window were not discarded" potential. Expressed as a
 // two-point matrix; the orchestrator shares one OoO baseline between the
 // points (FreeExit is an RA-only knob) and runs the rest in parallel.
-func e6Table(opt presim.Options, workers int, jsonDir string) (*presim.Table, error) {
+func e6Table(opt presim.Options, ro exp.RunOptions, jsonDir string) (*presim.Table, error) {
 	m := exp.Matrix{
 		Name:      "e6_free_exit",
 		Workloads: presim.Workloads(),
@@ -299,7 +308,7 @@ func e6Table(opt presim.Options, workers int, jsonDir string) (*presim.Table, er
 	if err != nil {
 		return nil, err
 	}
-	set, err := plan.Run(workers)
+	set, err := plan.RunOpts(ro)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,13 @@ func main() {
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops")
 	measure := flag.Int64("n", 300_000, "measured µops")
+	tracefile := flag.String("tracefile", "", "write a Chrome-trace (Perfetto) sidecar of the measured window to this file")
 	flag.Parse()
+
+	if *all && *tracefile != "" {
+		fmt.Fprintln(os.Stderr, "presim: -tracefile records a single run; drop -all or pick one -mode")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, w := range presim.Workloads() {
@@ -70,9 +76,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var rec *presim.TraceRecorder
+	if *tracefile != "" {
+		rec = presim.NewTraceRecorder(fmt.Sprintf("%s/%s", w.Name, m))
+		opt.Trace = rec
+	}
 	r, err := presim.Run(w, m, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(*tracefile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace           %s (%d events, %d runahead episodes)\n",
+			*tracefile, len(rec.Events()), rec.Episodes())
 	}
 	fmt.Printf("benchmark       %s (%s)\n", r.Workload, w.Class)
 	fmt.Printf("mechanism       %s\n", r.Mode)

@@ -61,13 +61,30 @@ func main() {
 	serial := flag.Bool("serial", false, "run the legacy serial loop instead of the orchestrator")
 	jsonDir := flag.String("json", "", "directory to write schema-versioned results JSON into")
 	timing := flag.Bool("time", false, "report wall-clock time per sweep")
+	progress := flag.Bool("progress", false, "print live per-run progress to stderr as the sweep advances")
+	tracefile := flag.String("tracefile", "", "write a merged Chrome-trace (Perfetto) sidecar of the sweep's runs to this file; requires exactly one sweep selection")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	flag.Parse()
 
-	if *serial && (*jsonDir != "" || *workers != 0) {
-		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports neither -json nor -workers")
+	if *serial && (*jsonDir != "" || *workers != 0 || *progress || *tracefile != "") {
+		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports none of -json, -workers, -progress, -tracefile")
 		os.Exit(2)
+	}
+
+	// -tracefile writes one sidecar file per invocation; two selected
+	// sweeps would silently overwrite each other's trace, so fail fast.
+	if *tracefile != "" {
+		nSweeps := 0
+		for _, b := range []bool{*doSST, *doEMQ, *doRAT, *doMSHR, *doPF, *doSynth} {
+			if b {
+				nSweeps++
+			}
+		}
+		if nSweeps != 1 {
+			fmt.Fprintln(os.Stderr, "sweep: -tracefile records exactly one sweep; select exactly one of -sst, -emq, -rathreshold, -mshr, -pf, -synth")
+			os.Exit(2)
+		}
 	}
 
 	// A zero or negative window is always an invocation mistake: -n 0
@@ -131,7 +148,8 @@ func main() {
 	opt.WarmupUops = *warmup
 	opt.MeasureUops = *measure
 
-	s := sweeper{opt: opt, workers: *workers, serial: *serial, jsonDir: *jsonDir, timing: *timing}
+	s := sweeper{opt: opt, workers: *workers, serial: *serial, jsonDir: *jsonDir,
+		timing: *timing, progress: *progress, tracefile: *tracefile}
 
 	any := false
 	if *doSST {
@@ -181,11 +199,38 @@ func main() {
 }
 
 type sweeper struct {
-	opt     presim.Options
-	workers int
-	serial  bool
-	jsonDir string
-	timing  bool
+	opt       presim.Options
+	workers   int
+	serial    bool
+	jsonDir   string
+	timing    bool
+	progress  bool
+	tracefile string
+}
+
+// runOpts assembles the orchestrator options: the pool width, per-run
+// trace recording when -tracefile was given, and the live -progress meter
+// on stderr (stderr so it never pollutes the parseable stdout tables).
+func (s sweeper) runOpts() exp.RunOptions {
+	o := exp.RunOptions{Workers: s.workers, Trace: s.tracefile != ""}
+	if s.progress {
+		o.Progress = func(ev exp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d done  %s/%s  %.2fs (elapsed %.1fs)\n",
+				ev.Done, ev.Total, ev.Workload, ev.Mode, ev.Seconds, ev.ElapsedSeconds)
+		}
+	}
+	return o
+}
+
+// writeTrace writes the merged trace sidecar when -tracefile was given.
+func (s sweeper) writeTrace(set *exp.Set) {
+	if s.tracefile == "" {
+		return
+	}
+	if err := set.WriteTrace(s.tracefile); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  (trace sidecar written to %s)\n", s.tracefile)
 }
 
 // sweep runs the full suite at each parameter value and prints the
@@ -228,7 +273,7 @@ func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
 	if err != nil {
 		fatal(err)
 	}
-	set, err := plan.Run(s.workers)
+	set, err := plan.RunOpts(s.runOpts())
 	if err != nil {
 		fatal(err)
 	}
@@ -240,6 +285,7 @@ func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
 			fatal(err)
 		}
 	}
+	s.writeTrace(set)
 }
 
 // sweepPF runs the PF grid: every runahead mechanism crossed with every
@@ -261,7 +307,7 @@ func (s sweeper) sweepPF() {
 	if err != nil {
 		fatal(err)
 	}
-	set, err := plan.Run(s.workers)
+	set, err := plan.RunOpts(s.runOpts())
 	if err != nil {
 		fatal(err)
 	}
@@ -299,6 +345,7 @@ func (s sweeper) sweepPF() {
 			fatal(err)
 		}
 	}
+	s.writeTrace(set)
 }
 
 // sweepSynth runs the population sweep: count seeded scenarios sampled
@@ -320,7 +367,7 @@ func (s sweeper) sweepSynth(count int, baseSeed uint64) {
 	if err != nil {
 		fatal(err)
 	}
-	set, err := plan.Run(s.workers)
+	set, err := plan.RunOpts(s.runOpts())
 	if err != nil {
 		fatal(err)
 	}
@@ -341,6 +388,7 @@ func (s sweeper) sweepSynth(count int, baseSeed uint64) {
 		}
 		fmt.Printf("  (per-seed parameters recorded in %s/synth_population.json cells[].synth)\n", s.jsonDir)
 	}
+	s.writeTrace(set)
 }
 
 // sweepSerial is the pre-orchestrator loop: one run at a time, with the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rename"
 	"repro/internal/runahead"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/uarch"
 )
@@ -136,6 +137,16 @@ type Core struct {
 	// µop's sequence number — an instrumentation hook for tests and
 	// tracing tools (pseudo-retirement does not trigger it).
 	OnCommit func(seq int64)
+
+	// tel, when attached, receives timeline events (runahead episodes,
+	// stall spans, cycle skips). It is a concrete pointer, not an
+	// interface, so every hook site is a single nil check on the disabled
+	// path — telemetry must never cost the zero-allocation steady state
+	// anything, and must never perturb results (it only reads).
+	tel *telemetry.Recorder
+	// Episode-entry stat baselines for the exit event's deltas; only
+	// written when tel is attached.
+	telDispatched, telPrefetches, telINV int64
 }
 
 // New builds a core in the given mode over a fresh trace stream.
@@ -233,6 +244,12 @@ func (c *Core) EMQ() *runahead.EMQ { return c.emq }
 
 // Now returns the current cycle.
 func (c *Core) Now() int64 { return c.now }
+
+// AttachTelemetry wires a trace recorder into the core's hook sites (nil
+// detaches). Attach after warmup/ResetStats so episode deltas are
+// measured against the window's counters; the recorder tolerates an exit
+// with no recorded entry (a warmup-spanning episode).
+func (c *Core) AttachTelemetry(rec *telemetry.Recorder) { c.tel = rec }
 
 // InRunahead reports whether a runahead episode is active.
 func (c *Core) InRunahead() bool { return c.inRunahead }
@@ -850,5 +867,8 @@ func (c *Core) onFullWindow() {
 	// A stall cycle repeats identically until the head's completion event:
 	// flag it so skipped cycles replicate these counters in bulk.
 	c.stalledFW = true
+	if c.tel != nil {
+		c.tel.FullWindowStall(c.now)
+	}
 	c.maybeEnterRunahead(m, &c.rob.rec[c.rob.head])
 }

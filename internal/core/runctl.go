@@ -59,6 +59,13 @@ func (c *Core) enterRunahead(hm *slotMeta, hr *uopRec) {
 	c.raDiverged = false
 	c.stats.Entries++
 
+	if c.tel != nil {
+		c.tel.RunaheadEnter(c.now, hr.pc, hr.seq, c.cfg.Mode.String(), hr.readyAt-c.now)
+		c.telDispatched = c.stats.Dispatched
+		c.telPrefetches = c.stats.Prefetches
+		c.telINV = c.stats.RunaheadINV
+	}
+
 	// E7: free-resource headroom at entry (Section 3.4).
 	intFree, fpFree := c.ren.FreeCounts()
 	c.stats.FreeIQAtEntry.Observe(float64(c.iq.freeSlots()) / float64(c.cfg.IQSize))
@@ -128,6 +135,12 @@ func (c *Core) enterRunahead(hm *slotMeta, hr *uopRec) {
 func (c *Core) exitRunahead() {
 	c.iqDirty = true
 	c.stats.Intervals.Observe(c.now - c.entryCycle)
+	if c.tel != nil {
+		c.tel.RunaheadExit(c.now,
+			c.stats.Dispatched-c.telDispatched,
+			c.stats.Prefetches-c.telPrefetches,
+			c.stats.RunaheadINV-c.telINV)
+	}
 	switch c.cfg.Mode {
 	case ModeRA, ModeRABuffer:
 		if c.cfg.FreeExit && c.snap != nil {

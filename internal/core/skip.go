@@ -221,6 +221,12 @@ func (c *Core) skipAhead() {
 		c.stats.FullWindowStallCycles += n
 		c.stats.RobFullEvents += n
 	}
+	if c.tel != nil {
+		c.tel.CycleSkip(c.now, n, "idle")
+		if c.stalledFW {
+			c.tel.FullWindowStallN(c.now, n)
+		}
+	}
 	c.fetch.SkipIdle(c.now, n)
 	c.now = bound
 }
@@ -243,6 +249,13 @@ func (c *Core) retrySkip(d *retrySnap) bool {
 	n := bound - c.now
 	c.applyRetryDelta(d, n)
 	c.stats.SkippedAhead += n
+	if c.tel != nil {
+		c.tel.CycleSkip(c.now, n, "retry")
+		if d.fullWindowStall > 0 {
+			// The proven per-cycle delta stalls every cycle of the span.
+			c.tel.FullWindowStallN(c.now, n)
+		}
+	}
 	c.now = bound
 	return true
 }

@@ -25,12 +25,15 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp/pool"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/workload/synth"
 )
@@ -255,14 +258,91 @@ func (p *Plan) Seed(ui int) uint64 { return p.unique[ui].seed }
 // the results document — they vary run to run, and the results JSON must
 // stay byte-identical at any worker count.
 func (p *Plan) Run(workers int) (*Set, error) {
+	return p.RunOpts(RunOptions{Workers: workers})
+}
+
+// ProgressEvent describes one completed unique run, delivered to
+// RunOptions.Progress as the sweep advances.
+type ProgressEvent struct {
+	// Done is the number of unique runs completed so far (including this
+	// one); Total is the plan's unique-run count.
+	Done, Total int
+	// Workload and Mode identify the run that just finished.
+	Workload string
+	Mode     core.Mode
+	// Seconds is the run's own wall-clock; ElapsedSeconds is the time
+	// since Plan execution started.
+	Seconds        float64
+	ElapsedSeconds float64
+}
+
+// RunOptions extends Plan.Run with telemetry: a progress callback and
+// per-run trace recording. The zero value behaves exactly like
+// Plan.Run(0).
+type RunOptions struct {
+	// Workers is the pool width (<= 0 selects one worker per CPU).
+	Workers int
+	// Progress, when non-nil, is invoked once per completed unique run.
+	// Invocations are serialized (never concurrent) but arrive in
+	// completion order, which varies with scheduling — Progress must not
+	// feed anything covered by the determinism contract.
+	Progress func(ProgressEvent)
+	// Trace attaches one telemetry recorder per unique run (pid = the
+	// run's unique index, so every run gets its own track group in the
+	// merged trace). Recorders are never shared across pool workers, so
+	// tracing adds no synchronization to the runs themselves.
+	Trace bool
+}
+
+// RunOpts executes the plan like Run, with progress and trace telemetry.
+func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 	start := time.Now()
 	res := make([]sim.Result, len(p.unique))
 	errs := make([]error, len(p.unique))
-	pool.Run(len(p.unique), workers, func(i int) {
+	secs := make([]float64, len(p.unique))
+	var recs []*telemetry.Recorder
+	if opts.Trace {
+		recs = make([]*telemetry.Recorder, len(p.unique))
+		for i, u := range p.unique {
+			recs[i] = telemetry.NewRecorderPid(
+				fmt.Sprintf("%s/%s", p.workloads[u.wi].Name, u.mode), i)
+		}
+	}
+	var mu sync.Mutex
+	done := 0
+	pool.Run(len(p.unique), opts.Workers, func(i int) {
 		u := p.unique[i]
+		cellStart := time.Now()
+		// The deferred block must run on the worker goroutine itself:
+		// it converts a panicking cell into an error that names the cell
+		// (instead of killing the whole process nameless) and reports
+		// the cell's completion.
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("exp: workload %q mode %v (point seed %016x) panicked: %v",
+					p.workloads[u.wi].Name, u.mode, u.seed, r)
+			}
+			secs[i] = time.Since(cellStart).Seconds()
+			if opts.Progress != nil {
+				mu.Lock()
+				done++
+				opts.Progress(ProgressEvent{
+					Done:           done,
+					Total:          len(p.unique),
+					Workload:       p.workloads[u.wi].Name,
+					Mode:           u.mode,
+					Seconds:        secs[i],
+					ElapsedSeconds: time.Since(start).Seconds(),
+				})
+				mu.Unlock()
+			}
+		}()
 		opt := p.m.Options
 		cfg := u.cfg
 		opt.Configure = func(c *core.Config) { *c = cfg }
+		if recs != nil {
+			opt.Trace = recs[i]
+		}
 		res[i], errs[i] = sim.Run(p.workloads[u.wi], u.mode, opt)
 	})
 	for _, err := range errs {
@@ -270,16 +350,30 @@ func (p *Plan) Run(workers int) (*Set, error) {
 			return nil, err
 		}
 	}
-	return &Set{plan: p, res: res, meta: RunMeta{
+	meta := RunMeta{
 		Schema:           SchemaVersion,
 		Name:             p.m.Name,
 		WallClockSeconds: time.Since(start).Seconds(),
-		Workers:          workers,
-		EffectiveWorkers: pool.Effective(len(p.unique), workers),
+		Workers:          opts.Workers,
+		EffectiveWorkers: pool.Effective(len(p.unique), opts.Workers),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		UniqueRuns:       p.NumUnique(),
 		TotalCells:       p.NumCells(),
-	}}, nil
+	}
+	sorted := append([]float64(nil), secs...)
+	sort.Float64s(sorted)
+	for _, s := range sorted {
+		meta.CellSecondsTotal += s
+	}
+	if n := len(sorted); n > 0 {
+		meta.CellSecondsMin = sorted[0]
+		meta.CellSecondsMedian = sorted[n/2]
+		meta.CellSecondsMax = sorted[n-1]
+	}
+	if denom := meta.WallClockSeconds * float64(meta.EffectiveWorkers); denom > 0 {
+		meta.WorkerUtilization = meta.CellSecondsTotal / denom
+	}
+	return &Set{plan: p, res: res, meta: meta, trace: recs}, nil
 }
 
 // Set holds a plan's completed results and the aggregation helpers every
@@ -288,11 +382,19 @@ type Set struct {
 	plan *Plan
 	res  []sim.Result
 	meta RunMeta
+	// trace holds the per-unique-run telemetry recorders when the set was
+	// produced with RunOptions.Trace; nil otherwise.
+	trace []*telemetry.Recorder
 }
 
 // Meta returns the execution-environment record of the Run call that
 // produced this set.
 func (s *Set) Meta() RunMeta { return s.meta }
+
+// TraceRecorders returns the per-unique-run telemetry recorders, indexed
+// like the plan's unique runs, or nil when the set was run without
+// RunOptions.Trace.
+func (s *Set) TraceRecorders() []*telemetry.Recorder { return s.trace }
 
 // Plan returns the plan this set was produced from.
 func (s *Set) Plan() *Plan { return s.plan }

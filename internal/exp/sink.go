@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload/synth"
 )
 
@@ -58,6 +59,17 @@ type RunMeta struct {
 	// file is interpretable on its own (runs/second etc.).
 	UniqueRuns int `json:"unique_runs"`
 	TotalCells int `json:"total_cells"`
+	// CellSeconds* summarize the per-unique-run wall-clock distribution;
+	// Total is the serial-equivalent cost of the sweep.
+	CellSecondsMin    float64 `json:"cell_seconds_min"`
+	CellSecondsMedian float64 `json:"cell_seconds_median"`
+	CellSecondsMax    float64 `json:"cell_seconds_max"`
+	CellSecondsTotal  float64 `json:"cell_seconds_total"`
+	// WorkerUtilization is CellSecondsTotal / (WallClockSeconds x
+	// EffectiveWorkers): the fraction of the pool's capacity spent inside
+	// simulations. Values well below 1 mean stragglers or an over-wide
+	// pool.
+	WorkerUtilization float64 `json:"worker_utilization"`
 }
 
 // Document is the serialized form of a completed experiment.
@@ -260,6 +272,17 @@ func (s *Set) WriteFile(dir, name string) error {
 	}
 	b = append(b, '\n')
 	return os.WriteFile(filepath.Join(dir, name+".meta.json"), b, 0o644)
+}
+
+// WriteTrace writes the set's merged Chrome-trace sidecar (one process
+// group per unique run) to path. It errors when the set was produced
+// without RunOptions.Trace. The sidecar is diagnostic output, outside the
+// results document's byte-identical contract.
+func (s *Set) WriteTrace(path string) error {
+	if s.trace == nil {
+		return fmt.Errorf("exp: set was run without trace recording")
+	}
+	return telemetry.WriteMergedFile(path, s.trace)
 }
 
 // WriteJSON serializes the result set. Output bytes depend only on the

@@ -40,6 +40,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Level identifies where an access was served.
@@ -215,6 +216,9 @@ type pfCounters struct {
 type engine struct {
 	pf prefetch.Prefetcher
 	ad prefetch.Adaptive // non-nil when pf adapts to feedback
+	// level labels the engine's observing level ("l1i", "l1d", "l2") in
+	// telemetry events; it carries no simulation meaning.
+	level string
 	// epoch is the feedback sampling interval in training observations
 	// (Config.ThrottleEpoch; 0 = never sample).
 	epoch int64
@@ -227,21 +231,35 @@ type engine struct {
 	lifeObserves, lifeIssued int64
 }
 
-func newEngine(cfg prefetch.Config) engine {
-	e := engine{pf: cfg.New(), epoch: int64(cfg.ThrottleEpoch)}
+func newEngine(cfg prefetch.Config, level string) engine {
+	e := engine{pf: cfg.New(), level: level, epoch: int64(cfg.ThrottleEpoch)}
 	e.ad, _ = e.pf.(prefetch.Adaptive)
 	return e
 }
 
 // observed accounts one training observation and, on an epoch boundary,
 // pushes the cumulative feedback sample (issue counts plus the fill
-// level's lifetime usefulness counters) to an adaptive engine.
-func (e *engine) observed(h *Hierarchy, fillLevel *cache.Cache) {
+// level's lifetime usefulness counters) to an adaptive engine. now is the
+// core cycle of the observation, used only to timestamp the telemetry
+// throttle-decision event; the feedback itself is cycle-oblivious.
+func (e *engine) observed(h *Hierarchy, fillLevel *cache.Cache, now int64) {
 	h.pfObserves++
 	e.lifeObserves++
 	if e.epoch > 0 && e.ad != nil && e.lifeObserves%e.epoch == 0 {
 		useful, late := fillLevel.LifetimeHWPref()
-		e.ad.Feedback(prefetch.Feedback{Issued: e.lifeIssued, Useful: useful, Late: late})
+		f := prefetch.Feedback{Issued: e.lifeIssued, Useful: useful, Late: late}
+		if h.tel != nil {
+			// Sample the effective degree around the feedback call so the
+			// trace shows every throttle decision, including holds.
+			if dr, ok := e.ad.(prefetch.DegreeReporter); ok {
+				before := dr.Degree()
+				e.ad.Feedback(f)
+				h.tel.Throttle(now, e.level, before, dr.Degree(),
+					stats.Ratio(float64(f.Useful), float64(f.Issued)))
+				return
+			}
+		}
+		e.ad.Feedback(f)
 	}
 }
 
@@ -285,6 +303,11 @@ type Hierarchy struct {
 	// disabled).
 	pfI, pfD, pf2 engine
 
+	// tel is the optional trace recorder (nil when tracing is off). Every
+	// hook nil-checks it, and the recorder only ever *reads* hierarchy
+	// state, so the traced and untraced machines are byte-identical.
+	tel *telemetry.Recorder
+
 	// pfObserves counts every Observe fed to any prefetcher. It is
 	// engineering bookkeeping, not a reported statistic: the core's
 	// retry-span amortizer treats any training during a candidate span
@@ -308,11 +331,16 @@ func New(cfg Config) *Hierarchy {
 		l2:  cache.New(cfg.L2),
 		l3:  cache.New(cfg.L3),
 		ram: dram.New(cfg.DRAM),
-		pfI: newEngine(cfg.L1IPrefetch),
-		pfD: newEngine(cfg.L1DPrefetch),
-		pf2: newEngine(cfg.L2Prefetch),
+		pfI: newEngine(cfg.L1IPrefetch, "l1i"),
+		pfD: newEngine(cfg.L1DPrefetch, "l1d"),
+		pf2: newEngine(cfg.L2Prefetch, "l2"),
 	}
 }
+
+// AttachTelemetry points the hierarchy's event hooks at a trace recorder.
+// Attach after warmup (alongside ResetStats) so the trace covers exactly
+// the measured window; pass nil to detach.
+func (h *Hierarchy) AttachTelemetry(rec *telemetry.Recorder) { h.tel = rec }
 
 // L1I returns the instruction cache (stats access).
 func (h *Hierarchy) L1I() *cache.Cache { return h.l1i }
@@ -446,7 +474,7 @@ func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache
 	hit, ready := h.l2.Lookup(addr, t, demand)
 	if train && h.pf2.pf != nil {
 		h.pf2.pf.Observe(prefetch.Access{Addr: addr, Hit: hit, Cycle: t})
-		h.pf2.observed(h, h.l2)
+		h.pf2.observed(h, h.l2, t)
 	}
 	if hit {
 		return Result{Ready: ready, Level: LevelL2}, true
@@ -526,7 +554,7 @@ func (h *Hierarchy) LoadPC(addr, pc uint64, now int64) (Result, bool) {
 	if ok {
 		if h.pfD.pf != nil {
 			h.pfD.pf.Observe(prefetch.Access{Addr: addr, PC: pc, Hit: res.Level == LevelL1, Cycle: now})
-			h.pfD.observed(h, h.l1d)
+			h.pfD.observed(h, h.l1d, now)
 		}
 		h.drainPrefetchers(now)
 	}
@@ -554,7 +582,7 @@ func (h *Hierarchy) Fetch(addr uint64, now int64) (Result, bool) {
 	res, ok := h.access(h.l1i, addr, now, true, cache.SrcDemand)
 	if ok && h.pfI.pf != nil {
 		h.pfI.pf.Observe(prefetch.Access{Addr: addr, Hit: res.Level == LevelL1, Cycle: now})
-		h.pfI.observed(h, h.l1i)
+		h.pfI.observed(h, h.l1i, now)
 		h.drainL1(&h.pfI, h.l1i, now)
 	}
 	return res, ok
@@ -588,6 +616,7 @@ func (h *Hierarchy) drainPrefetchers(now int64) {
 		h.drainL1(&h.pfD, h.l1d, now)
 	}
 	if h.pf2.pf != nil {
+		issued := int64(0)
 		for _, addr := range h.pf2.pf.Requests() {
 			switch {
 			case h.filteredByRunahead(addr, now, h.l2, h.l3):
@@ -600,10 +629,14 @@ func (h *Hierarchy) drainPrefetchers(now int64) {
 				if _, ok := h.accessL2(addr, now, false, false, cache.SrcHW); ok {
 					h.pf2.cnt.issued++
 					h.pf2.lifeIssued++
+					issued++
 				} else {
 					h.pf2.cnt.dropped++
 				}
 			}
+		}
+		if h.tel != nil && issued > 0 {
+			h.tel.PrefetchTrain(now, h.pf2.level, int(issued))
 		}
 	}
 }
@@ -612,6 +645,7 @@ func (h *Hierarchy) drainPrefetchers(now int64) {
 // multi-level path starting at its L1 (the L1D data path or the L1I fetch
 // path).
 func (h *Hierarchy) drainL1(e *engine, l1 *cache.Cache, now int64) {
+	issued := int64(0)
 	for _, addr := range e.pf.Requests() {
 		switch {
 		case h.filteredByRunahead(addr, now, l1, h.l2, h.l3):
@@ -624,10 +658,14 @@ func (h *Hierarchy) drainL1(e *engine, l1 *cache.Cache, now int64) {
 			if _, ok := h.access(l1, addr, now, false, cache.SrcHW); ok {
 				e.cnt.issued++
 				e.lifeIssued++
+				issued++
 			} else {
 				e.cnt.dropped++
 			}
 		}
+	}
+	if h.tel != nil && issued > 0 {
+		h.tel.PrefetchTrain(now, e.level, int(issued))
 	}
 }
 
@@ -701,6 +739,64 @@ func (h *Hierarchy) NextMSHRRelease(now int64) (int64, bool) {
 	consider(h.l2, lead1)
 	consider(h.l3, lead2)
 	return best, ok
+}
+
+// PublishMetrics snapshots the hierarchy's measured-window counters into
+// the telemetry registry: per-level cache statistics under "mem/<level>/",
+// DRAM statistics under "mem/dram/", and per-engine hardware-prefetch
+// statistics under "pf/<level>/". It is a post-run read of existing
+// statistics — never called on the simulation hot path.
+func (h *Hierarchy) PublishMetrics(reg *telemetry.Registry) {
+	pubCache := func(name string, c *cache.Cache) {
+		s := c.Stats()
+		reg.Counter("mem/"+name+"/accesses", s.Accesses)
+		reg.Counter("mem/"+name+"/hits", s.Hits)
+		reg.Counter("mem/"+name+"/misses", s.Misses)
+		reg.Counter("mem/"+name+"/mshr_stalls", s.MSHRStalls)
+		reg.Counter("mem/"+name+"/evictions", s.Evictions)
+		reg.Counter("mem/"+name+"/writebacks", s.Writebacks)
+		reg.Counter("mem/"+name+"/ra_pf_fills", s.PrefetchFills)
+		reg.Counter("mem/"+name+"/ra_pf_useful", s.PrefetchUseful)
+		reg.Counter("mem/"+name+"/hw_pf_fills", s.HWPrefFills)
+		reg.Counter("mem/"+name+"/hw_pf_useful", s.HWPrefUseful)
+		reg.Counter("mem/"+name+"/hw_pf_late", s.HWPrefLate)
+	}
+	pubCache("l1i", h.l1i)
+	pubCache("l1d", h.l1d)
+	pubCache("l2", h.l2)
+	pubCache("l3", h.l3)
+
+	ds := h.ram.Stats()
+	reg.Counter("mem/dram/reads", ds.Reads)
+	reg.Counter("mem/dram/writes", ds.Writes)
+	reg.Counter("mem/dram/row_hits", ds.RowHits)
+	reg.Counter("mem/dram/row_misses", ds.RowMisses)
+	reg.Counter("mem/dram/row_conflicts", ds.RowConflict)
+	reg.Counter("mem/dram/bus_busy_cycles", ds.BusBusyCyc)
+
+	pubPF := func(e *engine, s PFStats) {
+		if e.pf == nil {
+			return
+		}
+		p := "pf/" + e.level + "/"
+		reg.Counter(p+"issued", s.Issued)
+		reg.Counter(p+"dropped", s.Dropped)
+		reg.Counter(p+"redundant", s.Redundant)
+		reg.Counter(p+"filtered_ra", s.FilteredRA)
+		reg.Counter(p+"overflowed", s.Overflowed)
+		reg.Counter(p+"fills", s.Fills)
+		reg.Counter(p+"useful", s.Useful)
+		reg.Counter(p+"late", s.Late)
+		reg.Gauge(p+"accuracy", s.Accuracy())
+		reg.Gauge(p+"coverage", s.Coverage())
+		reg.Gauge(p+"timeliness", s.Timeliness())
+		if dr, ok := e.pf.(prefetch.DegreeReporter); ok {
+			reg.Counter(p+"degree", int64(dr.Degree()))
+		}
+	}
+	pubPF(&h.pfI, h.pfI.windowStats(h.l1i))
+	pubPF(&h.pfD, h.pfD.windowStats(h.l1d))
+	pubPF(&h.pf2, h.pf2.windowStats(h.l2))
 }
 
 // DemandLoadWouldMissLLC reports whether a load of addr would miss every

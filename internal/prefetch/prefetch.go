@@ -96,6 +96,14 @@ type Adaptive interface {
 	Feedback(f Feedback)
 }
 
+// DegreeReporter is implemented by engines whose effective degree can be
+// inspected without perturbing them — the throttled wrapper, today. The
+// telemetry layer samples it around Feedback calls to record throttle
+// decisions; it must never be used to drive simulation behavior.
+type DegreeReporter interface {
+	Degree() int
+}
+
 // Kind selects a prefetcher implementation.
 type Kind uint8
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/exp/pool"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -33,6 +34,13 @@ type Options struct {
 	// either way (the differential tests pin this); the knob exists for
 	// those tests and for debugging, at a large wall-clock cost.
 	DisableCycleSkip bool
+	// Trace, when non-nil, records a cycle-level event timeline of the
+	// measured window (runahead episodes, stall spans, cycle skips,
+	// prefetch trains, throttle decisions) plus a post-run metrics
+	// snapshot into the recorder. The recorder attaches after warmup and
+	// only ever reads machine state, so the Result — and every byte of
+	// the results sink — is identical with tracing on or off.
+	Trace *telemetry.Recorder
 }
 
 // DefaultOptions returns the standard harness window.
@@ -124,7 +132,19 @@ func Run(w workload.Workload, mode core.Mode, opt Options) (Result, error) {
 		c.Run(opt.WarmupUops)
 	}
 	c.ResetStats()
+	if opt.Trace != nil {
+		// Attach after warmup and the stats reset so episode deltas are
+		// measured against clean baselines and the trace covers exactly
+		// the measured window.
+		c.AttachTelemetry(opt.Trace)
+		c.Hierarchy().AttachTelemetry(opt.Trace)
+	}
 	c.Run(opt.MeasureUops)
+	if opt.Trace != nil {
+		opt.Trace.Finish(c.Now())
+		c.PublishMetrics(opt.Trace.Metrics())
+		c.Hierarchy().PublishMetrics(opt.Trace.Metrics())
+	}
 	return gather(w.Name, mode, c, opt), nil
 }
 

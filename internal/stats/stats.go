@@ -141,6 +141,13 @@ func (h *Histogram) FractionBelow(v int64) float64 {
 // Bucket returns the count in bucket i (0 <= i <= len(bounds)).
 func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 
+// Bounds returns a copy of the construction bounds; bucket i covers
+// [bounds[i-1], bounds[i]) and the final bucket [bounds[last], inf).
+// Snapshot consumers (the telemetry registry) need them to label buckets.
+func (h *Histogram) Bounds() []int64 {
+	return append([]int64(nil), h.bounds...)
+}
+
 // NumBuckets returns the number of buckets including the overflow bucket.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 

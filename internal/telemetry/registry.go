@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Metric is one named series snapshot. Counters carry Value, gauges
+// Gauge, histograms Hist.
+type Metric struct {
+	Name  string        `json:"name"`
+	Kind  string        `json:"kind"`
+	Value int64         `json:"value"`
+	Gauge float64       `json:"gauge,omitempty"`
+	Hist  *HistSnapshot `json:"hist,omitempty"`
+}
+
+// HistSnapshot is a histogram's full state: bucket i covers
+// [Bounds[i-1], Bounds[i]), with bucket 0 covering [0, Bounds[0]) and the
+// final bucket [Bounds[last], inf).
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// SnapshotHistogram captures a stats.Histogram as a HistSnapshot.
+func SnapshotHistogram(h *stats.Histogram) *HistSnapshot {
+	s := &HistSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		Bounds: h.Bounds(),
+	}
+	s.Buckets = make([]int64, h.NumBuckets())
+	for i := range s.Buckets {
+		s.Buckets[i] = h.Bucket(i)
+	}
+	return s
+}
+
+// Registry unifies the simulator's scattered counters into one named,
+// hierarchical, snapshotable namespace ("core/runahead/entries",
+// "mem/l1d/misses", "pf/l2/issued", ...). Publishing the same name again
+// overwrites the previous snapshot — publishers run once, after the
+// measured window, but re-publishing must stay idempotent. Not safe for
+// concurrent use.
+type Registry struct {
+	idx map[string]int
+	ms  []Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{idx: make(map[string]int)}
+}
+
+func (r *Registry) put(m Metric) {
+	if i, ok := r.idx[m.Name]; ok {
+		r.ms[i] = m
+		return
+	}
+	r.idx[m.Name] = len(r.ms)
+	r.ms = append(r.ms, m)
+}
+
+// Counter publishes a monotonically-accumulated count.
+func (r *Registry) Counter(name string, v int64) {
+	r.put(Metric{Name: name, Kind: KindCounter, Value: v})
+}
+
+// Gauge publishes a point-in-time or derived value (means, fractions).
+func (r *Registry) Gauge(name string, v float64) {
+	r.put(Metric{Name: name, Kind: KindGauge, Gauge: v})
+}
+
+// Histogram publishes a full distribution snapshot.
+func (r *Registry) Histogram(name string, h *stats.Histogram) {
+	r.put(Metric{Name: name, Kind: KindHistogram, Value: h.Count(), Hist: SnapshotHistogram(h)})
+}
+
+// Get returns the metric registered under name.
+func (r *Registry) Get(name string) (Metric, bool) {
+	i, ok := r.idx[name]
+	if !ok {
+		return Metric{}, false
+	}
+	return r.ms[i], true
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int { return len(r.ms) }
+
+// Snapshot returns every metric sorted by name — the deterministic
+// serialization order regardless of publication order.
+func (r *Registry) Snapshot() []Metric {
+	out := append([]Metric(nil), r.ms...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MarshalJSON serializes the registry as its sorted snapshot array.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// span extracts the recorder's Ph "X" events of one category.
+func spans(r *Recorder, cat string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Ph == "X" && e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestEpisodeSpan(t *testing.T) {
+	r := NewRecorder("w/PRE")
+	r.RunaheadEnter(100, 0x400abc, 7, "PRE", 180)
+	r.RunaheadExit(160, 42, 5, 1)
+	eps := spans(r, catRunahead)
+	if len(eps) != 1 {
+		t.Fatalf("got %d episode spans, want 1", len(eps))
+	}
+	e := eps[0]
+	if e.Ts != 100 || e.Dur != 60 {
+		t.Errorf("span ts=%d dur=%d, want 100/60", e.Ts, e.Dur)
+	}
+	if e.Name != "runahead PRE" {
+		t.Errorf("span name %q", e.Name)
+	}
+	want := map[string]any{"pc": "0x400abc", "uops": int64(42), "prefetches": int64(5), "inv": int64(1)}
+	for k, v := range want {
+		if e.Args[k] != v {
+			t.Errorf("args[%q] = %v, want %v", k, e.Args[k], v)
+		}
+	}
+	if r.Episodes() != 1 {
+		t.Errorf("Episodes() = %d", r.Episodes())
+	}
+}
+
+func TestExitWithoutEnterIgnored(t *testing.T) {
+	// Warmup can enter runahead before the recorder attaches; the first
+	// exit the recorder sees then has no matching enter.
+	r := NewRecorder("w/RA")
+	r.RunaheadExit(500, 10, 2, 0)
+	if got := len(spans(r, catRunahead)); got != 0 {
+		t.Fatalf("exit-without-enter emitted %d spans", got)
+	}
+	if r.Episodes() != 0 {
+		t.Errorf("Episodes() = %d, want 0", r.Episodes())
+	}
+}
+
+func TestDoubleEnterTruncates(t *testing.T) {
+	r := NewRecorder("w/RA")
+	r.RunaheadEnter(10, 0x1, 1, "RA", 50)
+	r.RunaheadEnter(30, 0x2, 2, "RA", 60) // lost exit: close the first as truncated
+	r.RunaheadExit(45, 9, 1, 0)
+	eps := spans(r, catRunahead)
+	if len(eps) != 2 {
+		t.Fatalf("got %d spans, want 2", len(eps))
+	}
+	if eps[0].Args["truncated"] != true {
+		t.Errorf("first span not marked truncated: %v", eps[0].Args)
+	}
+	if _, ok := eps[1].Args["truncated"]; ok {
+		t.Errorf("second span wrongly truncated")
+	}
+}
+
+func TestFinishTruncatesOpenSpans(t *testing.T) {
+	r := NewRecorder("w/PRE")
+	r.RunaheadEnter(10, 0x1, 1, "PRE", 50)
+	r.FullWindowStall(12)
+	r.Finish(20)
+	eps := spans(r, catRunahead)
+	if len(eps) != 1 || eps[0].Args["truncated"] != true {
+		t.Fatalf("open episode not closed as truncated at Finish: %+v", eps)
+	}
+	sts := spans(r, catStall)
+	if len(sts) != 1 {
+		t.Fatalf("open stall span not closed at Finish")
+	}
+	// Finish is idempotent: a second call adds no events or metrics.
+	n := len(r.Events())
+	r.Finish(25)
+	if len(r.Events()) != n {
+		t.Errorf("second Finish grew the event list %d -> %d", n, len(r.Events()))
+	}
+}
+
+func TestStallSpanCoalescing(t *testing.T) {
+	r := NewRecorder("w/OoO")
+	r.FullWindowStall(10)
+	r.FullWindowStall(11)
+	r.FullWindowStallN(12, 5) // contiguous bulk: extends to cycle 16
+	r.FullWindowStall(30)     // gap: new span
+	r.Finish(40)
+	sts := spans(r, catStall)
+	if len(sts) != 2 {
+		t.Fatalf("got %d stall spans, want 2: %+v", len(sts), sts)
+	}
+	if sts[0].Ts != 10 || sts[0].Dur != 7 {
+		t.Errorf("first span ts=%d dur=%d, want 10/7", sts[0].Ts, sts[0].Dur)
+	}
+	if sts[1].Ts != 30 || sts[1].Dur != 1 {
+		t.Errorf("second span ts=%d dur=%d, want 30/1", sts[1].Ts, sts[1].Dur)
+	}
+}
+
+func TestCycleSkipAndInstantEvents(t *testing.T) {
+	r := NewRecorder("w/PRE")
+	r.CycleSkip(100, 250, "idle")
+	r.CycleSkip(400, 0, "retry") // non-positive: dropped
+	r.PrefetchTrain(120, "l1d", 3)
+	r.Throttle(500, "l2", 2, 1, 0.25)
+	if got := spans(r, catSkip); len(got) != 1 || got[0].Dur != 250 {
+		t.Fatalf("skip spans: %+v", got)
+	}
+	var instants []Event
+	for _, e := range r.Events() {
+		if e.Ph == "i" {
+			instants = append(instants, e)
+		}
+	}
+	if len(instants) != 2 {
+		t.Fatalf("got %d instants, want 2", len(instants))
+	}
+	for _, e := range instants {
+		if e.S != "t" {
+			t.Errorf("instant %q scope %q, want \"t\"", e.Name, e.S)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRecorder("libquantum/PRE")
+	r.RunaheadEnter(10, 0x400, 1, "PRE", 100)
+	r.RunaheadExit(80, 20, 4, 0)
+	r.CycleSkip(90, 30, "idle")
+	r.Finish(120)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []Event  `json:"traceEvents"`
+		DisplayTimeUnit string   `json:"displayTimeUnit"`
+		Metrics         []Metric `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != len(r.Events()) {
+		t.Errorf("round-trip lost events: %d vs %d", len(doc.TraceEvents), len(r.Events()))
+	}
+	names := map[string]bool{}
+	for _, m := range doc.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"trace/episodes", "trace/skips", "trace/episode_cycles"} {
+		if !names[want] {
+			t.Errorf("metrics block missing %q", want)
+		}
+	}
+}
+
+func TestWriteMerged(t *testing.T) {
+	a := NewRecorderPid("w1/OoO", 0)
+	b := NewRecorderPid("w1/PRE", 1)
+	b.RunaheadEnter(5, 0x10, 1, "PRE", 40)
+	b.RunaheadExit(30, 8, 2, 0)
+	a.Finish(50)
+	b.Finish(50)
+
+	var buf bytes.Buffer
+	if err := WriteMerged(&buf, []*Recorder{a, nil, b}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+		Processes   []struct {
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+		} `json:"processes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Processes) != 2 {
+		t.Fatalf("got %d processes, want 2 (nil recorder must be skipped)", len(doc.Processes))
+	}
+	if doc.Processes[1].Pid != 1 || doc.Processes[1].Name != "w1/PRE" {
+		t.Errorf("process[1] = %+v", doc.Processes[1])
+	}
+
+	// Empty merge still serializes a parseable document with [] events.
+	buf.Reset()
+	if err := WriteMerged(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Errorf("empty merge serialized %s", buf.String())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b/count", 3)
+	reg.Gauge("a/mean", 1.5)
+	reg.Counter("b/count", 7) // overwrite, not append
+	if reg.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", reg.Len())
+	}
+	if m, ok := reg.Get("b/count"); !ok || m.Value != 7 {
+		t.Errorf("Get(b/count) = %+v, %v", m, ok)
+	}
+	snap := reg.Snapshot()
+	if snap[0].Name != "a/mean" || snap[1].Name != "b/count" {
+		t.Errorf("snapshot not name-sorted: %v, %v", snap[0].Name, snap[1].Name)
+	}
+
+	h := stats.NewHistogram("x", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	reg.Histogram("c/hist", h)
+	m, _ := reg.Get("c/hist")
+	if m.Value != 3 || m.Hist == nil {
+		t.Fatalf("histogram metric: %+v", m)
+	}
+	if got := m.Hist.Buckets; len(got) != 3 || got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("buckets %v", got)
+	}
+	if len(m.Hist.Bounds) != 2 || m.Hist.Bounds[0] != 10 {
+		t.Errorf("bounds %v", m.Hist.Bounds)
+	}
+}
+
+func TestHexFormatting(t *testing.T) {
+	for v, want := range map[uint64]string{
+		0:        "0x0",
+		0xabc:    "0xabc",
+		0x400020: "0x400020",
+	} {
+		if got := hex(v); got != want {
+			t.Errorf("hex(%#x) = %q, want %q", v, got, want)
+		}
+	}
+}

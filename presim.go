@@ -34,6 +34,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/workload/synth"
@@ -137,6 +138,27 @@ func Run(w Workload, mode Mode, opt Options) (Result, error) {
 func RunMatrix(ws []Workload, modes []Mode, opt Options) ([][]Result, error) {
 	return sim.RunMatrix(ws, modes, opt)
 }
+
+// Observability (internal/telemetry): point Options.Trace at a
+// TraceRecorder and the run records a cycle-level event timeline of its
+// measured window — runahead episode spans, full-window stall spans,
+// cycle-skip jumps, prefetch trains, throttle decisions — plus a named
+// metrics snapshot, serialized as Chrome trace_event JSON that Perfetto
+// (https://ui.perfetto.dev) opens directly. Tracing is sidecar-only: the
+// Result and every byte of results JSON are identical with it on or off.
+type (
+	// TraceRecorder captures one run's event timeline and metrics.
+	TraceRecorder = telemetry.Recorder
+	// MetricsRegistry is the named-metric snapshot a traced run publishes
+	// (counters, gauges and histograms under hierarchical names like
+	// "core/runahead/entries" or "pf/l1d/accuracy").
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewTraceRecorder builds a recorder whose trace is labeled name
+// (conventionally "workload/mode"). Write the sidecar with its WriteFile
+// after the run.
+func NewTraceRecorder(name string) *TraceRecorder { return telemetry.NewRecorder(name) }
 
 // Hardware prefetching (internal/prefetch): pluggable prefetch engines
 // beside the L1D and L2. Any runahead mode composes with any prefetcher

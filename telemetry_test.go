@@ -1,0 +1,179 @@
+// Telemetry contract tests: tracing is sidecar-only. Attaching a
+// recorder must not perturb a single architectural counter — the results
+// JSON with telemetry on is byte-identical to telemetry off — and the
+// trace itself must round-trip as Chrome trace_event JSON with the spans
+// the ISSUE promises (runahead episodes on real runs).
+package presim_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	presim "repro"
+	"repro/internal/core"
+)
+
+// telOpt keeps the differential CI-sized while still covering hundreds
+// of runahead episodes and several throttle epochs.
+func telOpt() presim.Options {
+	opt := presim.DefaultOptions()
+	opt.WarmupUops = 5_000
+	opt.MeasureUops = 30_000
+	return opt
+}
+
+// TestTraceSidecarOnlyDifferential runs every archetype representative
+// under every mechanism twice — bare, and with a trace recorder attached
+// — and requires the marshaled Results to be byte-identical. The
+// "adaptive" prefetch variant rides along on one workload to cover the
+// throttle-decision hook, which samples the adaptive engine around its
+// Feedback call.
+func TestTraceSidecarOnlyDifferential(t *testing.T) {
+	type point struct {
+		w  presim.Workload
+		pf string
+	}
+	points := []point{}
+	for _, w := range archetypeRepresentatives() {
+		points = append(points, point{w, "no-pf"})
+	}
+	lib, err := presim.WorkloadByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points = append(points, point{lib, "adaptive"})
+
+	for _, p := range points {
+		p := p
+		t.Run(fmt.Sprintf("%s/%s", p.w.Name, p.pf), func(t *testing.T) {
+			t.Parallel()
+			variant, err := presim.PrefetchVariantByName(p.pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range presim.Modes() {
+				opt := telOpt()
+				opt.Configure = func(c *core.Config) { c.ApplyPrefetch(variant) }
+				bare, err := presim.Run(p.w, m, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				opt = telOpt()
+				opt.Configure = func(c *core.Config) { c.ApplyPrefetch(variant) }
+				rec := presim.NewTraceRecorder(fmt.Sprintf("%s/%s", p.w.Name, m))
+				opt.Trace = rec
+				traced, err := presim.Run(p.w, m, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				a, err := json.Marshal(bare)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(traced)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Errorf("%s: results diverge with telemetry attached\nbare:   %s\ntraced: %s", m, a, b)
+				}
+				// Episodes must appear whenever the run actually entered
+				// runahead (ptrchase's footprint fits the LLC at this
+				// window, so it legitimately never enters).
+				if m != presim.ModeOoO && traced.Entries > 0 && rec.Episodes() == 0 {
+					t.Errorf("%s: run entered runahead %d times but trace has no episodes", m, traced.Entries)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSchemaRoundTrip records a sampled synth scenario under PRE
+// and checks the serialized sidecar parses back with the promised
+// structure: episode spans with PC/stall-cause args, a metrics block
+// with episode-length histograms, and monotone non-negative timestamps.
+func TestTraceSchemaRoundTrip(t *testing.T) {
+	space := presim.DefaultSynthSpace()
+	var rec *presim.TraceRecorder
+	for i := 0; i < 8; i++ {
+		sc, err := space.Sample(presim.SynthNthSeed(presim.SynthDefaultBaseSeed, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := sc.Workload()
+		opt := telOpt()
+		r := presim.NewTraceRecorder(w.Name + "/PRE")
+		opt.Trace = r
+		if _, err := presim.Run(w, presim.ModePRE, opt); err != nil {
+			t.Fatal(err)
+		}
+		if r.Episodes() > 0 {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("no sampled scenario produced a runahead episode under PRE")
+	}
+
+	path := t.TempDir() + "/trace.json"
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		Metrics         []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("sidecar is not valid JSON: %v", err)
+	}
+	episodes := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %q has negative time: ts=%d dur=%d", e.Name, e.Ts, e.Dur)
+		}
+		if e.Cat == "runahead" && e.Ph == "X" {
+			episodes++
+			if _, ok := e.Args["pc"]; !ok {
+				t.Errorf("episode span missing pc arg: %v", e.Args)
+			}
+			if _, ok := e.Args["stall_cause"]; !ok {
+				t.Errorf("episode span missing stall_cause arg: %v", e.Args)
+			}
+		}
+	}
+	if episodes != rec.Episodes() {
+		t.Errorf("serialized %d episode spans, recorder counted %d", episodes, rec.Episodes())
+	}
+	metricNames := map[string]bool{}
+	for _, m := range doc.Metrics {
+		metricNames[m.Name] = true
+	}
+	for _, want := range []string{
+		"trace/episode_cycles", "trace/episode_prefetches",
+		"core/cycles", "core/runahead/entries", "mem/l3/misses",
+	} {
+		if !metricNames[want] {
+			t.Errorf("metrics block missing %q", want)
+		}
+	}
+}
