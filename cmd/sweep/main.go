@@ -55,6 +55,7 @@ func main() {
 	doSynth := flag.Bool("synth", false, "run a seeded scenario-population sweep")
 	seeds := flag.Int("seeds", 20, "population size for -synth")
 	synthSeed := flag.Uint64("synthseed", 0, "population base seed for -synth (0 = date-pinned default)")
+	fidelity := flag.String("fidelity", "exact", "simulation fidelity tier: exact, fast-runahead")
 	warmup := flag.Int64("warmup", 50_000, "warmup µops per run")
 	measure := flag.Int64("n", 200_000, "measured µops per run")
 	workers := flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
@@ -98,6 +99,14 @@ func main() {
 	}
 	if *warmup <= 0 {
 		fmt.Fprintf(os.Stderr, "sweep: -warmup must be positive (got %d)\n", *warmup)
+		os.Exit(2)
+	}
+
+	// An unknown tier must die here, not as a confusing per-cell Validate
+	// error deep inside the orchestrator.
+	fid, err := presim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
 
@@ -147,6 +156,7 @@ func main() {
 	opt := presim.DefaultOptions()
 	opt.WarmupUops = *warmup
 	opt.MeasureUops = *measure
+	opt.Fidelity = fid
 
 	s := sweeper{opt: opt, workers: *workers, serial: *serial, jsonDir: *jsonDir,
 		timing: *timing, progress: *progress, tracefile: *tracefile}

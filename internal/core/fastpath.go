@@ -1,0 +1,310 @@
+package core
+
+// The fast-runahead fidelity tier (Config.Fidelity =
+// FidelityFastRunahead): instead of executing every runahead µop through
+// fetch/rename/dispatch/issue, a chain-cache-hit episode is emulated in
+// one step — the cached entry predicts the episode's prefetch set, the
+// whole set is injected into the real memory hierarchy at entry, and the
+// cycle skipper fast-forwards the quiesced machine to the episode exit.
+//
+// The cache learns from exact episodes: a stalling-load PC that misses
+// the chain cache runs its episode exactly while the prefetch addresses
+// it issues are recorded (line-deduped), and the set is inserted as
+// stall-relative deltas at exit. Every chainVerifyEvery-th hit also runs
+// exactly, scoring the entry's prediction against the episode's real set
+// (Jaccard overlap at line granularity) and relearning the entry — the
+// drift bound behind the fidelity harness's overlap numbers.
+//
+// The committed architectural stream is identical in both tiers by
+// construction: commit is blocked during emulated episodes (inRunahead
+// without pseudoRetire), no transient µops exist, and RA/RA-buffer
+// emulated episodes end with the same flush-and-refetch exit as exact
+// ones. What the tier approximates is timing — which prefetches an
+// episode issues, and the pipeline activity statistics of the episode
+// itself — bounded by the differential harness in fidelity_test.go.
+
+import "repro/internal/runahead"
+
+// chainVerifyEvery makes every N-th chain-cache hit a verification
+// episode: run exactly, score the prediction, relearn the entry.
+const chainVerifyEvery = 32
+
+// fastEnter consults the chain cache for the runahead entry decision in
+// the fast tier. It returns true when the episode was entered as a
+// coarse emulation (the caller must not run the exact entry sequence);
+// false means the episode must run exactly, with learning armed.
+func (c *Core) fastEnter(hr *uopRec) bool {
+	e := c.chainCache.Lookup(hr.pc)
+	if e == nil {
+		c.beginLearning(hr, nil)
+		return false
+	}
+	if e.ExactOnly() {
+		// Demoted entry: its predictions kept failing verification, so
+		// every use runs the episode exactly. Only the periodic
+		// verification hits pay for learning — scoring and relearning on
+		// every use would make a demoted PC strictly more expensive than
+		// the exact tier, and unpredictable PCs (data-dependent prefetch
+		// sets) stay demoted indefinitely.
+		if e.Uses()%chainVerifyEvery == 0 {
+			c.beginLearning(hr, e)
+		}
+		return false
+	}
+	if e.Uses() <= runahead.ChainDemoteStrikes || e.Uses()%chainVerifyEvery == 0 {
+		// Run this hit exactly and score the entry: either it is fresh
+		// (probation — a new entry must survive its first
+		// ChainDemoteStrikes verifications before it may emulate at all,
+		// so a PC with unpredictable prefetch sets demotes without ever
+		// having poisoned the caches) or this is the periodic
+		// verification hit that bounds drift on trusted entries.
+		c.beginLearning(hr, e)
+		return false
+	}
+	c.enterEmulated(hr, e)
+	return true
+}
+
+// beginLearning arms prefetch-set recording for the exact episode about
+// to start. e is non-nil for a verification episode, whose predicted set
+// is materialized for the exit-time overlap score.
+func (c *Core) beginLearning(hr *uopRec, e *runahead.ChainEntry) {
+	c.epLearning = true
+	c.epVerify = e != nil
+	c.epStallAddr = hr.addr
+	c.epAddrs = c.epAddrs[:0]
+	c.epPredicted = c.epPredicted[:0]
+	if e != nil {
+		for _, d := range e.Deltas() {
+			c.epPredicted = append(c.epPredicted, hr.addr+uint64(d))
+		}
+	}
+	// The entry's chain metadata comes from the same backward dataflow
+	// walk the runahead buffer performs (RA-buffer repeats it in
+	// initReplay; learning episodes are rare enough in steady state that
+	// the double walk is noise).
+	c.chainWindow = c.chainWindow[:0]
+	idx := c.rob.head
+	for i := 0; i < c.rob.size; i++ {
+		c.chainWindow = append(c.chainWindow, *c.stream.At(c.rob.rec[idx].seq))
+		idx++
+		if idx == len(c.rob.meta) {
+			idx = 0
+		}
+	}
+	chain, _ := c.chainX.Extract(c.chainWindow, hr.pc, c.cfg.ChainMaxLen)
+	c.epChainLen = len(chain)
+	c.epMemDep = runahead.ChainHasLeadingDependence(chain)
+}
+
+// recordEpisodeAddr records one issued runahead prefetch address during a
+// learning episode, deduplicating by cache line and truncating at the
+// chain cache's per-entry capacity.
+func (c *Core) recordEpisodeAddr(addr uint64) {
+	if len(c.epAddrs) >= runahead.ChainCacheDeltaCap {
+		return
+	}
+	line := addr >> 6
+	for _, a := range c.epAddrs {
+		if a>>6 == line {
+			return
+		}
+	}
+	c.epAddrs = append(c.epAddrs, addr)
+}
+
+// finishLearning closes a learning episode at exit: the verification
+// overlap is scored, and the recorded set is (re)inserted as
+// stall-relative deltas.
+func (c *Core) finishLearning() {
+	// Only stall-relative deltas inside ChainDeltaWindow are learnable:
+	// they follow the stalling load's own access stream and translate to
+	// future stall addresses. Out-of-window prefetches belong to other
+	// streams at other phases — replaying their absolute positions later
+	// would be pollution, so the model neither learns nor predicts them.
+	var deltas [runahead.ChainCacheDeltaCap]int64
+	nd := 0
+	for _, a := range c.epAddrs {
+		d := int64(a - c.epStallAddr)
+		if d > runahead.ChainDeltaWindow || d < -runahead.ChainDeltaWindow {
+			continue
+		}
+		deltas[nd] = d
+		nd++
+	}
+	if c.epVerify {
+		// Score the prediction against the learnable part of the actual
+		// set — the part the delta model even attempts to cover. The
+		// coverage lost to out-of-window streams is bounded end to end by
+		// the fidelity harness's exact-vs-fast IPC differential instead.
+		c.epActual = c.epActual[:0]
+		for _, a := range c.epAddrs {
+			d := int64(a - c.epStallAddr)
+			if d > runahead.ChainDeltaWindow || d < -runahead.ChainDeltaWindow {
+				continue
+			}
+			c.epActual = append(c.epActual, a)
+		}
+		j := lineJaccard(c.epPredicted, c.epActual)
+		c.chainCache.ObserveOverlap(j)
+		if e := c.chainCache.Peek(c.stallPC); e != nil {
+			e.ScoreVerify(j)
+		}
+	}
+	c.chainCache.Insert(c.stallPC, deltas[:nd], c.epChainLen, c.epMemDep)
+	c.epLearning = false
+	c.epVerify = false
+}
+
+// enterEmulated starts a coarse emulated episode from a chain-cache
+// entry: full episode bookkeeping (so Stats/telemetry see a normal
+// episode), the minimum mode-specific entry state the exit needs, and
+// the predicted prefetch set injected into the hierarchy in one step.
+func (c *Core) enterEmulated(hr *uopRec, e *runahead.ChainEntry) {
+	c.progressed = true
+	c.inRunahead = true
+	c.epEmulated = true
+	c.entryCycle = c.now
+	c.exitCycle = hr.readyAt
+	c.stallSeq = hr.seq
+	c.stallPC = hr.pc
+	c.stallDstP = hr.out.DstP
+	c.raDiverged = false
+	c.stats.Entries++
+	c.stats.EmulatedEpisodes++
+
+	if c.tel != nil {
+		c.tel.RunaheadEnter(c.now, hr.pc, hr.seq, c.cfg.Mode.String(), hr.readyAt-c.now)
+		c.tel.EmulatedEpisode(c.now, hr.pc, len(e.Deltas()))
+		c.telDispatched = c.stats.Dispatched
+		c.telPrefetches = c.stats.Prefetches
+		c.telINV = c.stats.RunaheadINV
+	}
+
+	// E7 free-resource snapshots stay comparable across tiers.
+	intFree, fpFree := c.ren.FreeCounts()
+	c.stats.FreeIQAtEntry.Observe(float64(c.iq.freeSlots()) / float64(c.cfg.IQSize))
+	c.stats.FreeIntRegAtEntry.Observe(float64(intFree) / float64(c.cfg.Rename.IntPRF))
+	c.stats.FreeFPRegAtEntry.Observe(float64(fpFree) / float64(c.cfg.Rename.FPPRF))
+
+	switch c.cfg.Mode {
+	case ModeRA, ModeRABuffer:
+		// An exact episode discards everything it executed when it exits:
+		// flush, restore the committed RAT, refetch from the stalling
+		// load. The emulation performs that flush at entry instead — the
+		// flushed window µops' prefetch side effects are exactly what the
+		// injected set below replays, and loads that already issued have
+		// fire-and-forget fills in flight that land regardless — and
+		// freezes the front-end, so the whole episode quiesces into one
+		// cycle-skipper jump. Freeze (not Rewind): entry happens from
+		// inside the dispatch loop, which still retires what it consumed
+		// from the fetch queue this cycle — the queue must stay intact
+		// until the exit-time Rewind discards it, as in the exact tier.
+		c.ren.CheckpointCommittedInto(&c.cpFullBuf)
+		c.cpFull = &c.cpFullBuf
+		c.rob.flush()
+		c.iq.clear()
+		c.pre.flush()
+		c.sq.dropYoungerThan(c.stallSeq)
+		c.lqNorm, c.lqPre = 0, 0
+		c.ren.RestoreFull(c.cpFull)
+		c.fetch.Freeze()
+	case ModePRE, ModePREEMQ:
+		// No checkpoint, no poison, no transient µops: the window is
+		// intact and commit resumes at exit, as in exact PRE. Only the
+		// SST insert is kept, so SST contents track the exact tier's.
+		c.sst.Insert(c.stallPC)
+	}
+
+	// The episode's whole effect: its predicted prefetch set, paced
+	// across the episode span the way the exact tier's issue stream
+	// would be. MSHR-exhausted predictions drop, matching runahead's
+	// drop-don't-retry semantics.
+	c.epInject = c.epInject[:0]
+	for _, d := range e.Deltas() {
+		c.epInject = append(c.epInject, hr.addr+uint64(d))
+	}
+	pace := int64(1)
+	if n := int64(len(c.epInject)); n > 0 {
+		if pace = (c.exitCycle - c.now) / (n + 1); pace < 1 {
+			pace = 1
+		} else if pace > 16 {
+			pace = 16
+		}
+	}
+	n := c.hier.InjectPrefetchSet(c.epInject, c.now, pace, c.injectFn)
+	c.stats.Prefetches += int64(n)
+	c.stats.EmulatedPrefetches += int64(n)
+}
+
+// exitEmulated ends a coarse emulated episode: the stalling load's data
+// arrived (the Step exit check fired at its ready cycle).
+func (c *Core) exitEmulated() {
+	c.iqDirty = true
+	c.stats.Intervals.Observe(c.now - c.entryCycle)
+	if c.tel != nil {
+		c.tel.RunaheadExit(c.now,
+			c.stats.Dispatched-c.telDispatched,
+			c.stats.Prefetches-c.telPrefetches,
+			c.stats.RunaheadINV-c.telINV)
+	}
+	if c.cfg.Mode == ModeRA || c.cfg.Mode == ModeRABuffer {
+		// The back-end flush already happened at entry; what remains of
+		// the exact exit is the front-end restart and the refill-penalty
+		// measurement — the fast tier preserves the flush/refill character
+		// that separates RA from PRE. The Rewind thaws fetch at now+1,
+		// exactly when an exact exit's would.
+		c.fetch.Rewind(c.stallSeq, c.now+1)
+		c.refillFrom = c.now
+		c.refillDispatched = 0
+		c.measuringRefill = true
+	}
+	// PRE/PRE+EMQ: nothing transient exists; the intact window's commit
+	// resumes when the stalling load's completion lands this cycle.
+	c.inRunahead = false
+	c.epEmulated = false
+	c.lastProgress = c.now
+}
+
+// lineJaccard returns the Jaccard overlap of two address sets at cache
+// line granularity (1.0 when both are empty: an entry that predicted "no
+// prefetches" for an episode that issued none is exactly right).
+func lineJaccard(a, b []uint64) float64 {
+	var la, lb [runahead.ChainCacheDeltaCap]uint64
+	na := dedupLines(a, &la)
+	nb := dedupLines(b, &lb)
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	inter := 0
+	for _, x := range la[:na] {
+		for _, y := range lb[:nb] {
+			if x == y {
+				inter++
+				break
+			}
+		}
+	}
+	return float64(inter) / float64(na+nb-inter)
+}
+
+// dedupLines writes the distinct cache-line addresses of addrs into out,
+// returning how many were written (truncating at capacity).
+func dedupLines(addrs []uint64, out *[runahead.ChainCacheDeltaCap]uint64) int {
+	n := 0
+outer:
+	for _, a := range addrs {
+		l := a >> 6
+		for _, x := range out[:n] {
+			if x == l {
+				continue outer
+			}
+		}
+		if n == len(out) {
+			break
+		}
+		out[n] = l
+		n++
+	}
+	return n
+}

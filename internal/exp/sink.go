@@ -33,7 +33,12 @@ import (
 // of in-flight runahead fills) and HWPrefOverflowed (requests lost to
 // engine queue overflow); the issue counters now also sum the L1I
 // fetch-stream engine when one is configured.
-const SchemaVersion = 4
+//
+// v5: fidelity tiers — fast-runahead runs carry tier accounting on
+// sim.Result (Fidelity, EmulatedEpisodes/Prefetches, chain-cache
+// counters; all ",omitempty", so exact-tier documents are byte-identical
+// to v4) and the meta document records the requested tier.
+const SchemaVersion = 5
 
 // RunMeta records how a Set was produced: wall-clock, requested and
 // effective pool width, and GOMAXPROCS. It is deliberately a SEPARATE
@@ -46,6 +51,10 @@ type RunMeta struct {
 	Schema int `json:"schema"`
 	// Name is the experiment label from Matrix.Name.
 	Name string `json:"name,omitempty"`
+	// Fidelity is the requested simulation fidelity tier ("exact" or
+	// "fast-runahead"). It lives here rather than in the results document
+	// so exact-tier results stay byte-identical across schema versions.
+	Fidelity string `json:"fidelity"`
 	// WallClockSeconds is the duration of Plan.Run.
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	// Workers is the requested pool width (0 = one per CPU).

@@ -1,0 +1,349 @@
+package runahead
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/stats"
+)
+
+// ChainCacheDeltaCap bounds the prefetch-delta set stored per chain-cache
+// entry. Episodes that prefetch more distinct lines are truncated to the
+// first ChainCacheDeltaCap deltas observed — the earliest prefetches of an
+// episode are the ones most likely to be timely on replay anyway.
+const ChainCacheDeltaCap = 64
+
+// ChainDeltaWindow bounds the stall-relative deltas an entry learns.
+// Prefetches within the window of the stalling address belong to the
+// stalling load's own access stream (strides, stencil planes) and
+// translate to future stall addresses; prefetches outside it belong to
+// other streams advancing at their own rates — their absolute addresses
+// do not translate, so replaying them injects pure pollution. 16 MB
+// comfortably covers multi-plane stencil offsets while excluding
+// cross-array distances (the workload segments sit GBs apart).
+const ChainDeltaWindow = 1 << 24
+
+// Verification-driven adaptation: entries whose predictions keep scoring
+// below ChainDemoteOverlap are demoted to exact-only execution (every use
+// runs the episode exactly, with only the periodic verification hits
+// still scored), and recover once they score ChainPromoteScores
+// consecutive verifications at or above the threshold.
+const (
+	ChainDemoteOverlap = 0.35
+	ChainDemoteStrikes = 2
+	ChainPromoteScores = 2
+)
+
+// ChainCacheStats counts chain-cache activity for the fast-runahead
+// fidelity tier's accounting.
+type ChainCacheStats struct {
+	Lookups   int64
+	Hits      int64
+	Misses    int64
+	Inserts   int64
+	Refreshes int64
+	Evicts    int64
+}
+
+// ChainEntry is one learned episode signature: the prefetch-address
+// deltas (relative to the stalling load's address) observed during an
+// exact runahead episode that stalled on this PC, plus the extracted
+// dependence-chain shape used to classify the episode.
+type ChainEntry struct {
+	pc     uint64
+	deltas [ChainCacheDeltaCap]int64
+	nd     int32
+	// chainLen is the extracted dependence-chain length at learn time.
+	chainLen int32
+	// memDependent records ChainHasLeadingDependence at learn time:
+	// pointer-chase chains (true) predict less transferable prefetch sets
+	// than streaming chains.
+	memDependent bool
+	// uses counts hits on this entry since it was inserted. Monotonic
+	// across relearns: the verification cadence and the probation window
+	// (see core's fastEnter) key off it, so a refresh must not restart
+	// either.
+	uses int32
+	// strikes counts consecutive low-overlap verifications (toward
+	// demotion) or, once demoted, consecutive good ones (toward
+	// re-promotion).
+	strikes int8
+	// exactOnly marks entries whose predictions failed verification:
+	// their episodes run exactly until the entry re-earns emulation.
+	exactOnly  bool
+	prev, next int32
+}
+
+// PC returns the stalling-load PC this entry is keyed on.
+func (e *ChainEntry) PC() uint64 { return e.pc }
+
+// Deltas returns the learned prefetch-delta set. The slice aliases the
+// entry's fixed storage; it is valid until the entry is relearned.
+func (e *ChainEntry) Deltas() []int64 { return e.deltas[:e.nd] }
+
+// ChainLen returns the extracted dependence-chain length at learn time.
+func (e *ChainEntry) ChainLen() int { return int(e.chainLen) }
+
+// MemDependent reports whether the learned chain was a pointer chase
+// (leading load-to-load dependence) rather than a streaming chain.
+func (e *ChainEntry) MemDependent() bool { return e.memDependent }
+
+// Uses returns how many hits this entry has taken since it was inserted.
+func (e *ChainEntry) Uses() int { return int(e.uses) }
+
+// ExactOnly reports whether the entry is demoted: its episodes must run
+// exactly because its predictions kept failing verification.
+func (e *ChainEntry) ExactOnly() bool { return e.exactOnly }
+
+// ScoreVerify feeds one verification-episode overlap score into the
+// entry's demotion state machine: ChainDemoteStrikes consecutive scores
+// below ChainDemoteOverlap demote the entry to exact-only, and
+// ChainPromoteScores consecutive passing scores promote it back.
+func (e *ChainEntry) ScoreVerify(jaccard float64) {
+	if e.exactOnly {
+		if jaccard >= ChainDemoteOverlap {
+			e.strikes++
+			if e.strikes >= ChainPromoteScores {
+				e.exactOnly = false
+				e.strikes = 0
+			}
+		} else {
+			e.strikes = 0
+		}
+		return
+	}
+	if jaccard < ChainDemoteOverlap {
+		e.strikes++
+		if e.strikes >= ChainDemoteStrikes {
+			e.exactOnly = true
+			e.strikes = 0
+		}
+	} else {
+		e.strikes = 0
+	}
+}
+
+// ChainCache is the fast-runahead fidelity tier's episode memory: a
+// fully-associative, LRU-replaced cache keyed on stalling-load PC whose
+// entries summarize what an exact runahead episode at that PC prefetched.
+// On a chain-cache hit the core emulates the episode from the entry
+// instead of executing it µop by µop.
+//
+// Like the SST it is an open-addressed hash table over a preallocated
+// node arena: all storage is fixed at construction and the steady state
+// allocates nothing.
+type ChainCache struct {
+	capacity int
+
+	// tbl maps hash slots to arena indices + 1 (0 = empty); linear
+	// probing with backward-shift deletion keeps probe chains compact.
+	tbl  []int32
+	mask uint64
+
+	// nodes is the LRU list arena; used nodes form a doubly-linked list
+	// via prev/next indices, most-recent at head. -1 terminates.
+	nodes      []ChainEntry
+	used       int
+	head, tail int32
+
+	stats ChainCacheStats
+	// reuseDepth observes an entry's use count on every predicting hit —
+	// the distribution of how deep entries are reused before relearning.
+	reuseDepth *stats.Histogram
+	// overlap accumulates predicted-vs-actual prefetch-set Jaccard
+	// overlap, observed by the core on verification episodes.
+	overlap stats.Running
+}
+
+// NewChainCache builds a chain cache with the given entry capacity.
+func NewChainCache(capacity int) *ChainCache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("runahead: chain cache capacity %d must be positive", capacity))
+	}
+	// 4x slots keeps the linear-probe load factor at 25%.
+	slots := 1 << bits.Len(uint(capacity*4-1))
+	return &ChainCache{
+		capacity:   capacity,
+		tbl:        make([]int32, slots),
+		mask:       uint64(slots - 1),
+		nodes:      make([]ChainEntry, capacity),
+		head:       sstNil,
+		tail:       sstNil,
+		reuseDepth: stats.NewHistogram("chaincache-reuse-depth", 1, 2, 4, 8, 16, 32, 64, 128, 256),
+	}
+}
+
+// Capacity returns the configured entry count.
+func (c *ChainCache) Capacity() int { return c.capacity }
+
+// Len returns the number of live entries.
+func (c *ChainCache) Len() int { return c.used }
+
+// Stats returns a copy of the counters.
+func (c *ChainCache) Stats() ChainCacheStats { return c.stats }
+
+// ReuseDepth returns the reuse-depth histogram (one observation per
+// predicting hit, of the entry's use count at that hit).
+func (c *ChainCache) ReuseDepth() *stats.Histogram { return c.reuseDepth }
+
+// ObserveOverlap records one predicted-vs-actual prefetch-set Jaccard
+// overlap sample from a verification episode.
+func (c *ChainCache) ObserveOverlap(jaccard float64) { c.overlap.Observe(jaccard) }
+
+// OverlapMean returns the mean verification-episode Jaccard overlap, or 0
+// with no verification episodes.
+func (c *ChainCache) OverlapMean() float64 { return c.overlap.Mean() }
+
+// OverlapCount returns the number of verification episodes observed.
+func (c *ChainCache) OverlapCount() int64 { return c.overlap.Count() }
+
+// ResetStats zeroes the counters and distributions but keeps the learned
+// entries: warmup learning is the tier's point, only its accounting is
+// excluded from the measured window.
+func (c *ChainCache) ResetStats() {
+	c.stats = ChainCacheStats{}
+	c.reuseDepth.Reset()
+	c.overlap.Reset()
+}
+
+func (c *ChainCache) slotOf(pc uint64) uint64 {
+	return (pc * 0x9e3779b97f4a7c15) >> 32 & c.mask
+}
+
+// find returns the arena index of pc's node, or sstNil.
+func (c *ChainCache) find(pc uint64) int32 {
+	for slot := c.slotOf(pc); ; slot = (slot + 1) & c.mask {
+		n := c.tbl[slot]
+		if n == 0 {
+			return sstNil
+		}
+		if c.nodes[n-1].pc == pc {
+			return n - 1
+		}
+	}
+}
+
+// delete removes pc from the hash table, then re-homes the contiguous
+// occupied run that followed it so no probe chain is broken.
+func (c *ChainCache) delete(pc uint64) {
+	slot := c.slotOf(pc)
+	for c.tbl[slot] == 0 || c.nodes[c.tbl[slot]-1].pc != pc {
+		slot = (slot + 1) & c.mask
+	}
+	c.tbl[slot] = 0
+	for slot = (slot + 1) & c.mask; c.tbl[slot] != 0; slot = (slot + 1) & c.mask {
+		n := c.tbl[slot]
+		c.tbl[slot] = 0
+		c.place(n)
+	}
+}
+
+// place inserts an arena index (+1) at its pc's probe position.
+func (c *ChainCache) place(n int32) {
+	slot := c.slotOf(c.nodes[n-1].pc)
+	for c.tbl[slot] != 0 {
+		slot = (slot + 1) & c.mask
+	}
+	c.tbl[slot] = n
+}
+
+func (c *ChainCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != sstNil {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != sstNil {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = sstNil, sstNil
+}
+
+func (c *ChainCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = sstNil
+	n.next = c.head
+	if c.head != sstNil {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == sstNil {
+		c.tail = i
+	}
+}
+
+// Lookup probes for pc, refreshing its LRU position and counting the
+// reuse on a hit. The returned entry aliases cache storage and is valid
+// until the next Insert.
+func (c *ChainCache) Lookup(pc uint64) *ChainEntry {
+	c.stats.Lookups++
+	i := c.find(pc)
+	if i == sstNil {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	e := &c.nodes[i]
+	e.uses++
+	c.reuseDepth.Observe(int64(e.uses))
+	if c.head != i {
+		c.unlink(i)
+		c.pushFront(i)
+	}
+	return e
+}
+
+// Peek probes without touching LRU or statistics (tests, reports).
+func (c *ChainCache) Peek(pc uint64) *ChainEntry {
+	i := c.find(pc)
+	if i == sstNil {
+		return nil
+	}
+	return &c.nodes[i]
+}
+
+// Insert learns (or relearns) pc's episode signature, evicting the LRU
+// entry when full. deltas beyond ChainCacheDeltaCap are dropped.
+func (c *ChainCache) Insert(pc uint64, deltas []int64, chainLen int, memDependent bool) {
+	i := c.find(pc)
+	if i != sstNil {
+		c.stats.Refreshes++
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+	} else {
+		if c.used >= c.capacity {
+			// Recycle the evicted LRU node: a full cache (the steady state
+			// of any long run) learns without allocating.
+			i = c.tail
+			c.unlink(i)
+			c.delete(c.nodes[i].pc)
+			c.stats.Evicts++
+		} else {
+			i = int32(c.used)
+			c.used++
+		}
+		c.nodes[i].pc = pc
+		// A recycled node may carry the evicted entry's adaptation state;
+		// a fresh PC starts on probation (uses = 0) with a clean record.
+		c.nodes[i].strikes = 0
+		c.nodes[i].exactOnly = false
+		c.nodes[i].uses = 0
+		c.place(i + 1)
+		c.pushFront(i)
+		c.stats.Inserts++
+	}
+	e := &c.nodes[i]
+	nd := len(deltas)
+	if nd > ChainCacheDeltaCap {
+		nd = ChainCacheDeltaCap
+	}
+	copy(e.deltas[:nd], deltas[:nd])
+	e.nd = int32(nd)
+	e.chainLen = int32(chainLen)
+	e.memDependent = memDependent
+}

@@ -1,0 +1,319 @@
+package runahead
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+// --- ChainExtractor edge cases ----------------------------------------
+//
+// The extractor variants above are exercised through the one-shot
+// ExtractChain wrapper; these tests pin the reusable-state path the fast
+// tier actually drives (one ChainExtractor per core, one Extract per
+// learning episode).
+
+func TestChainExtractorEmptyWindow(t *testing.T) {
+	var x ChainExtractor
+	chain, cost := x.Extract(nil, 0x40, 32)
+	if chain != nil || cost != 0 {
+		t.Errorf("empty window: chain=%v cost=%d, want nil chain at zero cost", chain, cost)
+	}
+	chain, cost = x.Extract([]uarch.Uop{}, 0x40, 32)
+	if chain != nil || cost != 0 {
+		t.Errorf("zero-length window: chain=%v cost=%d, want nil chain at zero cost", chain, cost)
+	}
+}
+
+func TestChainExtractorStallPCAbsent(t *testing.T) {
+	r1 := uarch.IntReg(1)
+	window := []uarch.Uop{
+		mkUop(4, uarch.ClassIntAlu, r1, r1, uarch.RegNone, 0),
+		mkUop(8, uarch.ClassLoad, uarch.FPReg(0), r1, uarch.RegNone, 0x1000),
+	}
+	var x ChainExtractor
+	chain, cost := x.Extract(window, 0xdead, 32)
+	if chain != nil {
+		t.Errorf("absent stall PC: chain=%v, want nil", chain)
+	}
+	// The hardware scans the whole ROB from the tail before concluding
+	// the PC is gone — the cost must reflect that full scan.
+	if cost != len(window) {
+		t.Errorf("absent stall PC: cost=%d, want full window scan %d", cost, len(window))
+	}
+}
+
+func TestChainExtractorMaxLenTruncatesMidDependence(t *testing.T) {
+	// A strict ALU dependence chain r1 <- r1 feeding the stalling load:
+	// every µop is a producer the walk wants, so a maxLen smaller than
+	// the chain must cut it mid-dependence. The truncated chain must hit
+	// maxLen exactly, stay in program order, and still terminate at the
+	// stalling load — the replay machinery relies on all three.
+	const deps = 16
+	var window []uarch.Uop
+	for i := 0; i < deps; i++ {
+		window = append(window, mkUop(uint64(4+i*4), uarch.ClassIntAlu,
+			uarch.IntReg(1), uarch.IntReg(1), uarch.RegNone, 0))
+	}
+	window = append(window, mkUop(0x999, uarch.ClassLoad,
+		uarch.IntReg(2), uarch.IntReg(1), uarch.RegNone, 0x4000))
+
+	const maxLen = 4
+	var x ChainExtractor
+	chain, _ := x.Extract(window, 0x999, maxLen)
+	if len(chain) != maxLen {
+		t.Fatalf("chain length %d, want exactly maxLen %d (dependence unresolved on every older µop)", len(chain), maxLen)
+	}
+	if chain[len(chain)-1].PC != 0x999 {
+		t.Errorf("truncated chain ends at %#x, want the stalling load", chain[len(chain)-1].PC)
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i-1].PC > chain[i].PC {
+			t.Errorf("truncated chain out of program order at %d: %#x > %#x", i, chain[i-1].PC, chain[i].PC)
+		}
+	}
+}
+
+func TestChainExtractorScratchReuseNoBleed(t *testing.T) {
+	r1, r2, r3 := uarch.IntReg(1), uarch.IntReg(2), uarch.IntReg(3)
+
+	// First extraction leaves dangling scratch state on purpose: the
+	// stalling load needs r2 and r3, neither produced in the window, so
+	// needReg/needList end non-empty; it also forces a store into the
+	// chain, leaving a bit set in the forced buffer.
+	first := []uarch.Uop{
+		mkUop(0x10, uarch.ClassStore, uarch.RegNone, r1, uarch.RegNone, 0x500),
+		mkUop(0x14, uarch.ClassLoad, r1, r2, r3, 0x500),
+	}
+	var x ChainExtractor
+	chain, _ := x.Extract(first, 0x14, 32)
+	if len(chain) != 2 {
+		t.Fatalf("first extraction chain = %d µops, want load + forwarding store", len(chain))
+	}
+
+	// Second extraction over a window that contains producers of the
+	// stale registers (r2, r3), a store overlapping the stale forced
+	// index, and a µop sharing a PC with the first chain. None of those
+	// may leak in: the chain is just {producer of r1, load}.
+	second := []uarch.Uop{
+		mkUop(0x10, uarch.ClassIntAlu, r2, r2, uarch.RegNone, 0), // stale needReg bait + first-chain PC
+		mkUop(0x20, uarch.ClassIntAlu, r3, r3, uarch.RegNone, 0), // stale needReg bait
+		mkUop(0x24, uarch.ClassIntAlu, r1, uarch.RegNone, uarch.RegNone, 0),
+		mkUop(0x28, uarch.ClassLoad, uarch.FPReg(0), r1, uarch.RegNone, 0x9000),
+	}
+	chain, _ = x.Extract(second, 0x28, 32)
+	if len(chain) != 2 {
+		t.Fatalf("reused extractor chain = %v, want 2 µops — scratch state bled across Extract calls", chain)
+	}
+	if chain[0].PC != 0x24 || chain[1].PC != 0x28 {
+		t.Errorf("reused extractor chain PCs = %#x,%#x, want 0x24,0x28", chain[0].PC, chain[1].PC)
+	}
+
+	// And the result must match a fresh extractor bit for bit.
+	fresh, _ := ExtractChainCost(second, 0x28, 32)
+	if len(fresh) != len(chain) {
+		t.Fatalf("reused extractor disagrees with fresh: %d vs %d µops", len(chain), len(fresh))
+	}
+	for i := range fresh {
+		if chain[i] != fresh[i] {
+			t.Errorf("chain[%d] = %+v, fresh extractor got %+v", i, chain[i], fresh[i])
+		}
+	}
+}
+
+// --- ChainCache --------------------------------------------------------
+
+func TestChainCacheBasicLifecycle(t *testing.T) {
+	c := NewChainCache(4)
+	if c.Lookup(0x40) != nil {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(0x40, []int64{64, 128}, 3, false)
+	e := c.Lookup(0x40)
+	if e == nil {
+		t.Fatal("inserted PC must hit")
+	}
+	if e.PC() != 0x40 || e.ChainLen() != 3 || e.MemDependent() {
+		t.Errorf("entry = pc %#x chainLen %d memDep %v", e.PC(), e.ChainLen(), e.MemDependent())
+	}
+	if d := e.Deltas(); len(d) != 2 || d[0] != 64 || d[1] != 128 {
+		t.Errorf("deltas = %v, want [64 128]", d)
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChainCacheLRUEviction(t *testing.T) {
+	c := NewChainCache(3)
+	for _, pc := range []uint64{1, 2, 3} {
+		c.Insert(pc, []int64{64}, 1, false)
+	}
+	c.Lookup(1) // LRU order now 2,3,1
+	c.Insert(4, []int64{64}, 1, false)
+	if c.Peek(2) != nil {
+		t.Error("LRU entry 2 must be evicted")
+	}
+	for _, pc := range []uint64{1, 3, 4} {
+		if c.Peek(pc) == nil {
+			t.Errorf("PC %d must survive", pc)
+		}
+	}
+	if c.Len() != 3 || c.Stats().Evicts != 1 {
+		t.Errorf("len=%d evicts=%d", c.Len(), c.Stats().Evicts)
+	}
+}
+
+func TestChainCacheRefreshKeepsUses(t *testing.T) {
+	c := NewChainCache(2)
+	c.Insert(0x40, []int64{64}, 1, false)
+	for i := 0; i < 3; i++ {
+		c.Lookup(0x40)
+	}
+	// A relearn refreshes the deltas but must NOT reset uses: the
+	// verification cadence and the probation window key off the monotonic
+	// count, and restarting either on every relearn would re-probate hot
+	// entries forever.
+	c.Insert(0x40, []int64{128}, 2, true)
+	e := c.Peek(0x40)
+	if e.Uses() != 3 {
+		t.Errorf("uses after relearn = %d, want 3 (monotonic)", e.Uses())
+	}
+	if d := e.Deltas(); len(d) != 1 || d[0] != 128 {
+		t.Errorf("relearn did not replace deltas: %v", d)
+	}
+	if st := c.Stats(); st.Refreshes != 1 || st.Inserts != 1 || st.Evicts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChainCacheRecycledNodeResetsAdaptation(t *testing.T) {
+	c := NewChainCache(1)
+	c.Insert(0xa0, []int64{64}, 1, false)
+	// Accumulate adaptation state on the only node: uses > 0 and demoted.
+	c.Lookup(0xa0)
+	e := c.Peek(0xa0)
+	for i := 0; i < ChainDemoteStrikes; i++ {
+		e.ScoreVerify(0)
+	}
+	if !e.ExactOnly() {
+		t.Fatal("setup: entry must be demoted")
+	}
+	// Evicting 0xa0 recycles its node for 0xb0 — the fresh PC must start
+	// on probation with a clean record, not inherit the stranger's rap
+	// sheet.
+	c.Insert(0xb0, []int64{128}, 2, true)
+	f := c.Peek(0xb0)
+	if f == nil {
+		t.Fatal("new PC must be present after recycle")
+	}
+	if f.Uses() != 0 || f.ExactOnly() {
+		t.Errorf("recycled node: uses=%d exactOnly=%v, want fresh state", f.Uses(), f.ExactOnly())
+	}
+	if c.Peek(0xa0) != nil {
+		t.Error("evicted PC must be gone from the hash table")
+	}
+}
+
+func TestChainCacheDeltaCapTruncation(t *testing.T) {
+	deltas := make([]int64, ChainCacheDeltaCap+17)
+	for i := range deltas {
+		deltas[i] = int64(64 * (i + 1))
+	}
+	c := NewChainCache(2)
+	c.Insert(0x40, deltas, 1, false)
+	got := c.Peek(0x40).Deltas()
+	if len(got) != ChainCacheDeltaCap {
+		t.Fatalf("stored %d deltas, want cap %d", len(got), ChainCacheDeltaCap)
+	}
+	for i, d := range got {
+		if d != deltas[i] {
+			t.Errorf("delta[%d] = %d, want %d (earliest prefetches kept)", i, d, deltas[i])
+			break
+		}
+	}
+}
+
+func TestChainCachePeekIsInert(t *testing.T) {
+	c := NewChainCache(2)
+	c.Insert(1, []int64{64}, 1, false)
+	c.Insert(2, []int64{64}, 1, false) // LRU order: 1, 2
+	before := c.Stats()
+	c.Peek(1)
+	if c.Stats() != before {
+		t.Error("Peek must not count as a lookup")
+	}
+	if c.Peek(1).Uses() != 0 {
+		t.Error("Peek must not count as a use")
+	}
+	c.Insert(3, []int64{64}, 1, false) // must evict 1, not 2
+	if c.Peek(1) != nil || c.Peek(2) == nil {
+		t.Error("Peek must not refresh LRU position")
+	}
+}
+
+func TestChainEntryDemotionStateMachine(t *testing.T) {
+	var e ChainEntry
+	good := ChainDemoteOverlap
+	bad := ChainDemoteOverlap / 2
+
+	// A good score between strikes resets the count: demotion requires
+	// ChainDemoteStrikes CONSECUTIVE failures.
+	for i := 0; i < ChainDemoteStrikes-1; i++ {
+		e.ScoreVerify(bad)
+	}
+	e.ScoreVerify(good)
+	for i := 0; i < ChainDemoteStrikes-1; i++ {
+		e.ScoreVerify(bad)
+	}
+	if e.ExactOnly() {
+		t.Fatal("non-consecutive strikes must not demote")
+	}
+	e.ScoreVerify(bad)
+	if !e.ExactOnly() {
+		t.Fatal("consecutive strikes must demote")
+	}
+
+	// Same consecutiveness on the way back up.
+	for i := 0; i < ChainPromoteScores-1; i++ {
+		e.ScoreVerify(good)
+	}
+	e.ScoreVerify(bad)
+	for i := 0; i < ChainPromoteScores-1; i++ {
+		e.ScoreVerify(good)
+	}
+	if !e.ExactOnly() {
+		t.Fatal("non-consecutive passing scores must not promote")
+	}
+	e.ScoreVerify(good)
+	if e.ExactOnly() {
+		t.Fatal("consecutive passing scores must re-promote")
+	}
+}
+
+func TestChainCacheResetStatsKeepsEntries(t *testing.T) {
+	c := NewChainCache(2)
+	c.Insert(0x40, []int64{64}, 1, false)
+	c.Lookup(0x40)
+	c.ObserveOverlap(0.5)
+	c.ResetStats()
+	if c.Stats() != (ChainCacheStats{}) || c.OverlapCount() != 0 {
+		t.Error("ResetStats must zero the accounting")
+	}
+	if c.Len() != 1 || c.Peek(0x40) == nil {
+		t.Error("ResetStats must keep learned entries — warmup learning is the tier's point")
+	}
+	if c.Peek(0x40).Uses() != 1 {
+		t.Error("ResetStats must not touch per-entry use counts")
+	}
+}
+
+func TestChainCacheCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewChainCache(0) must panic")
+		}
+	}()
+	NewChainCache(0)
+}

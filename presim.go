@@ -76,6 +76,23 @@ type Options = sim.Options
 // DefaultOptions returns the standard harness window.
 func DefaultOptions() Options { return sim.DefaultOptions() }
 
+// Fidelity selects the simulation fidelity tier (Options.Fidelity).
+type Fidelity = core.Fidelity
+
+const (
+	// FidelityExact is the default tier: every runahead episode executes
+	// µop by µop. All paper-figure and golden results use this tier.
+	FidelityExact = core.FidelityExact
+	// FidelityFastRunahead emulates chain-cache-hit runahead episodes
+	// coarsely (predicted prefetch set injected in one step, episode
+	// fast-forwarded) for large design-space sweeps. Accuracy bounds are
+	// pinned by the fidelity differential harness.
+	FidelityFastRunahead = core.FidelityFastRunahead
+)
+
+// ParseFidelity resolves a tier name ("exact", "fast-runahead").
+func ParseFidelity(s string) (Fidelity, error) { return core.ParseFidelity(s) }
+
 // Result is the flattened outcome of one simulation run.
 type Result = sim.Result
 
