@@ -1,0 +1,89 @@
+// Command simd is the long-running simulation server: sweeps as a
+// service. Clients POST declarative job specs (serve.JobSpec) and stream
+// per-cell completion events; results are the same schema-versioned,
+// byte-identical documents a local run writes, assembled from a
+// content-addressed result cache whenever a cell has been simulated
+// before — by this job, a previous job, or a previous server process
+// (with -cache-dir).
+//
+//	simd -addr :8723 -cache-dir /var/cache/presim
+//
+//	curl -s localhost:8723/v1/jobs -d '{
+//	  "modes": ["OoO","PRE"],
+//	  "population": {"space_name": "default", "count": 4},
+//	  "warmup_uops": 50000, "measure_uops": 200000
+//	}'
+//	curl -s localhost:8723/v1/jobs/j1/events   # NDJSON, ends when done
+//	curl -s localhost:8723/v1/jobs/j1/result   # results JSON
+//	curl -s localhost:8723/v1/stats            # queue + cache + timings
+//
+// Or programmatically, via presim.NewClient / presim.JobSpec (see
+// examples/remotesweep).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/cache"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persist cached results to this directory (empty = memory only)")
+	cacheCap := flag.Int("cache-capacity", 4096, "in-memory result cache capacity (entries)")
+	simWorkers := flag.Int("sim-workers", 0, "simulation pool width per job (0 = one per CPU)")
+	jobWorkers := flag.Int("job-workers", 1, "jobs executing concurrently")
+	queueDepth := flag.Int("queue-depth", 64, "max queued jobs before submissions get 503")
+	verifyFraction := flag.Float64("verify-fraction", 0,
+		"re-simulate this fraction of cache hits and fail jobs on divergence (0 = off, 1 = every hit)")
+	flag.Parse()
+
+	if *verifyFraction < 0 || *verifyFraction > 1 {
+		fmt.Fprintf(os.Stderr, "simd: -verify-fraction must be in [0,1] (got %v)\n", *verifyFraction)
+		os.Exit(2)
+	}
+
+	c, err := cache.New(*cacheCap, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+	srv := serve.New(serve.Config{
+		Cache:          c,
+		SimWorkers:     *simWorkers,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		VerifyFraction: *verifyFraction,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (cache dir %q, capacity %d, verify fraction %v)\n",
+		*addr, *cacheDir, *cacheCap, *verifyFraction)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "simd: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+}

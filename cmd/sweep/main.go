@@ -33,9 +33,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -63,13 +65,18 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write schema-versioned results JSON into")
 	timing := flag.Bool("time", false, "report wall-clock time per sweep")
 	progress := flag.Bool("progress", false, "print live per-run progress to stderr as the sweep advances")
+	server := flag.String("server", "", "submit the sweep to a running simulation server (cmd/simd URL) instead of simulating locally; the server's result cache makes repeated sweeps cheap. Remote sweeps report cache/timing stats and write the results JSON via -json; summary tables are a local-run feature")
 	tracefile := flag.String("tracefile", "", "write a merged Chrome-trace (Perfetto) sidecar of the sweep's runs to this file; requires exactly one sweep selection")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	flag.Parse()
 
-	if *serial && (*jsonDir != "" || *workers != 0 || *progress || *tracefile != "") {
-		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports none of -json, -workers, -progress, -tracefile")
+	if *serial && (*jsonDir != "" || *workers != 0 || *progress || *tracefile != "" || *server != "") {
+		fmt.Fprintln(os.Stderr, "sweep: -serial is the plain verification loop; it supports none of -json, -workers, -progress, -tracefile, -server")
+		os.Exit(2)
+	}
+	if *server != "" && (*tracefile != "" || *workers != 0) {
+		fmt.Fprintln(os.Stderr, "sweep: -server runs on the remote machine; -tracefile and -workers are local-run flags")
 		os.Exit(2)
 	}
 
@@ -159,31 +166,32 @@ func main() {
 	opt.Fidelity = fid
 
 	s := sweeper{opt: opt, workers: *workers, serial: *serial, jsonDir: *jsonDir,
-		timing: *timing, progress: *progress, tracefile: *tracefile}
+		timing: *timing, progress: *progress, tracefile: *tracefile,
+		server: *server, fidelity: *fidelity}
 
 	any := false
 	if *doSST {
 		any = true
 		s.sweep("a1_sst", "A1: SST entries (PRE speedup over OoO)", presim.ModePRE,
-			[]int{16, 32, 64, 128, 256, 512, 1024},
+			[]int{16, 32, 64, 128, 256, 512, 1024}, "sst_size",
 			func(c *core.Config, v int) { c.SSTSize = v })
 	}
 	if *doEMQ {
 		any = true
 		s.sweep("a2_emq", "A2: EMQ entries (PRE+EMQ speedup over OoO)", presim.ModePREEMQ,
-			[]int{192, 384, 768, 1152, 1536},
+			[]int{192, 384, 768, 1152, 1536}, "emq_size",
 			func(c *core.Config, v int) { c.EMQSize = v })
 	}
 	if *doRAT {
 		any = true
 		s.sweep("a3_rathreshold", "A3: RA minimum-interval filter, cycles (RA speedup over OoO)", presim.ModeRA,
-			[]int{0, 20, 40, 64, 100, 150},
+			[]int{0, 20, 40, 64, 100, 150}, "min_runahead_cycles",
 			func(c *core.Config, v int) { c.MinRunaheadCycles = int64(v) })
 	}
 	if *doMSHR {
 		any = true
 		s.sweep("mshr", "MSHR budget: L1D outstanding misses (PRE speedup over OoO)", presim.ModePRE,
-			[]int{8, 16, 32, 64},
+			[]int{8, 16, 32, 64}, "l1d_mshrs",
 			func(c *core.Config, v int) { c.Mem.L1D.MSHRs = v })
 	}
 	if *doPF {
@@ -216,6 +224,8 @@ type sweeper struct {
 	timing    bool
 	progress  bool
 	tracefile string
+	server    string // simulation-server URL; "" = run locally
+	fidelity  string // the -fidelity flag verbatim, for remote job specs
 }
 
 // runOpts assembles the orchestrator options: the pool width, per-run
@@ -245,18 +255,88 @@ func (s sweeper) writeTrace(set *exp.Set) {
 
 // sweep runs the full suite at each parameter value and prints the
 // geometric-mean speedup over the (shared, deduplicated) OoO baseline.
+// knob is the parameter's wire name (serve.KnobNames), used when the
+// sweep is submitted to a remote server instead of run here.
 func (s sweeper) sweep(name, title string, mode presim.Mode, values []int,
-	apply func(*core.Config, int)) {
+	knob string, apply func(*core.Config, int)) {
 	fmt.Println(title)
 	start := time.Now()
-	if s.serial {
+	switch {
+	case s.server != "":
+		points := make([]presim.JobPoint, len(values))
+		for i, v := range values {
+			points[i] = presim.JobPoint{
+				Name:  fmt.Sprintf("%d", v),
+				Knobs: map[string]int64{knob: int64(v)},
+			}
+		}
+		s.submitRemote(name, presim.JobSpec{
+			Name:        name,
+			Workloads:   presim.WorkloadNames(),
+			Modes:       []string{mode.String()},
+			Points:      points,
+			WarmupUops:  s.opt.WarmupUops,
+			MeasureUops: s.opt.MeasureUops,
+			Fidelity:    s.fidelity,
+			AddBaseline: true,
+		})
+	case s.serial:
 		s.sweepSerial(mode, values, apply)
-	} else {
+	default:
 		s.sweepParallel(name, mode, values, apply)
 	}
 	if s.timing {
 		fmt.Printf("  (wall-clock %.2fs)\n", time.Since(start).Seconds())
 	}
+}
+
+// submitRemote submits one job spec to the -server instance, streams its
+// events (surfaced via -progress), waits for completion, and captures
+// the results document into -json. The document is byte-identical to a
+// local run's, whether the server simulated or served from cache.
+func (s sweeper) submitRemote(name string, spec presim.JobSpec) {
+	cl := presim.NewClient(s.server)
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	var onEvent func(presim.JobEvent) error
+	if s.progress {
+		onEvent = func(ev presim.JobEvent) error {
+			if ev.Type == "cell" {
+				src := "simulated"
+				if ev.Cached {
+					src = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d done  %s/%s  %.2fs (%s)\n",
+					ev.Done, ev.Total, ev.Workload, ev.Mode, ev.Seconds, src)
+			}
+			return nil
+		}
+	}
+	final, err := cl.Wait(ctx, st.ID, onEvent)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  remote job %s on %s: %d unique runs, %d from cache, server wall-clock %.2fs\n",
+		final.ID, s.server, final.NumUnique, final.CacheHits, final.Meta.WallClockSeconds)
+	if s.jsonDir == "" {
+		fmt.Println("  (pass -json DIR to capture the results document)")
+		return
+	}
+	doc, err := cl.Result(ctx, final.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(s.jsonDir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(s.jsonDir, name+".json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  (results JSON written to %s)\n", path)
 }
 
 // sweepParallel expresses the sweep as one exp.Matrix and lets the
@@ -306,6 +386,26 @@ func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
 func (s sweeper) sweepPF() {
 	fmt.Println("PF grid: mechanisms x hardware prefetchers (speedup over per-variant OoO)")
 	start := time.Now()
+	if s.server != "" {
+		modes := make([]string, 0, len(presim.Modes()))
+		for _, m := range presim.Modes() {
+			modes = append(modes, m.String())
+		}
+		var points []presim.JobPoint
+		for _, v := range presim.PrefetchVariants() {
+			points = append(points, presim.JobPoint{Name: v.Name, PrefetchVariant: v.Name})
+		}
+		s.submitRemote("pf_grid", presim.JobSpec{
+			Name:        "pf_grid",
+			Workloads:   presim.WorkloadNames(),
+			Modes:       modes,
+			Points:      points,
+			WarmupUops:  s.opt.WarmupUops,
+			MeasureUops: s.opt.MeasureUops,
+			Fidelity:    s.fidelity,
+		})
+		return
+	}
 	m := exp.Matrix{
 		Name:      "pf_grid",
 		Workloads: presim.Workloads(),
@@ -365,6 +465,25 @@ func (s sweeper) sweepPF() {
 func (s sweeper) sweepSynth(count int, baseSeed uint64) {
 	fmt.Printf("Synth population: %d seeded scenarios x all mechanisms (speedup over OoO)\n", count)
 	start := time.Now()
+	if s.server != "" {
+		modes := make([]string, 0, len(presim.Modes()))
+		for _, m := range presim.Modes() {
+			modes = append(modes, m.String())
+		}
+		pop := &presim.JobPopulation{SpaceName: "default", Count: count}
+		if baseSeed != 0 {
+			pop.BaseSeed = fmt.Sprintf("%x", baseSeed)
+		}
+		s.submitRemote("synth_population", presim.JobSpec{
+			Name:        "synth_population",
+			Modes:       modes,
+			Population:  pop,
+			WarmupUops:  s.opt.WarmupUops,
+			MeasureUops: s.opt.MeasureUops,
+			Fidelity:    s.fidelity,
+		})
+		return
+	}
 	m := exp.Matrix{
 		Name:  "synth_population",
 		Modes: presim.Modes(),

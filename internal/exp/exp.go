@@ -22,8 +22,8 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -82,7 +82,7 @@ type uniqueRun struct {
 	wi   int // index into Matrix.Workloads
 	mode core.Mode
 	cfg  core.Config // fully-applied configuration
-	key  string      // canonical identity (drives dedup + seeding)
+	key  CellKey     // canonical identity (drives dedup, seeding, caching)
 	seed uint64
 }
 
@@ -183,14 +183,15 @@ func (m Matrix) Expand() (*Plan, error) {
 			return 0, fmt.Errorf("exp: point %q, workload %q, mode %v: %w",
 				pt.Name, p.workloads[wi].Name, mode, err)
 		}
-		key := runKey(p.workloads[wi].Name, m.Options, cfg)
-		if ui, ok := index[key]; ok {
+		key := CellKeyFor(p.workloads[wi].Name, p.synth[wi], m.Options, cfg)
+		ks := key.String()
+		if ui, ok := index[ks]; ok {
 			return ui, nil
 		}
 		ui := len(p.unique)
-		index[key] = ui
+		index[ks] = ui
 		p.unique = append(p.unique, uniqueRun{
-			wi: wi, mode: mode, cfg: cfg, key: key, seed: seedFor(key),
+			wi: wi, mode: mode, cfg: cfg, key: key, seed: key.Seed(),
 		})
 		return ui, nil
 	}
@@ -257,6 +258,10 @@ func (p *Plan) SynthParams(wi int) *synth.Params { return p.synth[wi] }
 // counts, process runs, and plan rebuilds.
 func (p *Plan) Seed(ui int) uint64 { return p.unique[ui].seed }
 
+// Key returns the canonical cell key of unique run ui — the identity a
+// content-addressed result cache stores the run's Result under.
+func (p *Plan) Key(ui int) CellKey { return p.unique[ui].key }
+
 // Run executes the plan's unique runs on a worker pool (workers <= 0
 // selects one worker per CPU) and returns the completed result set. The
 // first error in expansion order aborts the set. Execution-environment
@@ -280,6 +285,9 @@ type ProgressEvent struct {
 	// since Plan execution started.
 	Seconds        float64
 	ElapsedSeconds float64
+	// Cached marks runs satisfied by RunOptions.Lookup instead of a
+	// fresh simulation.
+	Cached bool
 }
 
 // RunOptions extends Plan.Run with telemetry: a progress callback and
@@ -298,6 +306,24 @@ type RunOptions struct {
 	// merged trace). Recorders are never shared across pool workers, so
 	// tracing adds no synchronization to the runs themselves.
 	Trace bool
+	// Context, when non-nil, cancels the run: unique runs that have not
+	// started when the context is cancelled are skipped, and RunOpts
+	// returns a clean error wrapping ctx.Err() instead of partial
+	// results. In-flight simulations run to completion (the core has no
+	// preemption point), so cancellation latency is bounded by the
+	// longest single cell, never by the whole plan.
+	Context context.Context
+	// Lookup, when non-nil, is consulted with each unique run's CellKey
+	// before simulating; returning (r, true) substitutes r for the
+	// simulation. Two runs with equal keys produce equal Results, so a
+	// correct cache is observationally identical to a cold run — the
+	// byte-identical results contract holds either way, which is what
+	// makes cached sweeps verifiable.
+	Lookup func(CellKey) (sim.Result, bool)
+	// Store, when non-nil, receives each freshly simulated (non-cached,
+	// non-failed) result keyed by its CellKey. Calls may be concurrent;
+	// the store synchronizes internally.
+	Store func(CellKey, sim.Result)
 }
 
 // RunOpts executes the plan like Run, with progress and trace telemetry.
@@ -316,9 +342,20 @@ func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 	}
 	var mu sync.Mutex
 	done := 0
+	cacheHits := 0
 	pool.Run(len(p.unique), opts.Workers, func(i int) {
+		// Cells that have not started under a cancelled context are
+		// skipped (never simulated, no progress event); the post-run
+		// check below folds them into one clean cancellation error.
+		// In-flight cells run to completion — the core has no preemption
+		// point — so cancellation latency is one cell, not the plan.
+		if opts.Context != nil && opts.Context.Err() != nil {
+			errs[i] = opts.Context.Err()
+			return
+		}
 		u := p.unique[i]
 		cellStart := time.Now()
+		cached := false
 		// The deferred block must run on the worker goroutine itself:
 		// it converts a panicking cell into an error that names the cell
 		// (instead of killing the whole process nameless) and reports
@@ -339,10 +376,21 @@ func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 					Mode:           u.mode,
 					Seconds:        secs[i],
 					ElapsedSeconds: time.Since(start).Seconds(),
+					Cached:         cached,
 				})
 				mu.Unlock()
 			}
 		}()
+		if opts.Lookup != nil {
+			if r, ok := opts.Lookup(u.key); ok {
+				res[i] = r
+				cached = true
+				mu.Lock()
+				cacheHits++
+				mu.Unlock()
+				return
+			}
+		}
 		opt := p.m.Options
 		cfg := u.cfg
 		opt.Configure = func(c *core.Config) { *c = cfg }
@@ -350,9 +398,17 @@ func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 			opt.Trace = recs[i]
 		}
 		res[i], errs[i] = sim.Run(p.workloads[u.wi], u.mode, opt)
+		if errs[i] == nil && opts.Store != nil {
+			opts.Store(u.key, res[i])
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
+			// A cancelled context reads as one clean job-level error, not
+			// whichever per-cell ctx.Err() happened to land first.
+			if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("exp: run cancelled: %w", ctx.Err())
+			}
 			return nil, err
 		}
 	}
@@ -366,6 +422,7 @@ func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		UniqueRuns:       p.NumUnique(),
 		TotalCells:       p.NumCells(),
+		CacheHits:        cacheHits,
 	}
 	sorted := append([]float64(nil), secs...)
 	sort.Float64s(sorted)
@@ -377,6 +434,9 @@ func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 		meta.CellSecondsMedian = sorted[n/2]
 		meta.CellSecondsMax = sorted[n-1]
 	}
+	// denom is zero for zero-cell plans (EffectiveWorkers 0) and can be
+	// zero on coarse clocks when every cell was a cache hit; utilization
+	// stays 0 then instead of dividing to NaN/Inf.
 	if denom := meta.WallClockSeconds * float64(meta.EffectiveWorkers); denom > 0 {
 		meta.WorkerUtilization = meta.CellSecondsTotal / denom
 	}
@@ -474,16 +534,11 @@ func (s *Set) Grid(pi int) [][]sim.Result {
 	return grid
 }
 
-// runKey builds the canonical identity of a simulation: the workload, the
-// measurement window, the energy model, and the canonical configuration.
-// Two runs with equal keys are guaranteed to produce equal Results.
+// runKey renders the canonical identity of a fixed-workload simulation —
+// a convenience over CellKeyFor for the dedup-equivalence tests. Two runs
+// with equal keys are guaranteed to produce equal Results.
 func runKey(workload string, opt sim.Options, cfg core.Config) string {
-	energy := "default"
-	if opt.Energy != nil {
-		energy = fmt.Sprintf("%+v", *opt.Energy)
-	}
-	return fmt.Sprintf("w=%s|warm=%d|meas=%d|energy=%s|cfg=%+v",
-		workload, opt.WarmupUops, opt.MeasureUops, energy, canonicalConfig(cfg))
+	return CellKeyFor(workload, nil, opt, cfg).String()
 }
 
 // canonicalConfig zeroes the runahead knobs the configuration's mode never
@@ -557,17 +612,4 @@ func canonicalConfig(cfg core.Config) core.Config {
 		c.ChainCacheSize = 0
 	}
 	return c
-}
-
-// seedFor derives the per-run seed from the run's identity: an FNV-1a
-// hash of the key pushed through a splitmix64 finalizer. Workloads and
-// future stochastic components consume this seed instead of global
-// randomness, which keeps every run replayable in isolation.
-func seedFor(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	z := h.Sum64() + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
 }

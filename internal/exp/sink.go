@@ -68,6 +68,11 @@ type RunMeta struct {
 	// file is interpretable on its own (runs/second etc.).
 	UniqueRuns int `json:"unique_runs"`
 	TotalCells int `json:"total_cells"`
+	// CacheHits counts unique runs satisfied by RunOptions.Lookup instead
+	// of a fresh simulation (0 without a cache). It lives in the meta
+	// document because hit counts vary with cache state while the results
+	// document stays byte-identical hot or cold.
+	CacheHits int `json:"cache_hits,omitempty"`
 	// CellSeconds* summarize the per-unique-run wall-clock distribution;
 	// Total is the serial-equivalent cost of the sweep.
 	CellSecondsMin    float64 `json:"cell_seconds_min"`

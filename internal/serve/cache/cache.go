@@ -1,0 +1,239 @@
+// Package cache is the content-addressed result cache behind the
+// simulation server (internal/serve): per-cell sim.Results stored under
+// their exp.CellKey. Two runs with equal keys produce equal Results —
+// that is the orchestrator's dedup contract, promoted to a persistent
+// store — so a hit is substitutable for a simulation, and a sweep
+// assembled from hits is byte-identical to a cold run.
+//
+// Layout: a fixed-capacity in-memory LRU in front of an optional on-disk
+// directory. Disk entries are self-verifying — the file name is the
+// key's SHA-256 content address, and the payload embeds the full key
+// string plus a checksum over key and result bytes — so a corrupt,
+// truncated, or hash-colliding entry is detected on read and treated as
+// a miss (and removed), never served.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// Stats counts cache traffic. Hits/Misses are the top-level outcomes;
+// DiskHits counts hits served from the directory (a subset of Hits),
+// CorruptRejected counts on-disk entries discarded on integrity failure.
+type Stats struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Evictions       int64 `json:"evictions"`
+	DiskHits        int64 `json:"disk_hits"`
+	DiskWrites      int64 `json:"disk_writes"`
+	CorruptRejected int64 `json:"corrupt_rejected"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Cache is a content-addressed result store: an in-memory LRU over an
+// optional on-disk directory. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	dir      string // "" = memory only
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent
+	stats    Stats
+}
+
+// entry is one resident cache line.
+type entry struct {
+	hash string
+	key  string // full key string, kept to reject hash collisions
+	res  sim.Result
+}
+
+// diskEntry is the serialized on-disk form. Sum covers Key and the
+// result bytes, so bit rot anywhere in the file fails verification.
+type diskEntry struct {
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// New builds a cache holding up to capacity results in memory (capacity
+// <= 0 means memory is a pure pass-through to disk), persisting to dir
+// when dir is non-empty (created if needed).
+func New(capacity int, dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: capacity,
+		dir:      dir,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Get returns the cached result for k, consulting memory then disk.
+// Disk hits are promoted into memory.
+func (c *Cache) Get(k exp.CellKey) (sim.Result, bool) {
+	hash, key := k.Hash(), k.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		e := el.Value.(*entry)
+		// A SHA-256 collision is not a realistic event, but the key
+		// string is already resident — comparing it makes the hit
+		// exact rather than probabilistic.
+		if e.key == key {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			return e.res, true
+		}
+	}
+	if res, ok := c.diskGet(hash, key); ok {
+		c.stats.Hits++
+		c.stats.DiskHits++
+		c.insert(hash, key, res)
+		return res, true
+	}
+	c.stats.Misses++
+	return sim.Result{}, false
+}
+
+// Put stores r under k in memory and, when configured, on disk.
+func (c *Cache) Put(k exp.CellKey, r sim.Result) {
+	hash, key := k.Hash(), k.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(hash, key, r)
+	c.diskPut(hash, key, r)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of memory-resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// insert adds or refreshes a memory entry, evicting from the LRU tail.
+// Caller holds c.mu.
+func (c *Cache) insert(hash, key string, r sim.Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*entry).res = r
+		el.Value.(*entry).key = key
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.lru.PushFront(&entry{hash: hash, key: key, res: r})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		e := tail.Value.(*entry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.hash)
+		c.stats.Evictions++
+	}
+}
+
+// path returns the content-addressed file of a key hash.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// checksum covers the key string and the serialized result together.
+func checksum(key string, result []byte) string {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{'\n'})
+	h.Write(result)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskGet loads and verifies an on-disk entry. Any integrity failure —
+// unparsable file, key mismatch, checksum mismatch, undecodable result —
+// removes the file and reports a miss. Caller holds c.mu.
+func (c *Cache) diskGet(hash, key string) (sim.Result, bool) {
+	if c.dir == "" {
+		return sim.Result{}, false
+	}
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return sim.Result{}, false // absent: a plain miss, not corruption
+	}
+	var de diskEntry
+	var res sim.Result
+	ok := json.Unmarshal(b, &de) == nil &&
+		de.Key == key &&
+		de.Sum == checksum(de.Key, de.Result) &&
+		json.Unmarshal(de.Result, &res) == nil
+	if !ok {
+		c.stats.CorruptRejected++
+		os.Remove(c.path(hash))
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// diskPut persists an entry via write-to-temp + rename, so a crashed or
+// concurrent writer can never leave a half-written file under the final
+// name. Persistence is best-effort: an I/O error degrades the cache, it
+// does not fail the simulation that produced the result. Caller holds
+// c.mu.
+func (c *Cache) diskPut(hash, key string, r sim.Result) {
+	if c.dir == "" {
+		return
+	}
+	rb, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	b, err := json.Marshal(diskEntry{Key: key, Sum: checksum(key, rb), Result: rb})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.stats.DiskWrites++
+}

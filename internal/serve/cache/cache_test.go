@@ -1,0 +1,299 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/workload/synth"
+)
+
+// testKey builds a distinct valid key per workload name.
+func testKey(w string) exp.CellKey {
+	return exp.CellKeyFor(w, nil, sim.Options{WarmupUops: 1, MeasureUops: 2}, core.Default(core.ModeOoO))
+}
+
+func testResult(w string, cycles int64) sim.Result {
+	return sim.Result{Workload: w, Cycles: cycles, IPC: 1.25}
+}
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb, kc := testKey("a"), testKey("b"), testKey("c")
+	if _, ok := c.Get(ka); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(ka, testResult("a", 1))
+	c.Put(kb, testResult("b", 2))
+	if r, ok := c.Get(ka); !ok || r.Cycles != 1 {
+		t.Fatalf("Get(a) = %+v, %v", r, ok)
+	}
+	// a was just touched, so inserting c must evict b (LRU), not a.
+	c.Put(kc, testResult("c", 3))
+	if _, ok := c.Get(kb); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get(ka); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestDiskPersistenceAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("persist")
+	want := testResult("persist", 77)
+	c1.Put(k, want)
+
+	// A fresh instance (cold memory) must serve the entry from disk.
+	c2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok {
+		t.Fatal("disk entry not found by fresh instance")
+	}
+	if got != want {
+		t.Fatalf("disk round-trip changed the result:\n got %+v\nwant %+v", got, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk_hits = %d, want 1", st.DiskHits)
+	}
+	// Promoted to memory: the second Get must not touch disk again.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk_hits after promotion = %d, want still 1", st.DiskHits)
+	}
+}
+
+// Corrupt on-disk entries — flipped payload bytes, a payload stored
+// under the wrong content address, or plain garbage — must be rejected
+// as misses and removed, never served.
+func TestCorruptDiskEntryRejected(t *testing.T) {
+	k := testKey("victim")
+	donor := testKey("donor")
+
+	corrupt := map[string]func(t *testing.T, dir string){
+		"flipped result byte": func(t *testing.T, dir string) {
+			path := filepath.Join(dir, k.Hash()+".json")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := bytes.Index(b, []byte(`"Cycles":`))
+			if i < 0 {
+				t.Fatal("no Cycles field in disk entry")
+			}
+			b[i+len(`"Cycles":`)] = '9'
+			os.WriteFile(path, b, 0o644)
+		},
+		"entry under wrong hash": func(t *testing.T, dir string) {
+			// Simulate content-address aliasing: donor's (valid,
+			// checksummed) entry copied over victim's file. The embedded
+			// key string must expose the mismatch.
+			b, err := os.ReadFile(filepath.Join(dir, donor.Hash()+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.WriteFile(filepath.Join(dir, k.Hash()+".json"), b, 0o644)
+		},
+		"garbage file": func(t *testing.T, dir string) {
+			os.WriteFile(filepath.Join(dir, k.Hash()+".json"), []byte("{not json"), 0o644)
+		},
+	}
+	for name, breakIt := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(0, dir) // capacity 0: every Get goes to disk
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Put(k, testResult("victim", 1))
+			c.Put(donor, testResult("donor", 2))
+			breakIt(t, dir)
+			if r, ok := c.Get(k); ok {
+				t.Fatalf("corrupt entry served: %+v", r)
+			}
+			if st := c.Stats(); st.CorruptRejected != 1 {
+				t.Errorf("corrupt_rejected = %d, want 1", st.CorruptRejected)
+			}
+			if _, err := os.Stat(filepath.Join(dir, k.Hash()+".json")); !os.IsNotExist(err) {
+				t.Error("corrupt file not removed")
+			}
+		})
+	}
+}
+
+// synthMatrix is a small sampled-population matrix: the cached-vs-cold
+// differential below runs it through real simulations.
+func synthMatrix(seeds int) exp.Matrix {
+	return exp.Matrix{
+		Name:  "cache_differential",
+		Modes: []core.Mode{core.ModeOoO, core.ModePRE},
+		Population: &exp.Population{
+			Space: synth.DefaultSpace(), Count: seeds,
+		},
+		Options: sim.Options{WarmupUops: 2_000, MeasureUops: 8_000},
+	}
+}
+
+// docBytes expands and runs a matrix with the cache wired in (nil cache
+// = cold) and returns the serialized results document.
+func docBytes(t *testing.T, m exp.Matrix, c *Cache, workers int) ([]byte, exp.RunMeta) {
+	t.Helper()
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := exp.RunOptions{Workers: workers}
+	if c != nil {
+		opts.Lookup = c.Get
+		opts.Store = c.Put
+	}
+	set, err := plan.RunOpts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), set.Meta()
+}
+
+// The headline contract: a sweep served from cache (memory or disk) is
+// byte-identical to a cold run of the same matrix.
+func TestCachedVsColdByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	m := synthMatrix(3)
+	cold, _ := docBytes(t, m, nil, 2)
+
+	dir := t.TempDir()
+	c, err := New(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm1, meta1 := docBytes(t, m, c, 2)
+	if meta1.CacheHits != 0 {
+		t.Fatalf("first cached run reported %d hits on an empty cache", meta1.CacheHits)
+	}
+	if !bytes.Equal(cold, warm1) {
+		t.Fatal("store-through run differs from cold run")
+	}
+	warm2, meta2 := docBytes(t, m, c, 4)
+	if !bytes.Equal(cold, warm2) {
+		t.Fatal("memory-cache-served run not byte-identical to cold run")
+	}
+	plan, _ := m.Expand()
+	if meta2.CacheHits != plan.NumUnique() {
+		t.Errorf("second run hits = %d, want all %d unique runs", meta2.CacheHits, plan.NumUnique())
+	}
+
+	// Fresh instance over the same directory: results now round-trip
+	// through JSON on disk, including every float64 — still identical.
+	c2, err := New(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm3, _ := docBytes(t, m, c2, 2)
+	if !bytes.Equal(cold, warm3) {
+		t.Fatal("disk-cache-served run not byte-identical to cold run (float round-trip?)")
+	}
+	if st := c2.Stats(); st.DiskHits == 0 {
+		t.Error("fresh instance served no disk hits")
+	}
+}
+
+// Concurrent submitters running overlapping matrices through one shared
+// cache must each assemble complete, correct results — no torn entries,
+// no cross-talk. The matrices overlap on the population cells (same
+// space, same seeds) but differ in mode sets.
+func TestConcurrentOverlappingSubmitters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	c, err := New(128, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeSets := [][]core.Mode{
+		{core.ModeOoO, core.ModePRE},
+		{core.ModeOoO, core.ModeRA},
+		{core.ModeOoO, core.ModePRE, core.ModeRA},
+	}
+	// Cold reference documents, one per submitter, computed serially.
+	refs := make([][]byte, len(modeSets))
+	for i, modes := range modeSets {
+		m := synthMatrix(2)
+		m.Modes = modes
+		refs[i], _ = docBytes(t, m, nil, 1)
+	}
+	const rounds = 2 // second round hits what the first populated
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		got := make([][]byte, len(modeSets))
+		for i, modes := range modeSets {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := synthMatrix(2)
+				m.Modes = modes
+				got[i], _ = docBytes(t, m, c, 2)
+			}()
+		}
+		wg.Wait()
+		for i := range modeSets {
+			if !bytes.Equal(got[i], refs[i]) {
+				t.Fatalf("round %d: submitter %d assembled a wrong document", round, i)
+			}
+		}
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Error("overlapping submitters produced no cache hits")
+	}
+}
+
+// Results survive the disk JSON round-trip exactly, floats included —
+// spot-checked directly since byte identity of whole documents depends
+// on it.
+func TestResultJSONRoundTripExact(t *testing.T) {
+	r := sim.Result{Workload: "x", IPC: 0.30000000000000004, HWPFAccuracy: 1.0 / 3.0}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back sim.Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip changed result:\n got %+v\nwant %+v", back, r)
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a simulation server (cmd/simd) over its HTTP API,
+// speaking the same wire types the server defines in this package —
+// there is no second schema to drift.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8723".
+	BaseURL string
+	// HTTP overrides the transport; nil uses http.DefaultClient. Event
+	// streams can outlive any fixed client timeout, so a custom client
+	// should bound requests via the context, not Client.Timeout.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses come back as errors carrying the
+// server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an error with the server's
+// {"error": ...} message when present.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server returned %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("client: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+}
+
+// Submit submits a job spec and returns the queued job's status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Result fetches a finished job's schema-versioned results JSON — the
+// exact bytes a local run of the same matrix would have written.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the server-wide queue/cache/timing counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Events streams a job's NDJSON events, invoking fn per event, until the
+// terminal event arrives (the normal return), fn returns an error, or
+// ctx is cancelled. The final event of a complete stream has Type done,
+// failed or cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: bad event line %q: %w", sc.Text(), err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// Wait streams the job's events (discarding them, or forwarding to fn
+// when non-nil) until the job is terminal, then returns its final
+// status. A job that failed or was cancelled returns both the status and
+// an error describing the terminal state.
+func (c *Client) Wait(ctx context.Context, id string, fn func(Event) error) (JobStatus, error) {
+	if err := c.Events(ctx, id, fn); err != nil {
+		return JobStatus{}, err
+	}
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return st, err
+	}
+	switch st.State {
+	case StateDone:
+		return st, nil
+	case StateFailed, StateCancelled:
+		return st, fmt.Errorf("client: job %s %s: %s", id, st.State, st.Error)
+	default:
+		// The event stream ended without a terminal state: the connection
+		// dropped or the server went away mid-job.
+		return st, fmt.Errorf("client: event stream for job %s ended while %s", id, st.State)
+	}
+}

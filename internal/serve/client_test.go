@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/serve/cache"
+)
+
+// The client and server share one set of wire types; this drives the
+// whole submit -> stream -> result -> stats round trip through Client.
+func TestClientRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	c, err := cache.New(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, Config{Cache: c, SimWorkers: 2})
+	cl := NewClient(env.ts.URL)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells int
+	final, err := cl.Wait(ctx, st.ID, func(ev Event) error {
+		if ev.Type == "cell" {
+			cells++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || cells != final.NumUnique {
+		t.Fatalf("final = %+v, cells streamed = %d", final, cells)
+	}
+	res1, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resubmission through the client: cached, byte-identical.
+	st2, err := cl.Submit(ctx, testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := cl.Wait(ctx, st2.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.CacheHits != final2.NumUnique {
+		t.Errorf("resubmission hits = %d/%d", final2.CacheHits, final2.NumUnique)
+	}
+	res2, err := cl.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("client-fetched results not byte-identical across resubmission")
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JobsCompleted != 2 {
+		t.Errorf("stats.JobsCompleted = %d, want 2", stats.JobsCompleted)
+	}
+}
+
+// Server-side errors must come back as errors carrying the server's
+// message, not as silent zero values.
+func TestClientSurfacesServerErrors(t *testing.T) {
+	env := newEnv(t, Config{})
+	cl := NewClient(env.ts.URL)
+	ctx := context.Background()
+
+	if _, err := cl.Submit(ctx, JobSpec{}); err == nil || !strings.Contains(err.Error(), "modes") {
+		t.Errorf("empty spec error = %v, want a modes validation message", err)
+	}
+	if _, err := cl.Job(ctx, "nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job error = %v, want 404", err)
+	}
+	if err := cl.Cancel(ctx, "nope"); err == nil {
+		t.Error("cancelling an unknown job must error")
+	}
+	if _, err := cl.Result(ctx, "nope"); err == nil {
+		t.Error("result of an unknown job must error")
+	}
+}

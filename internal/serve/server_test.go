@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve/cache"
+	"repro/internal/sim"
+)
+
+// testSpec is the canonical small job: a sampled synth population under
+// two modes, the same shape the CI scenario-fuzz job submits.
+func testSpec(seeds int) JobSpec {
+	return JobSpec{
+		Name:  "e2e",
+		Modes: []string{"OoO", "PRE"},
+		Population: &PopulationSpec{
+			SpaceName: "default",
+			Count:     seeds,
+		},
+		WarmupUops:  1_000,
+		MeasureUops: 4_000,
+	}
+}
+
+type testEnv struct {
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newEnv(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return &testEnv{srv: srv, ts: ts}
+}
+
+func (e *testEnv) submit(t *testing.T, spec JobSpec) JobStatus {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(e.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, msg.String())
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamEvents reads the NDJSON stream to its end and returns every
+// event. The stream only ends when the job is terminal, so this doubles
+// as "wait for the job".
+func (e *testEnv) streamEvents(t *testing.T, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(e.ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type = %q", ct)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func (e *testEnv) result(t *testing.T, id string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(e.ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.Bytes(), resp.StatusCode
+}
+
+func (e *testEnv) stats(t *testing.T) Stats {
+	t.Helper()
+	resp, err := http.Get(e.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The headline flow: the same sweep submitted twice. The second run must
+// be served from cache (>= 90% hits — here 100%) and return the exact
+// bytes of the first.
+func TestServerDoubleSubmitByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	c, err := cache.New(256, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, Config{Cache: c, SimWorkers: 2})
+
+	spec := testSpec(4)
+	st1 := env.submit(t, spec)
+	if st1.State != StateQueued {
+		t.Fatalf("submitted job state = %q", st1.State)
+	}
+	evs1 := env.streamEvents(t, st1.ID)
+	if last := evs1[len(evs1)-1]; last.Type != StateDone {
+		t.Fatalf("job 1 terminal event = %+v", last)
+	}
+	res1, code := env.result(t, st1.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result 1: status %d: %s", code, res1)
+	}
+
+	st2 := env.submit(t, spec)
+	evs2 := env.streamEvents(t, st2.ID)
+	if last := evs2[len(evs2)-1]; last.Type != StateDone {
+		t.Fatalf("job 2 terminal event = %+v", last)
+	}
+	res2, code := env.result(t, st2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result 2: status %d", code)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("cached resubmission is not byte-identical to the cold run")
+	}
+
+	// Every cell event of run 2 must be a cache hit.
+	var cells2, cached2 int
+	for _, ev := range evs2 {
+		if ev.Type == "cell" {
+			cells2++
+			if ev.Cached {
+				cached2++
+			}
+		}
+	}
+	if cells2 == 0 || cached2 != cells2 {
+		t.Errorf("run 2 cached cells = %d/%d, want all cached", cached2, cells2)
+	}
+
+	final, ok := env.srv.Job(st2.ID)
+	if !ok || final.State != StateDone {
+		t.Fatalf("job 2 final status: %+v", final)
+	}
+	if final.CacheHits != final.NumUnique {
+		t.Errorf("job 2 cache hits = %d, want %d", final.CacheHits, final.NumUnique)
+	}
+	if final.Meta == nil || final.Meta.CacheHits != final.NumUnique {
+		t.Errorf("job 2 meta missing hit accounting: %+v", final.Meta)
+	}
+
+	stats := env.stats(t)
+	if stats.JobsCompleted != 2 || stats.JobsSubmitted != 2 {
+		t.Errorf("stats jobs = %+v", stats)
+	}
+	if stats.CacheHitRate < 0.45 { // run1 all misses, run2 all hits => 0.5
+		t.Errorf("stats hit rate = %v, want ~0.5", stats.CacheHitRate)
+	}
+	if len(stats.Jobs) != 2 {
+		t.Fatalf("stats.Jobs = %+v, want 2 timings", stats.Jobs)
+	}
+	for _, jt := range stats.Jobs {
+		if jt.WallClockSeconds <= 0 {
+			t.Errorf("job %s wall clock = %v, want > 0", jt.ID, jt.WallClockSeconds)
+		}
+	}
+}
+
+func TestServerHealthAndMetrics(t *testing.T) {
+	env := newEnv(t, Config{})
+	resp, err := http.Get(env.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(env.ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	for _, name := range []string{"serve/cache/hits", "serve/jobs/submitted", "serve/queue/depth"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("metrics missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	env := newEnv(t, Config{})
+	bad := []struct {
+		name string
+		body string
+	}{
+		{"not json", "{nope"},
+		{"no modes", `{"workloads":["mcf"],"measure_uops":1000}`},
+		{"unknown mode", `{"modes":["warp-drive"],"workloads":["mcf"],"measure_uops":1000}`},
+		{"no workloads", `{"modes":["OoO"],"measure_uops":1000}`},
+		{"no window", `{"modes":["OoO"],"workloads":["mcf"]}`},
+		{"unknown knob", `{"modes":["OoO"],"workloads":["mcf"],"measure_uops":1000,"points":[{"name":"p","knobs":{"warp_factor":9}}]}`},
+		{"unknown space", `{"modes":["OoO"],"measure_uops":1000,"population":{"space_name":"nope","count":2}}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(env.ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("400 body lacks an error message (%v)", err)
+			}
+		})
+	}
+}
+
+func TestServerUnknownJob(t *testing.T) {
+	env := newEnv(t, Config{})
+	for _, req := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/nope"},
+		{"GET", "/v1/jobs/nope/events"},
+		{"GET", "/v1/jobs/nope/result"},
+		{"DELETE", "/v1/jobs/nope"},
+	} {
+		r, _ := http.NewRequest(req.method, env.ts.URL+req.path, nil)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", req.method, req.path, resp.StatusCode)
+		}
+	}
+}
+
+// Cancellation: a running job cancelled over HTTP must converge to the
+// cancelled state with a clean terminal event, and its result endpoint
+// must report the state instead of hanging or returning partial data.
+func TestServerCancelRunningJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	env := newEnv(t, Config{SimWorkers: 1})
+	spec := testSpec(4)
+	spec.MeasureUops = 2_000_000 // long enough to still be running when cancelled
+	st := env.submit(t, spec)
+
+	// Wait until it actually starts.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, ok := env.srv.Job(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r, _ := http.NewRequest("DELETE", env.ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	evs := env.streamEvents(t, st.ID) // ends only at the terminal event
+	last := evs[len(evs)-1]
+	if last.Type != StateCancelled {
+		t.Fatalf("terminal event = %+v, want cancelled", last)
+	}
+	if last.Error == "" || !strings.Contains(last.Error, "cancelled") {
+		t.Errorf("cancelled event error = %q, want a clean cancellation message", last.Error)
+	}
+	if _, code := env.result(t, st.ID); code != http.StatusConflict {
+		t.Errorf("result of cancelled job: status %d, want 409", code)
+	}
+	if s := env.stats(t); s.JobsCancelled != 1 {
+		t.Errorf("stats cancelled = %d, want 1", s.JobsCancelled)
+	}
+}
+
+// Backpressure: with the single worker pinned on a long job and the
+// queue full, further submissions are rejected with 503 instead of
+// queueing without bound.
+func TestServerQueueFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	env := newEnv(t, Config{SimWorkers: 1, QueueDepth: 1, JobWorkers: 1})
+	long := testSpec(1)
+	long.MeasureUops = 2_000_000
+
+	st := env.submit(t, long)
+	defer env.srv.Cancel(st.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, _ := env.srv.Job(st.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Worker busy; depth-1 queue takes exactly one more.
+	st2 := env.submit(t, testSpec(1))
+	defer env.srv.Cancel(st2.ID)
+
+	b, _ := json.Marshal(testSpec(1))
+	resp, err := http.Post(env.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-full submit: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// Re-verification: with VerifyFraction=1 every hit re-simulates. A clean
+// cache passes; a poisoned entry fails the job with a mismatch error.
+func TestServerReVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	c, err := cache.New(256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, Config{Cache: c, SimWorkers: 2, VerifyFraction: 1})
+
+	spec := testSpec(2)
+	st1 := env.submit(t, spec)
+	env.streamEvents(t, st1.ID)
+	res1, code := env.result(t, st1.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cold run failed: %s", res1)
+	}
+
+	// Clean cache: full re-verification passes and matches bytes.
+	st2 := env.submit(t, spec)
+	env.streamEvents(t, st2.ID)
+	res2, code := env.result(t, st2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("verified run failed: %s", res2)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("verified run not byte-identical")
+	}
+	if s := env.stats(t); s.VerifiedHits == 0 || s.VerifyFailures != 0 {
+		t.Fatalf("verify counters after clean runs: %+v", s)
+	}
+
+	// Poison one entry: same key, wrong result. The next submission must
+	// detect the divergence and fail.
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := plan.Key(0)
+	c.Put(k, sim.Result{Workload: k.Workload, Cycles: 123456789})
+
+	st3 := env.submit(t, spec)
+	evs := env.streamEvents(t, st3.ID)
+	last := evs[len(evs)-1]
+	if last.Type != StateFailed {
+		t.Fatalf("poisoned-cache job terminal event = %+v, want failed", last)
+	}
+	if !strings.Contains(last.Error, "re-verification mismatch") {
+		t.Errorf("failure message = %q, want a re-verification mismatch", last.Error)
+	}
+	if s := env.stats(t); s.VerifyFailures == 0 {
+		t.Errorf("verify failures not counted: %+v", s)
+	}
+}
+
+// The declarative spec must reach every compile path: fixed workloads,
+// points with variants and knobs, baseline injection.
+func TestJobSpecCompilesFullMatrix(t *testing.T) {
+	spec := JobSpec{
+		Name:      "full",
+		Workloads: []string{"mcf", "libquantum"},
+		Modes:     []string{"PRE"},
+		Points: []PointSpec{
+			{Name: "base"},
+			{Name: "sst=256", Knobs: map[string]int64{"sst_size": 256}},
+			{Name: "stride", PrefetchVariant: "stride"},
+		},
+		MeasureUops: 10_000,
+		AddBaseline: true,
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 points x 2 workloads x PRE = 6 cells; the injected OoO baselines
+	// are extra unique runs (one per point x workload), not cells.
+	if got := plan.NumCells(); got != 6 {
+		t.Errorf("cells = %d, want 6", got)
+	}
+	// Injected baselines add unique runs beyond the cells (dedup may
+	// collapse baselines whose canonical OoO configs coincide).
+	if plan.NumUnique() <= plan.NumCells() {
+		t.Errorf("unique runs = %d, want > %d (baselines injected)", plan.NumUnique(), plan.NumCells())
+	}
+	// The knob must actually land in the config of its point's cells.
+	found := false
+	for ui := 0; ui < plan.NumUnique(); ui++ {
+		k := plan.Key(ui)
+		if k.Config.SSTSize == 256 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sst_size knob never reached a cell config")
+	}
+	if _, err := json.Marshal(spec); err != nil {
+		t.Errorf("spec must round-trip as JSON: %v", err)
+	}
+}
+
+func TestKnobNamesSortedAndComplete(t *testing.T) {
+	names := KnobNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("KnobNames not sorted: %v", names)
+		}
+	}
+	if len(names) != len(knobSetters) {
+		t.Fatalf("KnobNames incomplete: %v", names)
+	}
+}
