@@ -70,6 +70,7 @@ func newestBenchPoint(t *testing.T) (string, benchRecord) {
 	return best, rec
 }
 
+//sim:wallclock the guard times real execution by design; nothing here reaches results JSON
 func TestBenchGuard(t *testing.T) {
 	if os.Getenv("BENCH_GUARD") == "" {
 		t.Skip("set BENCH_GUARD=1 to run the wall-clock regression guard")
@@ -119,6 +120,8 @@ func TestBenchGuard(t *testing.T) {
 // wider grid catches regressions a single-workload guard misses — e.g. a
 // replay- or pointer-chase-specific slowdown that barely moves
 // libquantum.
+//
+//sim:wallclock the guard times real execution by design; nothing here reaches results JSON
 func TestBenchGuardMemoryBound(t *testing.T) {
 	if os.Getenv("BENCH_GUARD") == "" {
 		t.Skip("set BENCH_GUARD=1 to run the wall-clock regression guard")

@@ -1,0 +1,182 @@
+// Command simlint is the repo's contract-checker multichecker: it runs
+// the internal/lint analyzer suite (determinism, hotalloc, nilguard,
+// purity, seedpurity) over the module and reports every finding with
+// the standing contract it enforces and the runtime test that would
+// otherwise catch it.
+//
+// Usage:
+//
+//	go run ./cmd/simlint [-tests=false] [-fix] [-list] [-only name,name] [packages...]
+//
+// Packages default to ./... relative to the module root, which is found
+// by walking up from the working directory to go.mod. Exit status is 1
+// when findings remain, 0 when the tree is clean.
+//
+// -fix applies suggested fixes. Fixes are insert-only — each one adds a
+// single //sim:* annotation line above the diagnosed statement, indented
+// to match — so applying them never changes program behavior; the
+// inserted annotation text still asks the author to replace it with a
+// real justification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != errFindings {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+var errFindings = fmt.Errorf("findings reported")
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	tests := fs.Bool("tests", true, "also analyze test files")
+	fix := fs.Bool("fix", false, "apply insert-only suggested fixes (annotation lines)")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-12s contract: %s; would fail: %s\n", "", a.Contract, a.RuntimeTest)
+		}
+		return nil
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			return fmt.Errorf("unknown analyzer %q (see -list)", n)
+		}
+		analyzers = sel
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(root, patterns, analyzers, *tests)
+	if err != nil {
+		return err
+	}
+	if *fix {
+		applied, err := applyFixes(findings)
+		if err != nil {
+			return err
+		}
+		if applied > 0 {
+			fmt.Fprintf(out, "simlint: inserted %d annotation line(s); re-run to confirm and fill in the audit justifications\n", applied)
+		}
+		var rest []lint.Finding
+		for _, f := range findings {
+			if f.Fix == nil {
+				rest = append(rest, f)
+			}
+		}
+		findings = rest
+	}
+	for _, f := range findings {
+		rel := f.File
+		if r, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(out, "%s:%d:%d: [%s] %s (contract: %s; would fail: %s)\n",
+			rel, f.Line, f.Column, f.Analyzer, f.Message, f.Contract, f.RuntimeTest)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "simlint: %d finding(s)\n", len(findings))
+		return errFindings
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// applyFixes inserts each finding's suggested annotation line above its
+// diagnosed line, matching the line's indentation. Edits apply bottom-up
+// per file so earlier insertions do not shift later line numbers.
+func applyFixes(findings []lint.Finding) (int, error) {
+	type edit struct {
+		line int
+		text string
+	}
+	byFile := map[string][]edit{}
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		byFile[f.File] = append(byFile[f.File], edit{line: f.Line, text: f.Fix.InsertLine})
+	}
+	applied := 0
+	for file, edits := range byFile {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		lines := strings.Split(string(data), "\n")
+		sort.Slice(edits, func(i, j int) bool { return edits[i].line > edits[j].line })
+		lastLine := -1
+		for _, e := range edits {
+			if e.line < 1 || e.line > len(lines) {
+				continue
+			}
+			if e.line == lastLine {
+				continue // one annotation covers every finding on the line
+			}
+			lastLine = e.line
+			src := lines[e.line-1]
+			indent := src[:len(src)-len(strings.TrimLeft(src, " \t"))]
+			lines = append(lines[:e.line-1], append([]string{indent + e.text}, lines[e.line-1:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

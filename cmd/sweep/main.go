@@ -257,6 +257,8 @@ func (s sweeper) writeTrace(set *exp.Set) {
 // geometric-mean speedup over the (shared, deduplicated) OoO baseline.
 // knob is the parameter's wire name (serve.KnobNames), used when the
 // sweep is submitted to a remote server instead of run here.
+//
+//sim:wallclock -timing progress display only; the JSON artifact carries its own audited meta
 func (s sweeper) sweep(name, title string, mode presim.Mode, values []int,
 	knob string, apply func(*core.Config, int)) {
 	fmt.Println(title)
@@ -383,6 +385,8 @@ func (s sweeper) sweepParallel(name string, mode presim.Mode, values []int,
 // grid summary (geomean speedups over each variant's own OoO baseline)
 // and per-variant prefetcher quality print to stdout; the full per-run
 // counters land in the -json sink.
+//
+//sim:wallclock -timing progress display only; the JSON artifact carries its own audited meta
 func (s sweeper) sweepPF() {
 	fmt.Println("PF grid: mechanisms x hardware prefetchers (speedup over per-variant OoO)")
 	start := time.Now()
@@ -462,6 +466,8 @@ func (s sweeper) sweepPF() {
 // from the default synth space, crossed with every mechanism, summarized
 // as per-seed speedup distributions. The -json artifact records every
 // scenario's sampled parameters (schema v3 "synth" cell field).
+//
+//sim:wallclock -timing progress display only; the JSON artifact carries its own audited meta
 func (s sweeper) sweepSynth(count int, baseSeed uint64) {
 	fmt.Printf("Synth population: %d seeded scenarios x all mechanisms (speedup over OoO)\n", count)
 	start := time.Now()

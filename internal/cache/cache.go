@@ -158,6 +158,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // HitLatency returns the configured lookup latency.
 func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
 
+//sim:pure index arithmetic only
 func (c *Cache) set(tag uint64) []line { return c.sets[tag&c.setMask] }
 
 // Lookup probes for the line containing addr at cycle now.
@@ -207,6 +208,8 @@ func (c *Cache) Lookup(addr uint64, now int64, demand bool) (hit bool, ready int
 
 // Contains reports whether the line holding addr is present, without
 // touching LRU or statistics. Used by tests and invariant checks.
+//
+//sim:pure
 func (c *Cache) Contains(addr uint64) bool {
 	tag := addr >> 6
 	for i := range c.set(tag) {
@@ -349,6 +352,8 @@ func (c *Cache) MSHRAlloc(addr uint64, now, fillReady int64, src Source) bool {
 // line at cycle now, if one exists. Unlike MSHRLookup it does not retire
 // completed entries (it is a pure probe used by the PRE-aware prefetch
 // filter, which must not perturb state).
+//
+//sim:pure
 func (c *Cache) MSHRSource(addr uint64, now int64) (Source, bool) {
 	tag := addr >> 6
 	for i := range c.mshrs {
@@ -366,6 +371,8 @@ func (c *Cache) MSHRSource(addr uint64, now int64) (Source, bool) {
 // installs lines at miss issue, so "who is currently fetching this line"
 // lives on the line itself; the PRE-aware prefetch filter probes it to
 // recognize in-flight runahead fills.
+//
+//sim:pure
 func (c *Cache) InFlightSource(addr uint64, now int64) (Source, bool) {
 	tag := addr >> 6
 	for i := range c.set(tag) {
@@ -382,6 +389,8 @@ func (c *Cache) InFlightSource(addr uint64, now int64) (Source, bool) {
 // outcome of MSHRFree/MSHRLookup/MSHRAlloc). ok=false means no occupied
 // entry releases after now. The core's cycle skipper uses this to bound
 // how far a retrying (MSHR-blocked) access can be fast-forwarded.
+//
+//sim:pure the skipper may probe this any number of times per decision
 func (c *Cache) NextMSHRRelease(now int64) (int64, bool) {
 	var best int64
 	ok := false

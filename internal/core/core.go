@@ -380,6 +380,8 @@ func (c *Core) Run(n int64) int64 {
 const watchdogCycles = 1_000_000
 
 // Step advances the machine by one cycle.
+//
+//sim:hotpath
 func (c *Core) Step() {
 	c.progressed = false
 	c.retryBlocked = false
@@ -461,6 +463,8 @@ func (c *Core) enqueue(kind recKind, slot int, m *slotMeta, r *uopRec) {
 // readiness is monotone and a single wake per completion suffices; stale
 // entries from squashed µops are rejected by the slot generation. Only
 // slotMeta is touched per waiter (the wakeRef carries the seq).
+//
+//sim:hotpath
 func (c *Core) wake(p rename.PReg) {
 	if p == rename.PRegNone {
 		return
@@ -507,6 +511,7 @@ func (c *Core) completeStage() {
 	}
 }
 
+//sim:hotpath
 func (c *Core) completeOne(ev completion) {
 	m, r := c.slotRef(ev.kind, int(ev.slot))
 	if m.gen != ev.gen || m.st != sIssued {
@@ -556,6 +561,7 @@ func (c *Core) completeOne(ev completion) {
 
 // --- commit ---------------------------------------------------------------
 
+//sim:hotpath
 func (c *Core) commitStage() {
 	if c.inRunahead && !c.pseudoRetire {
 		return // PRE: no commits during runahead (Section 3.1)
@@ -617,6 +623,7 @@ func (c *Core) commitStage() {
 
 // --- issue ------------------------------------------------------------------
 
+//sim:hotpath
 func (c *Core) issueStage() {
 	if !c.iqDirty && !c.iqRetry {
 		return // nothing became ready and nothing is retrying: no-op scan
@@ -649,6 +656,8 @@ func (c *Core) issueStage() {
 // tryIssueRec attempts to issue one µop whose sources are all ready
 // (srcWait == 0, maintained by the wake-up lists); it returns true when
 // the µop left the IQ.
+//
+//sim:hotpath
 func (c *Core) tryIssueRec(kind recKind, slot int, m *slotMeta, r *uopRec) bool {
 	// INV propagation (traditional runahead semantics): a runahead µop
 	// with a poisoned source completes immediately with a poisoned result
@@ -707,6 +716,8 @@ func (c *Core) tryIssueRec(kind recKind, slot int, m *slotMeta, r *uopRec) bool 
 
 // issueLoad starts a load's memory access, returning its data-ready cycle
 // and whether the result is INV (runahead load that would wait on DRAM).
+//
+//sim:hotpath
 func (c *Core) issueLoad(m *slotMeta, r *uopRec) (ready int64, inv, ok bool) {
 	// Traditional runahead never waits (Mutlu): in pseudo-retire mode a
 	// load either gets its data quickly, or it starts a prefetch and
@@ -840,6 +851,8 @@ func (c *Core) dispatchNormal(inRunahead bool) {
 
 // dispatchOne admits one µop into the back end (ROB path); it returns
 // false if a resource is unavailable (retry next cycle).
+//
+//sim:hotpath
 func (c *Core) dispatchOne(slot frontend.Slot, inRunahead bool) bool {
 	u := c.stream.At(slot.Seq)
 	if c.iq.full() || !c.ren.CanRename(u.Dst) {

@@ -206,6 +206,8 @@ func (c *Core) wakeBound() int64 {
 // counters (the idle cycle just executed proves whether the stall path
 // counts, and nothing can change mid-span), and the fetch unit's freeze /
 // I-cache-wait counters.
+//
+//sim:hotpath
 func (c *Core) skipAhead() {
 	bound := c.wakeBound()
 	if bound <= c.now || bound == horizon {

@@ -327,6 +327,8 @@ type RunOptions struct {
 }
 
 // RunOpts executes the plan like Run, with progress and trace telemetry.
+//
+//sim:wallclock timings land only in RunMeta (the meta.json sidecar) and progress events, never in results JSON
 func (p *Plan) RunOpts(opts RunOptions) (*Set, error) {
 	start := time.Now()
 	res := make([]sim.Result, len(p.unique))

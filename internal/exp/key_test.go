@@ -25,7 +25,10 @@ import (
 // from older versions are then correctly treated as misses. The seeds
 // must NEVER change: they are part of the results-JSON byte contract
 // (CellKey.seedKey is frozen independently of String).
-func goldenKeyCases(t *testing.T) map[string]CellKey {
+func goldenKeyCases(t *testing.T) []struct {
+	name string
+	key  CellKey
+} {
 	t.Helper()
 	opt := sim.Options{WarmupUops: 50_000, MeasureUops: 300_000}
 	preCfg := core.Default(core.ModePRE)
@@ -35,10 +38,13 @@ func goldenKeyCases(t *testing.T) map[string]CellKey {
 		t.Fatalf("sampling default-space scenario 0: %v", err)
 	}
 	params := sc.Params
-	return map[string]CellKey{
-		"fixed/ooo": CellKeyFor("libquantum", nil, opt, core.Default(core.ModeOoO)),
-		"fixed/pre": CellKeyFor("mcf", nil, opt, preCfg),
-		"synth/ra":  CellKeyFor(sc.Name(), &params, opt, core.Default(core.ModeRA)),
+	return []struct {
+		name string
+		key  CellKey
+	}{
+		{"fixed/ooo", CellKeyFor("libquantum", nil, opt, core.Default(core.ModeOoO))},
+		{"fixed/pre", CellKeyFor("mcf", nil, opt, preCfg)},
+		{"synth/ra", CellKeyFor(sc.Name(), &params, opt, core.Default(core.ModeRA))},
 	}
 }
 
@@ -48,7 +54,8 @@ func TestCellKeyGoldenHashes(t *testing.T) {
 		"fixed/pre": {"1d898373ec413518164fcfae1bc61f16f42a1c0583f32cde27384f00f82c85ce", "fa05a489a2371bd5"},
 		"synth/ra":  {"7e3d9013a22ea0110b5ef4b49f4d6271fcd2e6a41bd57ae15a5dbcfb2d979775", "5db03120e06adac6"},
 	}
-	for name, k := range goldenKeyCases(t) {
+	for _, c := range goldenKeyCases(t) {
+		name, k := c.name, c.key
 		if got := k.Hash(); got != want[name].hash {
 			t.Errorf("%s: Hash() = %s, golden %s\nkey string: %s\n(cache identity changed — if intentional, bump exp.KeyVersion and repin)",
 				name, got, want[name].hash, k.String())
@@ -63,7 +70,8 @@ func TestCellKeyGoldenHashes(t *testing.T) {
 // The key string must carry its own version and the schema version, so a
 // persistent store can never alias entries across either.
 func TestCellKeyStringIsVersioned(t *testing.T) {
-	for name, k := range goldenKeyCases(t) {
+	for _, c := range goldenKeyCases(t) {
+		name, k := c.name, c.key
 		prefix := fmt.Sprintf("cellkey/v%d|schema=%d|", KeyVersion, SchemaVersion)
 		if !strings.HasPrefix(k.String(), prefix) {
 			t.Errorf("%s: String() %q lacks version prefix %q", name, k.String(), prefix)
@@ -174,12 +182,15 @@ func TestRunOptsLookupSubstitutesSimulation(t *testing.T) {
 	if meta.CacheHits != plan.NumUnique() {
 		t.Errorf("meta.CacheHits = %d, want %d", meta.CacheHits, plan.NumUnique())
 	}
-	for name, v := range map[string]float64{
-		"worker_utilization":  meta.WorkerUtilization,
-		"cell_seconds_median": meta.CellSecondsMedian,
+	for _, mv := range []struct {
+		name string
+		v    float64
+	}{
+		{"worker_utilization", meta.WorkerUtilization},
+		{"cell_seconds_median", meta.CellSecondsMedian},
 	} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			t.Errorf("meta.%s = %v on an all-cached run; must stay finite", name, v)
+		if math.IsNaN(mv.v) || math.IsInf(mv.v, 0) {
+			t.Errorf("meta.%s = %v on an all-cached run; must stay finite", mv.name, mv.v)
 		}
 	}
 	if r := set.Result(0, 0, 0); r.Cycles != 42 {
@@ -225,10 +236,11 @@ func TestRunOptsContextCancellation(t *testing.T) {
 	// Already-cancelled context: nothing simulates, the error is clean.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	start := time.Now()
+	start := time.Now() //sim:wallclock cancellation-latency bound for the test only
 	if _, err := plan.RunOpts(RunOptions{Workers: 2, Context: ctx}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled run: err = %v, want context.Canceled", err)
 	}
+	//sim:wallclock cancellation-latency bound for the test only
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("pre-cancelled run took %v; should return almost immediately", elapsed)
 	}

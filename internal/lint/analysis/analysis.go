@@ -1,0 +1,166 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that simlint needs. This module
+// is deliberately dependency-free (no go.sum, no module proxy in the
+// build environment), so the real framework cannot be imported; keeping
+// the shapes source-compatible (Analyzer / Pass / Diagnostic) makes a
+// future swap to x/tools mechanical.
+//
+// Two fields extend the x/tools shape: every Analyzer names the standing
+// ROADMAP contract it enforces and the runtime test that would otherwise
+// catch the drift, and every Diagnostic carries both — a simlint report
+// is always traceable to the slow gate it replaces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/annot"
+)
+
+// Analyzer describes one static contract checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ([determinism] ...).
+	Name string
+	// Doc is the one-paragraph help text shown by simlint -list.
+	Doc string
+	// Contract names the ROADMAP standing contract this analyzer
+	// enforces mechanically.
+	Contract string
+	// RuntimeTest points at the runtime gate that would otherwise catch
+	// a violation — late, expensively, and only on exercised paths.
+	RuntimeTest string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Annotations indexes the package's //sim:* contract annotations.
+	Annotations *annot.Index
+	// Report delivers one diagnostic. The driver fills Contract and
+	// RuntimeTest from the Analyzer when the diagnostic leaves them
+	// empty.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Contract / RuntimeTest default to the reporting analyzer's fields.
+	Contract    string
+	RuntimeTest string
+	// Fix, when non-nil, is an insert-only suggested fix that simlint
+	// -fix applies. Fixes never rewrite code — they only add a //sim:*
+	// annotation line — so applying them is always behavior-preserving
+	// ("-fix safe").
+	Fix *SuggestedFix
+}
+
+// SuggestedFix is a purely additive edit: insert one annotation comment
+// line above the diagnosed line, indented to match it.
+type SuggestedFix struct {
+	Message string
+	// InsertLine is the comment line to add (without indentation),
+	// e.g. "//sim:wallclock progress reporting only".
+	InsertLine string
+}
+
+// PkgPathMatch reports whether a package import path lies in scope for a
+// path fragment like "internal/exp": the fragment must appear on a path
+// segment boundary, so "internal/exp" matches "repro/internal/exp" and
+// "internal/exp/pool" but not "internal/export". Fixture packages under
+// testdata roots use module-relative paths ("internal/exp"), which match
+// the same fragments as the real repo paths ("repro/internal/exp").
+func PkgPathMatch(pkgPath, fragment string) bool {
+	if pkgPath == fragment {
+		return true
+	}
+	for i := 0; i+len(fragment) <= len(pkgPath); i++ {
+		if pkgPath[i:i+len(fragment)] != fragment {
+			continue
+		}
+		startOK := i == 0 || pkgPath[i-1] == '/'
+		end := i + len(fragment)
+		endOK := end == len(pkgPath) || pkgPath[end] == '/'
+		if startOK && endOK {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, type conversions
+// and calls through function-typed variables.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether id denotes the named universe builtin
+// (append, make, delete, ...). Builtin references are recorded in
+// info.Uses as *types.Builtin, not as absent entries.
+func IsBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// FuncIsFrom reports whether fn is the named package-level function of
+// the given package path (e.g. "time", "Now").
+func FuncIsFrom(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// NamedType unwraps pointers and returns the *types.Named behind t, or
+// nil.
+func NamedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (possibly behind a pointer) is the named type
+// pkgName.typeName, matching the package by name so fixture stubs under
+// testdata satisfy the same predicate as the real package.
+func IsNamed(t types.Type, pkgName, typeName string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && n.Obj().Pkg().Name() == pkgName
+}

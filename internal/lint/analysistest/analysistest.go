@@ -1,0 +1,155 @@
+// Package analysistest runs an analyzer over a fixture tree and checks
+// its diagnostics against // want "regexp" comments embedded in the
+// fixture sources — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented over the
+// repo's stdlib-only loader.
+//
+// A want comment applies to the source line it appears on and may carry
+// several quoted regexps, one per expected diagnostic:
+//
+//	m := time.Now() // want `wall-clock read`
+//
+// Every expectation must be matched by a diagnostic on its line, and
+// every diagnostic must match an expectation; either direction failing
+// fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+	"repro/internal/lint/loader"
+)
+
+// Run loads the fixture packages under root (a testdata/src-style tree
+// addressed by relative import paths) and applies the analyzer to each,
+// comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	l, err := loader.New(loader.Config{Root: root, IncludeTests: true})
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures under %s: %v", root, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s match %v", root, patterns)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, l, a, pkg)
+	}
+}
+
+// expectation is one parsed want regexp, keyed to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkPackage(t *testing.T, l *loader.Loader, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:    a,
+		Fset:        l.Fset(),
+		Files:       pkg.Files,
+		Pkg:         pkg.Types,
+		TypesInfo:   pkg.Info,
+		Annotations: annot.Collect(l.Fset(), pkg.Files),
+		Report:      func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+	}
+	wants, err := collectWants(l, pkg.Files)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg.Path, err)
+	}
+	// Match each diagnostic against an unconsumed expectation on its line.
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pkg.Path, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg.Path, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the files.
+func collectWants(l *loader.Loader, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset().Position(c.Pos())
+				patterns, err := splitQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("..." or `...`).
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment carries no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+// Package annot parses and indexes the //sim:* contract annotations that
+// tie source code to the ROADMAP standing contracts:
+//
+//	//sim:hotpath   — steady-state function: hotalloc flags allocation-
+//	                  prone constructs inside it (TestSteadyStateAllocs
+//	                  is the runtime gate it front-runs).
+//	//sim:pure      — side-effect-free probe: purity forbids writes to
+//	                  receiver or package state.
+//	//sim:wallclock — audited wall-clock read off the byte-identical
+//	                  results path (meta.json, progress printing, test
+//	                  deadlines); determinism requires it on every
+//	                  time.Now/time.Since call site.
+//
+// An annotation is written either in a function's doc comment (applies
+// to the whole function) or as a trailing/preceding line comment
+// (applies to the statement on that line). Free text after the kind is
+// the auditor's justification and is kept as the annotation argument.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Known annotation kinds. Kinds outside this registry are reported by
+// the simlint driver as typos rather than silently ignored.
+const (
+	KindHotPath   = "hotpath"
+	KindPure      = "pure"
+	KindWallclock = "wallclock"
+)
+
+// Kinds returns the registry of recognized annotation kinds.
+func Kinds() []string { return []string{KindHotPath, KindPure, KindWallclock} }
+
+const prefix = "sim:"
+
+// Annotation is one parsed //sim:* marker.
+type Annotation struct {
+	// Kind is the registry name ("hotpath"); unknown kinds are indexed
+	// separately so the driver can flag them.
+	Kind string
+	// Arg is the free-text justification after the kind, if any.
+	Arg string
+	// Pos is the comment's position.
+	Pos token.Pos
+	// File and Line locate the comment for line-based queries.
+	File string
+	Line int
+}
+
+// Index holds one package's annotations.
+type Index struct {
+	fset    *token.FileSet
+	all     []Annotation
+	known   map[string]map[int]map[string]bool // file -> line -> kind set
+	unknown []Annotation
+}
+
+// Parse extracts the annotation from a single comment's text ("//..."),
+// returning ok=false for ordinary comments. A marker must start the
+// comment: "//sim:kind arg...".
+func Parse(text string) (kind, arg string, ok bool) {
+	body, found := strings.CutPrefix(text, "//")
+	if !found {
+		// /* */ comments never carry annotations.
+		return "", "", false
+	}
+	body, found = strings.CutPrefix(body, prefix)
+	if !found {
+		return "", "", false
+	}
+	kind, arg, _ = strings.Cut(body, " ")
+	if kind == "" {
+		return "", "", false
+	}
+	return kind, strings.TrimSpace(arg), true
+}
+
+func known(kind string) bool {
+	for _, k := range Kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect indexes every //sim:* annotation in the files.
+func Collect(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, known: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, arg, ok := Parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := Annotation{Kind: kind, Arg: arg, Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				ix.all = append(ix.all, a)
+				if !known(kind) {
+					ix.unknown = append(ix.unknown, a)
+					continue
+				}
+				byLine := ix.known[a.File]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					ix.known[a.File] = byLine
+				}
+				kinds := byLine[a.Line]
+				if kinds == nil {
+					kinds = make(map[string]bool)
+					byLine[a.Line] = kinds
+				}
+				kinds[kind] = true
+			}
+		}
+	}
+	return ix
+}
+
+// All returns every parsed annotation, known and unknown.
+func (ix *Index) All() []Annotation { return ix.all }
+
+// Unknown returns annotations whose kind is not in the registry —
+// almost always typos ("//sim:hotpaths") that would otherwise silently
+// disable a contract.
+func (ix *Index) Unknown() []Annotation { return ix.unknown }
+
+// lineHas reports whether the exact file:line carries the kind.
+func (ix *Index) lineHas(file string, line int, kind string) bool {
+	return ix.known[file][line][kind]
+}
+
+// SiteHas reports whether the source line at pos, or the line
+// immediately above it, carries the annotation kind — the two accepted
+// statement-level placements (trailing comment, or a comment line of
+// its own directly above).
+func (ix *Index) SiteHas(pos token.Pos, kind string) bool {
+	p := ix.fset.Position(pos)
+	return ix.lineHas(p.Filename, p.Line, kind) || ix.lineHas(p.Filename, p.Line-1, kind)
+}
+
+// FuncHas reports whether the function declaration is annotated with
+// kind: in its doc comment, or on the declaration line itself.
+func (ix *Index) FuncHas(fn *ast.FuncDecl, kind string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if k, _, ok := Parse(c.Text); ok && k == kind {
+				return true
+			}
+		}
+	}
+	return ix.SiteHas(fn.Pos(), kind)
+}

@@ -1,0 +1,223 @@
+// Package determinism flags nondeterminism sources that would break the
+// byte-identical results-JSON contract: wall-clock reads (time.Now /
+// time.Since) anywhere in the module without an audited //sim:wallclock
+// annotation, global math/rand state (whose sequence depends on every
+// other draw in the process) and crypto/rand everywhere, and unsorted
+// map iteration inside the packages on the results-JSON/key path
+// (internal/exp, internal/sim, internal/serve/cache, internal/report),
+// where iteration order can leak into serialized artifacts.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+)
+
+// keyPath lists the package-path fragments on the byte-identical
+// results-JSON/key path. Fragments match on segment boundaries, so
+// fixture packages ("internal/exp") and real ones ("repro/internal/exp")
+// are both in scope.
+var keyPath = []string{"internal/exp", "internal/sim", "internal/serve/cache", "internal/report"}
+
+// globalRandAllowed lists the math/rand package functions that do NOT
+// touch the shared global source: constructing a locally seeded
+// generator is the deterministic idiom the tests use.
+var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads without //sim:wallclock, global math/rand state, " +
+		"crypto/rand, and unsorted map iteration on the results-JSON path",
+	Contract:    "results JSON is byte-identical at any worker count",
+	RuntimeTest: "TestCycleSkipDifferential / CI sweep cmp",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	onKeyPath := false
+	for _, frag := range keyPath {
+		if analysis.PkgPathMatch(pass.Pkg.Path(), frag) {
+			onKeyPath = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, onKeyPath)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, onKeyPath bool) {
+	wallclockOK := pass.Annotations.FuncHas(fn, annot.KindWallclock)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, wallclockOK, onKeyPath)
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "crypto/rand" {
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(),
+					Message: "crypto/rand is entropy by construction: results can never be " +
+						"byte-identical across runs",
+				})
+			}
+		case *ast.RangeStmt:
+			if onKeyPath {
+				checkMapRange(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, wallclockOK, onKeyPath bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case analysis.FuncIsFrom(fn, "time", "Now") || analysis.FuncIsFrom(fn, "time", "Since"):
+		if wallclockOK || pass.Annotations.SiteHas(call.Pos(), annot.KindWallclock) {
+			return
+		}
+		msg := "wall-clock read (time." + fn.Name() + ") without //sim:wallclock: " +
+			"execution-environment facts belong in <name>.meta.json, outside the byte-identical contract"
+		if onKeyPath {
+			msg = "wall-clock read (time." + fn.Name() + ") on the results-JSON path: " +
+				"only the meta.json sink may read the clock, and the site must carry //sim:wallclock"
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:     call.Pos(),
+			Message: msg,
+			Fix: &analysis.SuggestedFix{
+				Message:    "annotate the audited wall-clock read",
+				InsertLine: "//sim:wallclock audited: justify why this clock read stays out of the results JSON",
+			},
+		})
+	case fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2"):
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods on a locally seeded *rand.Rand are deterministic
+		}
+		if globalRandAllowed[fn.Name()] {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: "global math/rand state (rand." + fn.Name() + "): draw order depends on " +
+				"every other global draw in the process; use rand.New(rand.NewSource(seed)) " +
+				"with a workload-identity-derived seed",
+		})
+	}
+}
+
+// checkMapRange flags map iteration unless the loop body is one of the
+// two order-insensitive idioms the repo uses: collecting keys/values
+// into a slice that is sorted before use, or writing into another
+// map/set. Anything else — arithmetic on floats, serialization, channel
+// sends, appends of computed aggregates — can leak iteration order into
+// the artifact.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if bodyIsOrderInsensitive(pass, rng.Body.List) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: rng.Pos(),
+		Message: "unsorted map iteration on the results-JSON path: collect keys, sort, " +
+			"then iterate (map range order is randomized per run)",
+	})
+}
+
+// bodyIsOrderInsensitive conservatively recognizes loop bodies whose
+// effect is independent of iteration order.
+func bodyIsOrderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !stmtIsOrderInsensitive(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func stmtIsOrderInsensitive(pass *analysis.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// n += v on integers — commutative accumulation (float sums are
+		// order-sensitive and stay flagged).
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return exprIsInteger(pass, s.Lhs[0])
+		}
+		// m2[k] = v — building another map is order-insensitive.
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			tv, ok := pass.TypesInfo.Types[ix.X]
+			if ok {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+			return false
+		}
+		// s = append(s, k) — collecting for a later sort.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok &&
+				analysis.IsBuiltin(pass.TypesInfo, id, "append") {
+				return true
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		return exprIsInteger(pass, s.X)
+	case *ast.IfStmt:
+		// Per-element filtering around an order-insensitive body.
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		return bodyIsOrderInsensitive(pass, s.Body.List)
+	case *ast.BranchStmt:
+		return s.Tok.String() == "continue"
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	case *ast.ExprStmt:
+		// delete(m2, k) on another map.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok &&
+				analysis.IsBuiltin(pass.TypesInfo, id, "delete") {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// exprIsInteger reports whether e has an integer type (integer addition
+// commutes; float accumulation does not).
+func exprIsInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,214 @@
+// Package hotalloc flags allocation-prone constructs inside functions
+// annotated //sim:hotpath — the simulator's steady-state paths, which
+// the zero-allocation contract (TestSteadyStateAllocs pins 0 allocs per
+// simulated window) forbids from allocating per call:
+//
+//   - closure literals (a captured variable forces a heap-allocated
+//     environment; the hot paths use prebuilt closures instead)
+//   - fmt.* calls (formatting allocates and boxes every operand)
+//   - map literals and make(map/chan) (always heap)
+//   - append on a fresh, un-preallocated local slice (grows on the hot
+//     path; pre-size with make(..., 0, cap) or reuse a field)
+//   - boxing a concrete non-pointer value into an interface (argument,
+//     assignment, return or conversion — the value escapes to the heap;
+//     pointers box without allocating)
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "hotalloc",
+	Doc:         "flags allocation-prone constructs in //sim:hotpath functions",
+	Contract:    "zero-allocation steady state in the simulator hot paths",
+	RuntimeTest: "TestSteadyStateAllocs / bench-guard -benchmem smoke",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.Annotations.FuncHas(fn, annot.KindHotPath) {
+				checkHot(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHot(pass *analysis.Pass, fn *ast.FuncDecl) {
+	fresh := freshSlices(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path: the captured environment heap-allocates per call; hoist to a prebuilt closure field")
+			return false // the literal's body is not the hot path
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal in hot path: allocates; hoist to a reused field")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, fresh)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkBoxing(pass, pass.TypesInfo.Types[lhs].Type, n.Rhs[i], "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, ok := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+			if !ok || sig.Results().Len() != len(n.Results) {
+				return true
+			}
+			for i, res := range n.Results {
+				checkBoxing(pass, sig.Results().At(i).Type(), res, "return")
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, fresh map[types.Object]bool) {
+	// Builtins: append on a fresh slice; make(map)/make(chan).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok &&
+		(analysis.IsBuiltin(pass.TypesInfo, id, "append") || analysis.IsBuiltin(pass.TypesInfo, id, "make")) {
+		switch id.Name {
+		case "append":
+			if len(call.Args) > 0 {
+				if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[base]; obj != nil && fresh[obj] {
+						pass.Reportf(call.Pos(), "append on fresh slice %q with no preallocated capacity: grows on the hot path; make(..., 0, cap) it or reuse a field", base.Name)
+					}
+				}
+			}
+		case "make":
+			if len(call.Args) > 0 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map, *types.Chan:
+						pass.Reportf(call.Pos(), "make(%s) in hot path: allocates; hoist to a reused field", tv.Type)
+					}
+				}
+			}
+		}
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path: formatting allocates and boxes every operand", fn.Name())
+		return // operand boxing is subsumed by the fmt report
+	}
+	// Interface boxing through call arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion, not a call
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, param, arg, "argument")
+	}
+}
+
+// checkBoxing reports src flowing into an interface-typed destination
+// when its concrete type would heap-allocate on conversion. Pointers
+// (and pointer-shaped values: chan, func, unsafe.Pointer, map) fit in
+// the interface word without allocating; nil and existing interface
+// values convert freely.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr, what string) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return // nil or constant (constants may still box, but are rare and foldable)
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Signature, *types.Map:
+		return
+	}
+	pass.Reportf(src.Pos(), "%s boxes concrete %s into %s: the value escapes to the heap on the hot path; pass a pointer or keep it concrete", what, tv.Type, dst)
+}
+
+// freshSlices collects local slice variables declared with no backing
+// capacity: var s []T, s := []T{}, or s := make([]T, 0) without a cap.
+func freshSlices(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name) // var s []T
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						mark(id) // s := []T{}
+					}
+				case *ast.CallExpr:
+					if mid, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok &&
+						analysis.IsBuiltin(pass.TypesInfo, mid, "make") && len(rhs.Args) == 2 {
+						mark(id) // s := make([]T, n) with no cap
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,144 @@
+// Package lint is the simlint driver: it loads a module's analysis
+// units through the stdlib-only loader, runs the contract analyzers
+// over each, and returns position-sorted findings. Every finding names
+// the standing contract it enforces and the runtime test that would
+// otherwise catch the violation — late, expensively, and only on
+// exercised paths — so a simlint report always explains which slow gate
+// it is front-running.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/nilguard"
+	"repro/internal/lint/purity"
+	"repro/internal/lint/seedpurity"
+)
+
+// Analyzers returns the full contract-checker suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		hotalloc.Analyzer,
+		nilguard.Analyzer,
+		purity.Analyzer,
+		seedpurity.Analyzer,
+	}
+}
+
+// Finding is one reported contract violation, resolved to a position.
+type Finding struct {
+	Analyzer    string
+	File        string
+	Line        int
+	Column      int
+	Message     string
+	Contract    string
+	RuntimeTest string
+	Fix         *analysis.SuggestedFix
+}
+
+// Pos renders the finding's file:line:column.
+func (f Finding) Pos() string { return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Column) }
+
+// Run loads the packages matching patterns under the module root and
+// applies every analyzer, returning findings sorted by position. Unknown
+// //sim:* annotation kinds are reported by the pseudo-analyzer
+// "annotations": a typoed kind would otherwise silently disable a
+// contract.
+func Run(root string, patterns []string, analyzers []*analysis.Analyzer, includeTests bool) ([]Finding, error) {
+	l, err := loader.New(loader.Config{Root: root, IncludeTests: includeTests})
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ix := annot.Collect(l.Fset(), pkg.Files)
+		for _, a := range ix.Unknown() {
+			findings = append(findings, Finding{
+				Analyzer: "annotations",
+				File:     a.File, Line: a.Line, Column: 1,
+				Message: fmt.Sprintf("unknown annotation //sim:%s (known kinds: %v): a typoed kind silently disables its contract",
+					a.Kind, annot.Kinds()),
+				Contract:    "every //sim:* marker is a registered contract annotation",
+				RuntimeTest: "none — unknown kinds are only caught statically",
+			})
+		}
+		for _, a := range analyzers {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer:    a,
+				Fset:        l.Fset(),
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Annotations: ix,
+				Report: func(d analysis.Diagnostic) {
+					pos := l.Fset().Position(d.Pos)
+					f := Finding{
+						Analyzer: a.Name,
+						File:     pos.Filename, Line: pos.Line, Column: pos.Column,
+						Message:     d.Message,
+						Contract:    d.Contract,
+						RuntimeTest: d.RuntimeTest,
+						Fix:         d.Fix,
+					}
+					if f.Contract == "" {
+						f.Contract = a.Contract
+					}
+					if f.RuntimeTest == "" {
+						f.RuntimeTest = a.RuntimeTest
+					}
+					findings = append(findings, f)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// External test units share non-test files' annotations with the base
+	// unit; identical findings from overlapping walks collapse to one.
+	return dedupe(findings), nil
+}
+
+func dedupe(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 {
+			p := fs[i-1]
+			if p.File == f.File && p.Line == f.Line && p.Column == f.Column &&
+				p.Analyzer == f.Analyzer && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}

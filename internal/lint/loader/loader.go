@@ -1,0 +1,408 @@
+// Package loader is a small module-aware package loader: it enumerates,
+// parses and type-checks the packages of a single module using only the
+// standard library (go/parser + go/types + the go/importer source
+// importer), standing in for golang.org/x/tools/go/packages, which the
+// dependency-free module cannot import.
+//
+// Intra-module imports resolve against the module root; everything else
+// (the standard library) resolves through the source importer, with cgo
+// disabled so packages like net type-check from their pure-Go fallback
+// files. Import resolution always uses the package's non-test files;
+// analysis units additionally merge in-package _test.go files and load
+// external (package foo_test) test packages as their own units, mirroring
+// how go test compiles them.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config describes the module to load.
+type Config struct {
+	// Root is the module root directory (where go.mod lives). For
+	// fixture trees it is the testdata src root and may lack a go.mod.
+	Root string
+	// ModulePath is the module's import path prefix; when empty it is
+	// read from Root/go.mod, and when none exists packages are addressed
+	// by their Root-relative paths (the analysistest fixture layout).
+	ModulePath string
+	// IncludeTests merges in-package test files into each analysis unit
+	// and loads external _test packages as additional units.
+	IncludeTests bool
+}
+
+// Package is one loaded analysis unit.
+type Package struct {
+	// Path is the import path ("repro/internal/exp"); external test
+	// units use the base path plus ".test" suffix, which no import can
+	// reference.
+	Path string
+	Dir  string
+	Name string
+	// Files is the unit's syntax, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches a module's packages over one shared FileSet.
+type Loader struct {
+	cfg  Config
+	fset *token.FileSet
+	src  types.ImporterFrom
+	// pure caches the import-resolution variant (no test files) of each
+	// module package, keyed by import path.
+	pure map[string]*pureEntry
+	// goVersion is the module's language version ("go1.22") from go.mod,
+	// defaulting to the toolchain's when absent.
+	goVersion string
+}
+
+type pureEntry struct {
+	pkg *types.Package
+	err error
+}
+
+// New returns a loader for the module at cfg.Root.
+func New(cfg Config) (*Loader, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Root = root
+	l := &Loader{cfg: cfg, fset: token.NewFileSet(), pure: make(map[string]*pureEntry)}
+	if data, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "module "); ok && cfg.ModulePath == "" {
+				l.cfg.ModulePath = strings.TrimSpace(rest)
+			}
+			if rest, ok := strings.CutPrefix(line, "go "); ok {
+				l.goVersion = "go" + strings.TrimSpace(rest)
+			}
+		}
+	}
+	// The source importer compiles imports from source through go/build;
+	// with cgo off, packages with C dependencies (net, os/user) fall
+	// back to their pure-Go files, which is all type checking needs.
+	build.Default.CgoEnabled = false
+	srcImp, ok := importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: source importer unavailable")
+	}
+	l.src = srcImp
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// pathFor maps a package directory to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.cfg.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == ".":
+		return l.cfg.ModulePath, nil
+	case l.cfg.ModulePath == "":
+		return rel, nil
+	default:
+		return l.cfg.ModulePath + "/" + rel, nil
+	}
+}
+
+// dirFor maps a module-internal import path to its directory, reporting
+// ok=false for paths outside the module.
+func (l *Loader) dirFor(path string) (string, bool) {
+	mp := l.cfg.ModulePath
+	switch {
+	case mp != "" && path == mp:
+		return l.cfg.Root, true
+	case mp != "" && strings.HasPrefix(path, mp+"/"):
+		return filepath.Join(l.cfg.Root, filepath.FromSlash(strings.TrimPrefix(path, mp+"/"))), true
+	case mp == "" && !strings.Contains(path, "."):
+		// Fixture layout: relative paths only; require the directory to
+		// exist so stdlib paths ("sort") fall through to the source
+		// importer.
+		dir := filepath.Join(l.cfg.Root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.cfg.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from source in-module; everything else delegates to the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		return l.purePkg(path, dir)
+	}
+	return l.src.ImportFrom(path, srcDir, mode)
+}
+
+// purePkg type-checks the import-resolution variant of a module package.
+func (l *Loader) purePkg(path, dir string) (*types.Package, error) {
+	if e, ok := l.pure[path]; ok {
+		if e.pkg == nil && e.err == nil {
+			return nil, fmt.Errorf("loader: import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &pureEntry{}
+	l.pure[path] = e // placeholder guards against cycles
+	files, _, _, err := l.parseDir(dir)
+	if err == nil && len(files) == 0 {
+		err = fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	if err != nil {
+		e.err = err
+		return nil, err
+	}
+	e.pkg, e.err = l.check(path, files, nil, nil)
+	return e.pkg, e.err
+}
+
+// parseDir parses a directory's Go files into the three compilation
+// groups: package files, in-package test files, external test files.
+func (l *Loader) parseDir(dir string) (pkg, inTest, extTest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, ent := range entries {
+		if n := ent.Name(); !ent.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var baseName string
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		name := f.Name.Name
+		switch {
+		case !strings.HasSuffix(n, "_test.go"):
+			if baseName == "" {
+				baseName = name
+			}
+			pkg = append(pkg, f)
+		case strings.HasSuffix(name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return pkg, inTest, extTest, nil
+}
+
+// check runs the type checker over one unit with the loader resolving
+// imports; imp, when non-nil, overrides it.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info, imp types.Importer) (*types.Package, error) {
+	if imp == nil {
+		imp = l
+	}
+	conf := types.Config{Importer: imp, GoVersion: l.goVersion}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// overlay resolves one import path to an already-checked package (the
+// test-augmented base unit an external _test package compiles against)
+// and delegates the rest to the loader.
+type overlay struct {
+	l    *Loader
+	path string
+	pkg  *types.Package
+}
+
+func (o overlay) Import(path string) (*types.Package, error) {
+	return o.ImportFrom(path, o.l.cfg.Root, 0)
+}
+
+func (o overlay) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == o.path {
+		return o.pkg, nil
+	}
+	return o.l.ImportFrom(path, srcDir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// LoadDir loads the analysis units of one package directory: the package
+// itself (with its in-package test files when IncludeTests is set) and,
+// when present, the external test package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgFiles, inTest, extTest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgFiles) == 0 && len(inTest) == 0 && len(extTest) == 0 {
+		return nil, nil
+	}
+	var units []*Package
+	base := pkgFiles
+	if l.cfg.IncludeTests {
+		base = append(append([]*ast.File{}, pkgFiles...), inTest...)
+	}
+	var baseTypes *types.Package
+	if len(base) > 0 {
+		info := newInfo()
+		tp, err := l.check(path, base, info, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseTypes = tp
+		units = append(units, &Package{
+			Path: path, Dir: dir, Name: tp.Name(), Files: base, Types: tp, Info: info,
+		})
+		// The test-augmented unit is a superset of the pure variant and
+		// has identical exported shape; caching it for import resolution
+		// would change type identity for packages loaded later, so the
+		// pure cache keeps its own entry.
+	}
+	if l.cfg.IncludeTests && len(extTest) > 0 {
+		// External test packages compile against the test-augmented base
+		// unit, exactly as go test links them.
+		var imp types.Importer
+		if baseTypes != nil {
+			imp = overlay{l: l, path: path, pkg: baseTypes}
+		}
+		info := newInfo()
+		tp, err := l.check(path+".test", extTest, info, imp)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			Path: path + ".test", Dir: dir, Name: tp.Name(), Files: extTest, Types: tp, Info: info,
+		})
+	}
+	return units, nil
+}
+
+// Dirs expands patterns ("./...", "./internal/exp", "internal/exp/...")
+// into package directories under Root, skipping testdata, hidden and
+// underscore-prefixed directories.
+func (l *Loader) Dirs(patterns ...string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		start := filepath.Join(l.cfg.Root, filepath.FromSlash(pat))
+		if !recursive {
+			add(start)
+			continue
+		}
+		err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range entries {
+		if n := ent.Name(); !ent.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load expands patterns and loads every analysis unit.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.Dirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}

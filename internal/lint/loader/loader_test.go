@@ -1,0 +1,85 @@
+package loader_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/loader"
+)
+
+// TestExternalTestUnits checks the loader mirrors go test's compilation
+// model: in-package _test.go files merge into the base unit, and the
+// external _test package becomes its own ".test" unit compiled against
+// the test-augmented base.
+func TestExternalTestUnits(t *testing.T) {
+	l, err := loader.New(loader.Config{Root: filepath.Join("..", "testdata", "src"), IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("extt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("expected 2 units (base + external test), got %d", len(pkgs))
+	}
+	base, ext := pkgs[0], pkgs[1]
+	if base.Path != "extt" || base.Name != "extt" {
+		t.Errorf("base unit = %s (%s), want extt (extt)", base.Path, base.Name)
+	}
+	if len(base.Files) != 2 {
+		t.Errorf("base unit has %d files, want 2 (package file + in-package test)", len(base.Files))
+	}
+	if ext.Path != "extt.test" || ext.Name != "extt_test" {
+		t.Errorf("external unit = %s (%s), want extt.test (extt_test)", ext.Path, ext.Name)
+	}
+	if len(ext.Files) != 1 {
+		t.Errorf("external unit has %d files, want 1", len(ext.Files))
+	}
+}
+
+// TestTestsExcluded checks that with IncludeTests off only the package
+// files load — the shape import resolution must always see.
+func TestTestsExcluded(t *testing.T) {
+	l, err := loader.New(loader.Config{Root: filepath.Join("..", "testdata", "src")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("extt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("expected 1 unit with 1 file, got %d units", len(pkgs))
+	}
+}
+
+// TestDirsSkipsTestdata checks ./... expansion over the real module:
+// fixture trees must never leak into a module-wide run.
+func TestDirsSkipsTestdata(t *testing.T) {
+	l, err := loader.New(loader.Config{Root: filepath.Join("..", "..", "..")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Dirs("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveCore, haveSimlint bool
+	for _, d := range dirs {
+		d = filepath.ToSlash(d)
+		if strings.Contains(d, "/testdata/") || strings.HasSuffix(d, "/testdata") {
+			t.Errorf("testdata directory leaked into ./... expansion: %s", d)
+		}
+		if strings.HasSuffix(d, "internal/core") {
+			haveCore = true
+		}
+		if strings.HasSuffix(d, "cmd/simlint") {
+			haveSimlint = true
+		}
+	}
+	if !haveCore || !haveSimlint {
+		t.Errorf("expected internal/core and cmd/simlint in expansion, got %d dirs", len(dirs))
+	}
+}

@@ -1,0 +1,200 @@
+// Package nilguard enforces the telemetry hook contract: method calls on
+// a *telemetry.Recorder stored in a struct field must be dominated by a
+// nil check on that same field. The hooks are concrete nil-able pointers
+// by design (zero-cost-when-off: a detached simulation pays one nil
+// check per hook site, never an interface call), so an unguarded call
+// site is a latent nil-pointer panic on every untraced run.
+//
+// Two guard shapes are accepted, matching the repo idiom:
+//
+//	if c.tel != nil { c.tel.CycleSkip(...) }     // enclosing positive guard
+//	if c.tel == nil { return }; c.tel.Foo(...)   // preceding early exit
+//
+// Calls on locals and parameters are exempt: binding the field to a
+// checked local (tel := c.tel; if tel != nil { ... }) is already safe by
+// construction.
+package nilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "nilguard",
+	Doc:         "requires *telemetry.Recorder field method calls to be dominated by a nil check",
+	Contract:    "telemetry hooks are nil-guarded concrete pointers (zero-cost-when-off)",
+	RuntimeTest: "telemetry differential suite (TestTraceSidecarOnlyDifferential) on untraced runs",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Walk with an explicit ancestor stack so each call site can search
+	// its enclosing ifs and the statements preceding it in each block.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkCall(pass, call, stack)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := ast.Unparen(sel.X)
+	// The receiver must itself be a field selection of *telemetry.Recorder.
+	rsel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[rsel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !analysis.IsNamed(pass.TypesInfo.Types[recv].Type, "telemetry", "Recorder") {
+		return
+	}
+	if _, isPtr := pass.TypesInfo.Types[recv].Type.(*types.Pointer); !isPtr {
+		return
+	}
+	want := types.ExprString(recv)
+	if guarded(pass, call, want, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unguarded %s.%s call: %s is a nil-able telemetry hook — dominate the call with `if %s != nil`",
+		want, sel.Sel.Name, want, want)
+}
+
+// guarded reports whether the call is dominated by a nil check on the
+// printed receiver expression.
+func guarded(pass *analysis.Pass, call *ast.CallExpr, want string, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// Inside the body (not the condition or else) of a positive
+			// guard.
+			if n.Body != nil && within(n.Body, call.Pos()) && condChecksNotNil(n.Cond, want) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if x == nil { return/continue/break/panic }`
+			// in this block dominates everything after it.
+			for _, s := range n.List {
+				if s.End() >= call.Pos() {
+					break
+				}
+				ifs, ok := s.(*ast.IfStmt)
+				if !ok || ifs.Else != nil || !condChecksIsNil(ifs.Cond, want) {
+					continue
+				}
+				if divertsControl(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncLit:
+			// Guards outside a nested function do not dominate its body
+			// (the closure may run later, after the field changed).
+			return false
+		}
+	}
+	return false
+}
+
+func within(n ast.Node, pos token.Pos) bool { return n.Pos() <= pos && pos <= n.End() }
+
+// condChecksNotNil reports whether cond (possibly an && chain) contains
+// `want != nil`.
+func condChecksNotNil(cond ast.Expr, want string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND:
+		return condChecksNotNil(be.X, want) || condChecksNotNil(be.Y, want)
+	case token.NEQ:
+		return nilCompare(be, want)
+	}
+	return false
+}
+
+// condChecksIsNil reports whether cond (possibly an || chain) contains
+// `want == nil`.
+func condChecksIsNil(cond ast.Expr, want string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return condChecksIsNil(be.X, want) || condChecksIsNil(be.Y, want)
+	case token.EQL:
+		return nilCompare(be, want)
+	}
+	return false
+}
+
+// nilCompare reports whether one operand is `nil` and the other prints
+// as want.
+func nilCompare(be *ast.BinaryExpr, want string) bool {
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(y) {
+		return types.ExprString(x) == want
+	}
+	if isNilIdent(x) {
+		return types.ExprString(y) == want
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// divertsControl reports whether the block unconditionally leaves the
+// enclosing flow (return, continue, break, goto, panic).
+func divertsControl(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nilguard"
+)
+
+func TestNilGuard(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", nilguard.Analyzer, "nguser")
+}

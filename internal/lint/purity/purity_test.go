@@ -1,0 +1,12 @@
+package purity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/purity"
+)
+
+func TestPurity(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", purity.Analyzer, "probe")
+}

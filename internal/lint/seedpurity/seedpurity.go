@@ -1,0 +1,145 @@
+// Package seedpurity enforces the scenario-seed contract in the
+// workload packages (internal/workload and internal/workload/synth):
+// seeds are a pure function of workload identity, never of the run.
+//
+// Three rules:
+//
+//  1. No per-run seed sources anywhere under internal/workload: time.Now
+//     / time.Since, math/rand (global or locally seeded — generators
+//     there must use the package's own splitmix64 rng so streams are a
+//     pure function of their parameters) and crypto/rand are all
+//     forbidden, with no annotation escape hatch.
+//
+//  2. In package synth, raw draws on the rng type (next / intn) are only
+//     legal inside rng's own methods and the methods of the sequenced
+//     draw helper (the draw type): every Space sampling draw flows
+//     through one chokepoint, so adding a knob appends draws instead of
+//     reordering them — draw order is part of the determinism contract.
+//
+//  3. In package synth, constructing an rng (composite literal) outside
+//     Space.Sample and rng's own methods is flagged: a second generator
+//     seeded mid-sample would fork the draw sequence. Test files are
+//     exempt (property tests drive the rng directly).
+package seedpurity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedpurity",
+	Doc: "forbids per-run seed sources in the workload packages and requires all " +
+		"synth.Space sampling draws to flow through the sequenced draw helper",
+	Contract:    "scenario seeds derive per workload identity; synth draw order is append-only",
+	RuntimeTest: "TestScenarioFuzz artifact reproduction / synth determinism properties",
+	Run:         run,
+}
+
+// drawHelpers are the receiver types whose methods may touch the raw rng:
+// the rng itself and the sequenced draw chokepoint.
+var drawHelpers = map[string]bool{"rng": true, "draw": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathMatch(pass.Pkg.Path(), "internal/workload") &&
+		!analysis.PkgPathMatch(pass.Pkg.Path(), "internal/workload/synth") {
+		return nil
+	}
+	isSynth := strings.TrimSuffix(pass.Pkg.Name(), "_test") == "synth"
+	for _, file := range pass.Files {
+		testFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, isSynth && !testFile)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, sequenced bool) {
+	recv := receiverTypeName(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "math/rand", "math/rand/v2", "crypto/rand":
+					pass.Report(analysis.Diagnostic{
+						Pos: n.Pos(),
+						Message: obj.Pkg().Path() + " in a workload package: generated streams must be " +
+							"a pure function of workload identity (use the package splitmix64 rng)",
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if f := analysis.CalleeFunc(pass.TypesInfo, n); f != nil &&
+				(analysis.FuncIsFrom(f, "time", "Now") || analysis.FuncIsFrom(f, "time", "Since")) {
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(),
+					Message: "wall-clock read in a workload package: per-run seed sources break " +
+						"scenario reproducibility (no //sim:wallclock escape here)",
+				})
+			}
+			if sequenced {
+				checkRawDraw(pass, n, recv)
+			}
+		case *ast.CompositeLit:
+			if sequenced && analysis.IsNamed(pass.TypesInfo.Types[n].Type, "synth", "rng") &&
+				recv != "rng" && !inFunc(fn, "Sample") {
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(),
+					Message: "rng constructed outside Space.Sample: a generator seeded mid-sample " +
+						"forks the sequenced draw order",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkRawDraw flags method calls on the rng type from outside the draw
+// helpers.
+func checkRawDraw(pass *analysis.Pass, call *ast.CallExpr, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if !analysis.IsNamed(selection.Recv(), "synth", "rng") {
+		return
+	}
+	if drawHelpers[recv] {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: call.Pos(),
+		Message: "raw rng." + sel.Sel.Name + " draw outside the sequenced draw helper: route the " +
+			"draw through a draw method so new knobs append to the sequence instead of reordering it",
+	})
+}
+
+// receiverTypeName returns the name of a method's receiver type, or "".
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func inFunc(fn *ast.FuncDecl, name string) bool { return fn.Name.Name == name }

@@ -1,0 +1,12 @@
+package seedpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/seedpurity"
+)
+
+func TestSeedPurity(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", seedpurity.Analyzer, "internal/workload", "internal/workload/synth")
+}

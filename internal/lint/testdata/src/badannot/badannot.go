@@ -1,0 +1,6 @@
+// Package badannot carries a typoed annotation kind for the driver's
+// unknown-annotation reporting (the annotations pseudo-analyzer).
+package badannot
+
+//sim:hotpaths typo: trailing s, silently disables the contract
+func Step() int { return 1 }

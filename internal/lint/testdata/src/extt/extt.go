@@ -1,0 +1,8 @@
+// Package extt exercises the loader's three compilation groups: package
+// files, in-package test files, and an external _test package.
+package extt
+
+const one = 1
+
+// Answer is referenced from both test variants.
+func Answer() int { return 41 + one }

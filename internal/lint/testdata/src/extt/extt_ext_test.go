@@ -1,0 +1,13 @@
+package extt_test
+
+import (
+	"testing"
+
+	"extt"
+)
+
+func TestAnswer(t *testing.T) {
+	if extt.Answer() != 42 {
+		t.Fatal("wrong answer")
+	}
+}

@@ -1,0 +1,5 @@
+package extt
+
+// doubled is only visible in the test-augmented unit; the external test
+// package must compile against that unit, not the pure variant.
+func doubled() int { return Answer() * 2 }

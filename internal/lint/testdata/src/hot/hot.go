@@ -1,0 +1,60 @@
+// Package hot is a hotalloc fixture: annotated functions carry one of
+// each forbidden construct, plus the allocation-free idioms that must
+// pass.
+package hot
+
+import "fmt"
+
+type sim struct {
+	buf  []int
+	hits int
+}
+
+// step is a per-cycle hot loop with every flagged construct.
+//
+//sim:hotpath
+func (s *sim) step(vals []int) {
+	var fresh []int
+	for _, v := range vals {
+		fresh = append(fresh, v) // want `append on fresh slice "fresh"`
+	}
+	_ = fresh
+	m := map[int]int{} // want `map literal in hot path`
+	_ = m
+	c := make(map[int]bool) // want `make\(map\[int\]bool\) in hot path`
+	_ = c
+	fmt.Println(s.hits)               // want `fmt\.Println in hot path`
+	f := func() int { return s.hits } // want `closure literal in hot path`
+	_ = f
+}
+
+// box exercises the three interface-boxing flows.
+//
+//sim:hotpath
+func (s *sim) box(v int) any {
+	sink(v) // want `argument boxes concrete int`
+	var a any
+	a = v // want `assignment boxes concrete int`
+	_ = a
+	return v // want `return boxes concrete int`
+}
+
+func sink(v any) { _ = v }
+
+// fine shows the allocation-free idioms the analyzer must accept.
+//
+//sim:hotpath
+func (s *sim) fine(vals []int) int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v) // ok: preallocated capacity
+	}
+	s.buf = append(s.buf, vals...) // ok: reused field, not a fresh local
+	sink(&s.hits)                  // ok: pointers box without allocating
+	return len(out)
+}
+
+// cold is unannotated: nothing is restricted.
+func (s *sim) cold() {
+	_ = fmt.Sprint(s.hits)
+}

@@ -1,0 +1,58 @@
+// Package exp is a determinism fixture on the results-JSON key path
+// (its import path matches the analyzer's internal/exp scope fragment).
+package exp
+
+import (
+	"sort"
+	"time"
+)
+
+// Result mirrors the shape of a run's metrics map.
+type Result struct{ Metrics map[string]int64 }
+
+// Keys collects and sorts before iterating downstream.
+func (r Result) Keys() []string {
+	var keys []string
+	for k := range r.Metrics { // ok: append-collect, sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fingerprint concatenates in map order — the order leaks into the value.
+func (r Result) Fingerprint() string {
+	s := ""
+	for k := range r.Metrics { // want `unsorted map iteration on the results-JSON path`
+		s += k
+	}
+	return s
+}
+
+// Count accumulates commutatively.
+func (r Result) Count() int {
+	n := 0
+	for range r.Metrics { // ok: integer accumulation commutes
+		n++
+	}
+	return n
+}
+
+// Stamp reads the clock with no audit annotation.
+func (r Result) Stamp() int64 {
+	return time.Now().Unix() // want `wall-clock read \(time\.Now\) on the results-JSON path`
+}
+
+// Started feeds the meta.json sidecar, outside the byte-identical contract.
+//
+//sim:wallclock audited: meta.json sidecar only
+func Started() time.Time {
+	return time.Now() // ok: function-level wallclock annotation
+}
+
+// Progress demonstrates the site-level annotation placement.
+func Progress() int64 {
+	//sim:wallclock audited: progress display only
+	t := time.Now() // ok: annotation on the line above
+	return t.Unix()
+}

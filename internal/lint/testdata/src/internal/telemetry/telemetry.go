@@ -1,0 +1,9 @@
+// Package telemetry is a fixture stub mirroring the real recorder
+// shape: a concrete struct whose methods are not nil-receiver-safe.
+package telemetry
+
+type Recorder struct{ n int }
+
+func (r *Recorder) CycleSkip()            { r.n++ }
+func (r *Recorder) FullWindowStall(n int) { r.n += n }
+func (r *Recorder) Finish()               {}

@@ -1,0 +1,36 @@
+// Package synth is a seedpurity fixture mirroring the real generator's
+// shape: a splitmix64 rng, a sequenced draw helper, and a Space whose
+// Sample is the one legal construction site.
+package synth
+
+type rng struct{ s uint64 }
+
+func (g *rng) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z ^= z >> 31
+	return z
+}
+
+func (g *rng) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// draw is the sequenced chokepoint: every sampling draw flows through
+// its methods so new knobs append to the sequence.
+type draw struct{ g *rng }
+
+func (d draw) pick(n int) int { return d.g.intn(n) } // ok: the chokepoint may touch the rng
+
+// Space is a minimal sampling space.
+type Space struct{ Strides []int }
+
+// Sample is the single legal rng construction site.
+func (s Space) Sample(seed uint64) int {
+	g := &rng{s: seed} // ok: Sample seeds the one generator
+	d := draw{g: g}
+	return s.Strides[d.pick(len(s.Strides))]
+}
+
+func (s Space) rogue(seed uint64) int {
+	g := &rng{s: seed} // want `rng constructed outside Space\.Sample`
+	return g.intn(10)  // want `raw rng\.intn draw outside the sequenced draw helper`
+}

@@ -1,0 +1,16 @@
+// Package workload is a seedpurity fixture: no rand source of any kind
+// is legal here, locally seeded or not.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+func shuffle(n int) int {
+	return rand.Intn(n) // want `math/rand in a workload package`
+}
+
+func stamp() int64 {
+	return time.Now().Unix() // want `wall-clock read in a workload package`
+}

@@ -1,0 +1,52 @@
+// Package nguser is a nilguard fixture: calls on a *telemetry.Recorder
+// struct field with and without a dominating nil check.
+package nguser
+
+import "internal/telemetry"
+
+type core struct {
+	tel  *telemetry.Recorder
+	name string
+}
+
+func (c *core) unguarded() {
+	c.tel.CycleSkip() // want `unguarded c\.tel\.CycleSkip call`
+}
+
+func (c *core) guarded() {
+	if c.tel != nil {
+		c.tel.CycleSkip() // ok: positive guard
+	}
+	if c.tel != nil && c.name != "" {
+		c.tel.FullWindowStall(3) // ok: guard inside an && chain
+	}
+}
+
+func (c *core) earlyExit() {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Finish() // ok: dominated by the early return
+}
+
+func (c *core) wrongField(other *core) {
+	if c.tel != nil {
+		other.tel.CycleSkip() // want `unguarded other\.tel\.CycleSkip call`
+	}
+}
+
+func (c *core) closure() func() {
+	if c.tel != nil {
+		return func() {
+			c.tel.CycleSkip() // want `unguarded c\.tel\.CycleSkip call`
+		}
+	}
+	return nil
+}
+
+func (c *core) local() {
+	tel := c.tel
+	if tel != nil {
+		tel.CycleSkip() // ok: checked local binding
+	}
+}

@@ -1,0 +1,34 @@
+// Package offpath is a determinism fixture off the results-JSON key
+// path: wall-clock and rand rules still apply, map iteration does not.
+package offpath
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read \(time\.Since\) without //sim:wallclock`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `global math/rand state \(rand\.Intn\)`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: locally seeded generator
+	return r.Intn(6)
+}
+
+func entropy(b []byte) {
+	crand.Read(b) // want `crypto/rand is entropy by construction`
+}
+
+func collect(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // ok: map iteration is unrestricted off the key path
+		out[k] = v
+	}
+	return out
+}

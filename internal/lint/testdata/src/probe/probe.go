@@ -1,0 +1,73 @@
+// Package probe is a purity fixture: //sim:pure functions with each
+// forbidden effect, plus the read-only shapes that must pass.
+package probe
+
+type counterT struct{ n int }
+
+func (c *counterT) bump() { c.n++ }
+
+var hits int
+
+type cache struct {
+	lines map[uint64]int
+	stats counterT
+}
+
+// Peek is the canonical side-effect-free probe.
+//
+//sim:pure
+func (c *cache) Peek(key uint64) (int, bool) {
+	v, ok := c.lines[key]
+	return v, ok // ok: reads only
+}
+
+//sim:pure
+func (c *cache) badWrite(key uint64) int {
+	c.lines[key] = 1 // want `writes receiver state \(c\.lines\[key\]\)`
+	hits++           // want `mutates package variable hits`
+	return len(c.lines)
+}
+
+//sim:pure
+func (c *cache) badDelete(key uint64) {
+	delete(c.lines, key) // want `calls delete on receiver state`
+}
+
+//sim:pure
+func (c *cache) badAlias() {
+	m := c.lines
+	m[0] = 1 // want `writes receiver state \(m\[0\]\)`
+}
+
+//sim:pure
+func (c *cache) badCallee() {
+	c.stats.bump() // want `calls c\.stats\.bump, a pointer-receiver method on observed state`
+}
+
+//sim:pure
+func (c *cache) badSend(ch chan int) {
+	ch <- 1 // want `sends on a channel`
+}
+
+//sim:pure
+func (c *cache) viaPure(key uint64) bool {
+	_, ok := c.Peek(key) // ok: the callee is itself //sim:pure
+	return ok
+}
+
+//sim:pure
+func (c *cache) localScratch() int {
+	scratch := map[int]int{}
+	scratch[1] = 1 // ok: local map, no alias to receiver state
+	total := 0
+	for _, v := range scratch {
+		total += v
+	}
+	return total
+}
+
+// reset is unannotated: writes are unrestricted.
+func (c *cache) reset() {
+	c.lines = map[uint64]int{}
+	hits = 0
+}

@@ -435,6 +435,8 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, now int64) {
 // tags any fills (runahead or hardware prefetches). ok=false means the
 // access could not even start because the first-level MSHRs are
 // exhausted; the caller must retry on a later cycle.
+//
+//sim:hotpath
 func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand bool, src cache.Source) (Result, bool) {
 	// L1.
 	if hit, ready := l1.Lookup(addr, now, demand); hit {
@@ -470,6 +472,8 @@ func (h *Hierarchy) access(l1 *cache.Cache, addr uint64, now int64, demand bool,
 // accessL2 runs the L2→L3→DRAM part of the protocol; t is the cycle the
 // request reaches the L2. train feeds the access into the L2 hardware
 // prefetcher (demand data traffic only). The caller owns the L1 fill.
+//
+//sim:hotpath
 func (h *Hierarchy) accessL2(addr uint64, t int64, demand, train bool, src cache.Source) (Result, bool) {
 	hit, ready := h.l2.Lookup(addr, t, demand)
 	if train && h.pf2.pf != nil {
@@ -549,6 +553,8 @@ func (h *Hierarchy) Load(addr uint64, now int64) (Result, bool) {
 // of the load instruction at pc. The access trains the hardware
 // prefetchers and drains their request queues into the hierarchy.
 // ok=false means MSHRs were exhausted and the load must retry later.
+//
+//sim:hotpath
 func (h *Hierarchy) LoadPC(addr, pc uint64, now int64) (Result, bool) {
 	res, ok := h.access(h.l1d, addr, now, true, cache.SrcDemand)
 	if ok {
@@ -707,6 +713,8 @@ func (h *Hierarchy) drainL1(e *engine, l1 *cache.Cache, now int64) {
 // term directly measurable; checking the deeper levels additionally
 // stops requests that would otherwise issue and tie up the engine
 // level's MSHR merging into a fill runahead already started.
+//
+//sim:pure
 func (h *Hierarchy) filteredByRunahead(addr uint64, now int64, levels ...*cache.Cache) bool {
 	if !h.cfg.RunaheadFilter {
 		return false

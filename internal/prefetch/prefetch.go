@@ -321,6 +321,8 @@ type reqQueue struct {
 
 // push queues a line-aligned request, dropping duplicates of the current
 // queue contents and counting everything past the cap as overflow.
+//
+//sim:hotpath
 func (r *reqQueue) push(addr uint64) {
 	addr = uarch.LineAddr(addr)
 	for _, a := range r.q {
@@ -367,6 +369,8 @@ func (p *nextLine) Name() string { return "next-line" }
 // the Distance > 0 requirement Validate enforces (Distance 1 is classic
 // next-line; larger distances trade pollution for timeliness on fast
 // sweeps).
+//
+//sim:hotpath
 func (p *nextLine) Observe(a Access) {
 	base := uarch.LineAddr(a.Addr)
 	for i := 0; i < p.cfg.Degree; i++ {
@@ -400,6 +404,7 @@ type stride struct {
 
 func (p *stride) Name() string { return "stride" }
 
+//sim:hotpath
 func (p *stride) Observe(a Access) {
 	if a.PC == 0 {
 		return // PC-less traffic (e.g. store commits) cannot train the RPT

@@ -206,11 +206,14 @@ func (c *ChainCache) ResetStats() {
 	c.overlap.Reset()
 }
 
+//sim:pure hash arithmetic only
 func (c *ChainCache) slotOf(pc uint64) uint64 {
 	return (pc * 0x9e3779b97f4a7c15) >> 32 & c.mask
 }
 
 // find returns the arena index of pc's node, or sstNil.
+//
+//sim:pure
 func (c *ChainCache) find(pc uint64) int32 {
 	for slot := c.slotOf(pc); ; slot = (slot + 1) & c.mask {
 		n := c.tbl[slot]
@@ -278,6 +281,8 @@ func (c *ChainCache) pushFront(i int32) {
 // Lookup probes for pc, refreshing its LRU position and counting the
 // reuse on a hit. The returned entry aliases cache storage and is valid
 // until the next Insert.
+//
+//sim:hotpath
 func (c *ChainCache) Lookup(pc uint64) *ChainEntry {
 	c.stats.Lookups++
 	i := c.find(pc)
@@ -297,6 +302,8 @@ func (c *ChainCache) Lookup(pc uint64) *ChainEntry {
 }
 
 // Peek probes without touching LRU or statistics (tests, reports).
+//
+//sim:pure
 func (c *ChainCache) Peek(pc uint64) *ChainEntry {
 	i := c.find(pc)
 	if i == sstNil {

@@ -50,6 +50,8 @@ func (q *EMQ) StorageBytes() int { return len(q.seqs) * 4 }
 
 // Push buffers a decoded µop's sequence number, returning false (and
 // counting a stall) when full.
+//
+//sim:hotpath
 func (q *EMQ) Push(seq int64) bool {
 	if q.Full() {
 		q.stats.Stalls++

@@ -66,6 +66,8 @@ func (q *PRDQ) StorageBytes() int { return len(q.entries) * 4 }
 // (rename.PRegNone when the µop had no destination or the old mapping must
 // not be recycled). It returns a ticket for MarkExecuted, or ok=false when
 // the queue is full — the runahead rename stage must stall.
+//
+//sim:hotpath
 func (q *PRDQ) Alloc(old rename.PReg) (ticket int64, ok bool) {
 	if q.Full() {
 		q.stats.Stalls++

@@ -177,6 +177,8 @@ func (s *SST) pushFront(i int32) {
 }
 
 // Lookup probes for pc, refreshing its LRU position on a hit.
+//
+//sim:hotpath
 func (s *SST) Lookup(pc uint64) bool {
 	s.stats.Lookups++
 	i := s.find(pc)
@@ -196,6 +198,8 @@ func (s *SST) Contains(pc uint64) bool { return s.find(pc) != sstNil }
 
 // Insert adds pc (refreshing it if already present), evicting the LRU
 // entry when full.
+//
+//sim:hotpath
 func (s *SST) Insert(pc uint64) {
 	if i := s.find(pc); i != sstNil {
 		if s.head != i {

@@ -98,8 +98,11 @@ func TestCorruptDiskEntryRejected(t *testing.T) {
 	k := testKey("victim")
 	donor := testKey("donor")
 
-	corrupt := map[string]func(t *testing.T, dir string){
-		"flipped result byte": func(t *testing.T, dir string) {
+	corrupt := []struct {
+		name    string
+		breakIt func(t *testing.T, dir string)
+	}{
+		{"flipped result byte", func(t *testing.T, dir string) {
 			path := filepath.Join(dir, k.Hash()+".json")
 			b, err := os.ReadFile(path)
 			if err != nil {
@@ -111,8 +114,8 @@ func TestCorruptDiskEntryRejected(t *testing.T) {
 			}
 			b[i+len(`"Cycles":`)] = '9'
 			os.WriteFile(path, b, 0o644)
-		},
-		"entry under wrong hash": func(t *testing.T, dir string) {
+		}},
+		{"entry under wrong hash", func(t *testing.T, dir string) {
 			// Simulate content-address aliasing: donor's (valid,
 			// checksummed) entry copied over victim's file. The embedded
 			// key string must expose the mismatch.
@@ -121,13 +124,13 @@ func TestCorruptDiskEntryRejected(t *testing.T) {
 				t.Fatal(err)
 			}
 			os.WriteFile(filepath.Join(dir, k.Hash()+".json"), b, 0o644)
-		},
-		"garbage file": func(t *testing.T, dir string) {
+		}},
+		{"garbage file", func(t *testing.T, dir string) {
 			os.WriteFile(filepath.Join(dir, k.Hash()+".json"), []byte("{not json"), 0o644)
-		},
+		}},
 	}
-	for name, breakIt := range corrupt {
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
 			c, err := New(0, dir) // capacity 0: every Get goes to disk
 			if err != nil {
@@ -135,7 +138,7 @@ func TestCorruptDiskEntryRejected(t *testing.T) {
 			}
 			c.Put(k, testResult("victim", 1))
 			c.Put(donor, testResult("donor", 2))
-			breakIt(t, dir)
+			tc.breakIt(t, dir)
 			if r, ok := c.Get(k); ok {
 				t.Fatalf("corrupt entry served: %+v", r)
 			}

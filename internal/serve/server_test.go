@@ -289,6 +289,8 @@ func TestServerUnknownJob(t *testing.T) {
 // Cancellation: a running job cancelled over HTTP must converge to the
 // cancelled state with a clean terminal event, and its result endpoint
 // must report the state instead of hanging or returning partial data.
+//
+//sim:wallclock test start-up deadline polling only
 func TestServerCancelRunningJob(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
@@ -343,6 +345,8 @@ func TestServerCancelRunningJob(t *testing.T) {
 // Backpressure: with the single worker pinned on a long job and the
 // queue full, further submissions are rejected with 503 instead of
 // queueing without bound.
+//
+//sim:wallclock test start-up deadline polling only
 func TestServerQueueFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")

@@ -45,8 +45,8 @@ type Range struct {
 
 func (r Range) valid() bool { return r.Min >= 0 && r.Max >= r.Min }
 
-func (r Range) sample(g *rng) int {
-	return r.Min + g.intn(r.Max-r.Min+1)
+func (r Range) sample(d draw) int {
+	return r.Min + d.intn(r.Max-r.Min+1)
 }
 
 // Weights sets the relative sampling weight of each archetype; a zero
@@ -68,8 +68,8 @@ func (w Weights) total() int {
 }
 
 // pick samples an archetype name proportionally to its weight.
-func (w Weights) pick(g *rng) string {
-	roll := g.intn(w.total())
+func (w Weights) pick(d draw) string {
+	roll := d.intn(w.total())
 	for _, c := range []struct {
 		name string
 		w    int
@@ -479,15 +479,15 @@ func (s Space) Sample(seed uint64) (Scenario, error) {
 	if err := s.Validate(); err != nil {
 		return Scenario{}, err
 	}
-	g := &rng{s: seed}
-	n := s.Phases.sample(g)
+	d := draw{g: &rng{s: seed}}
+	n := s.Phases.sample(d)
 	params := Params{
 		Space:  s.Name,
 		Seed:   fmt.Sprintf("%016x", seed),
 		Phases: make([]Phase, n),
 	}
 	for i := range params.Phases {
-		params.Phases[i] = s.samplePhase(g, i)
+		params.Phases[i] = s.samplePhase(d, i)
 	}
 	sc := Scenario{Params: params}
 	if err := params.Validate(); err != nil {
@@ -508,15 +508,15 @@ func FromParams(p Params) (Scenario, error) {
 // samplePhase draws one phase. The draw order is part of the determinism
 // contract: changing it changes every sampled population, so additions
 // must append draws, never reorder them.
-func (s Space) samplePhase(g *rng, idx int) Phase {
+func (s Space) samplePhase(d draw, idx int) Phase {
 	ph := Phase{
-		Archetype: s.Weights.pick(g),
-		Uops:      s.PhaseUops.sample(g),
+		Archetype: s.Weights.pick(d),
+		Uops:      s.PhaseUops.sample(d),
 		KernelID:  kernelIDBase + idx,
-		ALUWork:   s.ALUWork.sample(g),
-		HotLoads:  s.HotLoads.sample(g),
+		ALUWork:   s.ALUWork.sample(d),
+		HotLoads:  s.HotLoads.sample(d),
 	}
-	mlp := s.MLP.sample(g)
+	mlp := s.MLP.sample(d)
 	clamp := func(v, lo, hi int) int {
 		if v < lo {
 			return lo
@@ -526,45 +526,45 @@ func (s Space) samplePhase(g *rng, idx int) Phase {
 		}
 		return v
 	}
-	stride := func() int { return s.Strides[g.intn(len(s.Strides))] }
+	stride := func() int { return s.Strides[d.intn(len(s.Strides))] }
 	phaseIters := func() int {
 		if len(s.PhaseIters) == 0 {
 			return 0
 		}
-		return s.PhaseIters[g.intn(len(s.PhaseIters))]
+		return s.PhaseIters[d.intn(len(s.PhaseIters))]
 	}
 	switch ph.Archetype {
 	case ArchStream:
 		ph.Lanes = clamp(mlp, 1, 6)
 		ph.StrideBytes = stride()
-		ph.FPWork = s.FPWork.sample(g)
-		ph.StorePeriod = s.StorePeriod.sample(g)
+		ph.FPWork = s.FPWork.sample(d)
+		ph.StorePeriod = s.StorePeriod.sample(d)
 		ph.PhaseIters = phaseIters()
 	case ArchPtrChase:
 		ph.Lanes = clamp(mlp, 1, 6)
-		ph.FootprintLog2 = s.FootprintLog2.sample(g)
-		ph.BranchNoise = s.MispredictPermille.sample(g) > 0
+		ph.FootprintLog2 = s.FootprintLog2.sample(d)
+		ph.BranchNoise = s.MispredictPermille.sample(d) > 0
 	case ArchIndirect:
 		ph.Lanes = clamp(mlp, 1, 3)
-		ph.FootprintLog2 = s.FootprintLog2.sample(g)
-		ph.FPWork = s.FPWork.sample(g)
-		ph.StorePeriod = s.StorePeriod.sample(g)
+		ph.FootprintLog2 = s.FootprintLog2.sample(d)
+		ph.FPWork = s.FPWork.sample(d)
+		ph.StorePeriod = s.StorePeriod.sample(d)
 	case ArchStencil:
 		ph.Lanes = clamp(mlp, 1, 6)
 		ph.StrideBytes = stride()
-		ph.PlaneStrideLog2 = s.PlaneStrideLog2.sample(g)
-		ph.FPWork = s.FPWork.sample(g)
-		ph.StorePeriod = s.StorePeriod.sample(g)
+		ph.PlaneStrideLog2 = s.PlaneStrideLog2.sample(d)
+		ph.FPWork = s.FPWork.sample(d)
+		ph.StorePeriod = s.StorePeriod.sample(d)
 		ph.PhaseIters = phaseIters()
 	case ArchHashWalk:
 		ph.Lanes = clamp(mlp, 1, 3)
-		ph.FootprintLog2 = s.FootprintLog2.sample(g)
-		ph.MispredictPermille = s.MispredictPermille.sample(g)
-		ph.StorePeriod = s.StorePeriod.sample(g)
+		ph.FootprintLog2 = s.FootprintLog2.sample(d)
+		ph.MispredictPermille = s.MispredictPermille.sample(d)
+		ph.StorePeriod = s.StorePeriod.sample(d)
 	case ArchCodeWalk:
 		ph.Lanes = clamp(mlp, 1, 3)
-		ph.FootprintLog2 = s.CodeFootprintLog2.sample(g)
-		ph.StorePeriod = s.StorePeriod.sample(g) // data-load period
+		ph.FootprintLog2 = s.CodeFootprintLog2.sample(d)
+		ph.StorePeriod = s.StorePeriod.sample(d) // data-load period
 		ph.ALUWork = clamp(ph.ALUWork, 1, 64)    // blocks need a body
 	}
 	return ph
@@ -641,6 +641,18 @@ func (r *rng) intn(n int) int {
 	}
 	return int(r.next() % uint64(n))
 }
+
+// draw is the sequenced chokepoint every Space sampling draw flows
+// through: one underlying rng, advanced only here. Routing draws through
+// a single helper keeps the draw order append-only — a new knob adds a
+// draw to the end of the sequence instead of reordering existing ones,
+// which is what keeps previously sampled populations stable (the
+// seedpurity analyzer enforces this statically).
+type draw struct{ g *rng }
+
+// intn forwards a uniform draw from [0, n), advancing the single
+// sampling sequence.
+func (d draw) intn(n int) int { return d.g.intn(n) }
 
 // mix64 is the splitmix64 finalizer.
 func mix64(z uint64) uint64 {
